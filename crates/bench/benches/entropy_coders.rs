@@ -1,0 +1,45 @@
+//! Entropy-coder throughput benchmarks (the lossless stages of the Fig 14
+//! baseline grid plus our CABAC core).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llm265_bitstream::{deflate::Deflate, huffman::Huffman, lz4::Lz4, ByteCodec, CabacBytes};
+use llm265_tensor::rng::Pcg32;
+
+/// Quantized-gradient-like byte stream: centered, bell-shaped symbols.
+fn symbol_stream(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Pcg32::seed_from(seed);
+    (0..n)
+        .map(|_| (128.0 + 18.0 * rng.normal()).clamp(0.0, 255.0) as u8)
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = symbol_stream(1 << 16, 1);
+    let codecs: Vec<Box<dyn ByteCodec>> = vec![
+        Box::new(Huffman),
+        Box::new(Deflate),
+        Box::new(Lz4),
+        Box::new(CabacBytes),
+    ];
+    let mut g = c.benchmark_group("lossless_compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in &codecs {
+        g.bench_function(codec.name(), |b| b.iter(|| codec.compress(&data)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("lossless_decompress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in &codecs {
+        let packed = codec.compress(&data);
+        g.bench_function(codec.name(), |b| b.iter(|| codec.decompress(&packed).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compress
+}
+criterion_main!(benches);

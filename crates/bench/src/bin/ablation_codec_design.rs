@@ -1,0 +1,77 @@
+//! Ablation of LLM.265 design choices (beyond the paper's Fig 2b stage
+//! ladder): chunk granularity and codec profile, measured as bits/value
+//! needed for a fixed reconstruction quality.
+//!
+//! - **Chunk size** trades per-chunk scale adaptation (smaller chunks see
+//!   narrower value ranges → finer 8-bit grids) against per-chunk header
+//!   overhead. NVENC's frame-size limit forces chunking anyway; this
+//!   shows the codec is not sensitive to where the boundary lands.
+//! - **Profile** isolates how much of the rate comes from block-structure
+//!   richness (H.264-like 16 px tools vs H.265-like 32 px tools).
+
+use llm265_bench::table::{f, Table};
+use llm265_bench::workloads::weight_stack;
+use llm265_core::{Llm265Codec, Llm265Config, Profile, ProfileKind, RateTarget, TensorCodec};
+use llm265_tensor::stats;
+use llm265_tensor::Tensor;
+
+/// Bits/value the codec needs to reach NMSE ≤ `target` on the stack.
+fn bits_for_quality(codec: &Llm265Codec, stack: &[Tensor], target: f64) -> (f64, f64) {
+    let mut bits = 0u64;
+    let mut values = 0u64;
+    let mut nmse = 0.0;
+    for w in stack {
+        let enc = codec
+            .encode(w, RateTarget::MaxNormalizedMse(target))
+            .expect("encode");
+        let dec = codec.decode(&enc).expect("decode");
+        nmse += stats::tensor_mse(w, &dec) / stats::variance(w.data());
+        bits += enc.bits();
+        values += w.len() as u64;
+    }
+    (bits as f64 / values as f64, nmse / stack.len() as f64)
+}
+
+fn main() {
+    let stack = weight_stack(3, 128, 2024);
+    let target = 0.02;
+
+    let mut table = Table::new(vec!["max chunk pixels", "chunks/tensor", "bits/value", "NMSE"]);
+    for &pixels in &[128 * 8, 128 * 16, 128 * 32, 128 * 64, 128 * 128] {
+        let codec = Llm265Codec::with_config(Llm265Config {
+            max_chunk_pixels: pixels,
+            ..Llm265Config::default()
+        });
+        let (bpv, nmse) = bits_for_quality(&codec, &stack, target);
+        table.row(vec![
+            pixels.to_string(),
+            (128 * 128usize).div_ceil(pixels).to_string(),
+            f(bpv, 3),
+            f(nmse, 4),
+        ]);
+    }
+    table.print(&format!(
+        "Ablation A — chunk granularity at NMSE <= {target} (128x128 weights)"
+    ));
+
+    let mut table = Table::new(vec!["profile", "modes", "ctu", "bits/value", "NMSE"]);
+    for kind in [ProfileKind::H264, ProfileKind::H265, ProfileKind::Av1] {
+        let profile = Profile::of(kind);
+        let (modes, ctu) = (profile.modes().len(), profile.ctu());
+        let codec = Llm265Codec::with_config(Llm265Config {
+            profile,
+            ..Llm265Config::default()
+        });
+        let (bpv, nmse) = bits_for_quality(&codec, &stack, target);
+        table.row(vec![
+            kind.name().to_string(),
+            modes.to_string(),
+            ctu.to_string(),
+            f(bpv, 3),
+            f(nmse, 4),
+        ]);
+    }
+    table.print(&format!("Ablation B — codec profile at NMSE <= {target}"));
+    println!("\nReading: chunking costs little until chunks shrink below a few CTU rows;");
+    println!("profile differences at fixed quality mirror Fig 6's small gaps.");
+}

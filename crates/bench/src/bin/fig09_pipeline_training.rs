@@ -1,0 +1,135 @@
+//! Fig 9: pipeline-parallel training with compressed inter-stage
+//! communication — loss and validation perplexity curves.
+//!
+//! Configurations, as in the paper:
+//! - **Uncompressed**: FP16 activations and gradients between stages.
+//! - **LLM.265(A)**: activations at 3.5 bits, gradients uncompressed.
+//! - **LLM.265(A)+GQ**: activations at 3.5 bits, gradients through plain
+//!   8-bit group-wise RTN — the paper's failure case.
+//! - **LLM.265(A+G)**: activations at 3.5 bits, gradients through the
+//!   residual-compensation scheme (3.5+3.5 bits early, 3.5+8 late).
+//!
+//! Paper shape: (A) matches or slightly beats uncompressed; (A)+GQ
+//! diverges; (A+G) tracks uncompressed at ~10.1 average gradient bits.
+
+use llm265_bench::table::{f, Table};
+use llm265_core::gradient::{ResidualCompensator, ResidualCompensatorConfig};
+use llm265_core::Llm265Channel;
+use llm265_distrib::pipeline::PipelineTrainer;
+use llm265_model::data::{LangConfig, SyntheticLang};
+use llm265_model::optimizer::Adam;
+use llm265_model::transformer::{TransformerConfig, TransformerLm};
+use llm265_quant::rtn::{GroupScheme, RtnQuantizer};
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+
+const STEPS: usize = 160;
+const STAGES: usize = 2;
+const REPORT_EVERY: usize = 40;
+
+struct Curve {
+    name: String,
+    losses: Vec<f64>,
+    val_ppl: Vec<f64>,
+    act_bits: f64,
+    grad_bits: f64,
+}
+
+fn run(
+    name: &str,
+    act: Option<Box<dyn LossyCompressor>>,
+    grad: Option<Box<dyn LossyCompressor>>,
+) -> Curve {
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(5));
+    let mut opt = Adam::new(3e-3);
+    let mut rng = Pcg32::seed_from(6);
+    let val = lang.sample_batch(8, 40, &mut Pcg32::seed_from(7));
+
+    let mut pp = PipelineTrainer::new(&mut model, STAGES);
+    if let Some(a) = act {
+        pp = pp.with_act_compressor(a);
+    }
+    if let Some(g) = grad {
+        pp = pp.with_grad_compressor(g);
+    }
+    let mut losses = Vec::new();
+    let mut val_ppl = Vec::new();
+    for step in 0..STEPS {
+        let batch = lang.sample_batch(4, 40, &mut rng);
+        let loss = pp.train_step(&batch, &mut opt);
+        if (step + 1) % REPORT_EVERY == 0 {
+            losses.push(loss);
+            val_ppl.push(pp.model().eval_perplexity(&val));
+        }
+    }
+    Curve {
+        name: name.to_string(),
+        act_bits: pp.act_stats().bits_per_value(),
+        grad_bits: pp.grad_stats().bits_per_value(),
+        losses,
+        val_ppl,
+    }
+}
+
+fn main() {
+    let curves = vec![
+        run("Uncompressed", None, None),
+        run("LLM.265(A)", Some(Box::new(Llm265Channel::at_bits(3.5))), None),
+        // Plain low-bit RTN on activation gradients: the failure mode. (At
+        // our scale 8-bit RTN is still tolerated, so the failure surfaces
+        // at 2 bits; the paper's larger models already fail at 8.)
+        run(
+            "LLM.265(A)+GQ (RTN2)",
+            Some(Box::new(Llm265Channel::at_bits(3.5))),
+            Some(Box::new(RtnQuantizer::symmetric(2, GroupScheme::Groups(128)))),
+        ),
+        run(
+            "LLM.265(A)+G direct 3.5b",
+            Some(Box::new(Llm265Channel::at_bits(3.5))),
+            Some(Box::new(Llm265Channel::at_bits(3.5))),
+        ),
+        run(
+            "LLM.265(A+G) residual",
+            Some(Box::new(Llm265Channel::at_bits(3.5))),
+            Some(Box::new(ResidualCompensator::with_config(
+                ResidualCompensatorConfig {
+                    primary_bits: 3.5,
+                    early_residual_bits: 3.5,
+                    switch_step: STEPS * 5 / 16, // the paper's 2500/8000 point
+                },
+            ))),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "config",
+        "act bits",
+        "grad bits",
+        "loss@40",
+        "loss@80",
+        "loss@120",
+        "loss@160",
+        "val ppl (final)",
+    ]);
+    for c in &curves {
+        table.row(vec![
+            c.name.clone(),
+            f(c.act_bits, 2),
+            f(c.grad_bits, 2),
+            f(c.losses[0], 3),
+            f(c.losses[1], 3),
+            f(c.losses[2], 3),
+            f(c.losses[3], 3),
+            f(*c.val_ppl.last().unwrap(), 2),
+        ]);
+    }
+    table.print("Fig 9 — pipeline-parallel training (4-way comparison)");
+    println!("\nActivation compression 16 -> 3.5 bits = 78% volume reduction;");
+    println!("residual-compensated gradients average ~{:.1} bits (paper: 10.1).",
+        llm265_core::gradient::average_bits_per_value(
+            &ResidualCompensatorConfig { switch_step: STEPS * 5 / 16, ..Default::default() },
+            STEPS,
+        ));
+    println!("Paper shape: (A) ≈ uncompressed; plain gradient RTN hurts; (A+G) recovers.");
+}

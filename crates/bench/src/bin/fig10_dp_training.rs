@@ -1,0 +1,98 @@
+//! Fig 10: data-parallel training with compressed weight-gradient
+//! exchange — loss and validation perplexity versus 1-bit Adam/LAMB and
+//! RTN baselines.
+//!
+//! Paper shape: LLM.265 at 2.6 bits lands near uncompressed; 1.4 bits is
+//! comparable to the best warm-up baseline at 3.25 bits; 0.8 bits
+//! converges early; RTN-2 fails outright and RTN-4 sits between.
+
+use llm265_bench::table::{f, Table};
+use llm265_core::Llm265TrackingChannel;
+use llm265_distrib::data_parallel::DataParallelTrainer;
+use llm265_model::data::{LangConfig, SyntheticLang};
+use llm265_model::optimizer::Adam;
+use llm265_model::transformer::{Batch, TransformerConfig, TransformerLm};
+use llm265_quant::onebit::{OneBitCompressor, OneBitFlavor};
+use llm265_quant::rtn::{GroupScheme, RtnQuantizer};
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+
+const STEPS: usize = 140;
+const REPLICAS: usize = 4;
+const REPORT_EVERY: usize = 35;
+
+fn run(name: &str, make: &dyn Fn() -> Option<Box<dyn LossyCompressor>>) -> (String, Vec<f64>, f64, f64) {
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(11));
+    let mut opt = Adam::new(3e-3);
+    let mut rng = Pcg32::seed_from(12);
+    let val = lang.sample_batch(8, 40, &mut Pcg32::seed_from(13));
+
+    let mut dp = DataParallelTrainer::new(&mut model, REPLICAS);
+    if let Some(first) = make() {
+        let mut cs: Vec<Box<dyn LossyCompressor>> = vec![first];
+        for _ in 1..REPLICAS {
+            cs.push(make().expect("same compressor per replica"));
+        }
+        dp = dp.with_compressors(cs);
+    }
+    let mut losses = Vec::new();
+    for step in 0..STEPS {
+        let shards: Vec<Batch> = (0..REPLICAS)
+            .map(|_| lang.sample_batch(1, 40, &mut rng))
+            .collect();
+        let loss = dp.train_step(&shards, &mut opt);
+        if (step + 1) % REPORT_EVERY == 0 {
+            losses.push(loss);
+        }
+    }
+    let bits = dp.stats().bits_per_value();
+    let ppl = dp.model().eval_perplexity(&val);
+    (name.to_string(), losses, bits, ppl)
+}
+
+fn main() {
+    let warmup = STEPS * 15 / 100; // the paper's 15% warm-up
+    let rows: Vec<(String, Vec<f64>, f64, f64)> = vec![
+        run("Uncompressed", &|| None),
+        run("1-bit Adam", &|| {
+            Some(Box::new(OneBitCompressor::new(OneBitFlavor::Adam, warmup)))
+        }),
+        run("1-bit LAMB", &|| {
+            Some(Box::new(OneBitCompressor::new(OneBitFlavor::Lamb, warmup)))
+        }),
+        run("LLM.265 (2.6b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(2.6)))),
+        run("LLM.265 (1.4b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(1.4)))),
+        run("LLM.265 (0.8b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(0.8)))),
+        run("RTN4-128G", &|| {
+            Some(Box::new(RtnQuantizer::symmetric(4, GroupScheme::Groups(128))))
+        }),
+        run("RTN2-128G", &|| {
+            Some(Box::new(RtnQuantizer::symmetric(2, GroupScheme::Groups(128))))
+        }),
+    ];
+
+    let mut table = Table::new(vec![
+        "config",
+        "avg bits",
+        "loss@35",
+        "loss@70",
+        "loss@105",
+        "loss@140",
+        "val ppl",
+    ]);
+    for (name, losses, bits, ppl) in &rows {
+        table.row(vec![
+            name.clone(),
+            f(*bits, 2),
+            f(losses[0], 3),
+            f(losses[1], 3),
+            f(losses[2], 3),
+            f(losses[3], 3),
+            f(*ppl, 2),
+        ]);
+    }
+    table.print("Fig 10 — data-parallel gradient compression (4 replicas)");
+    println!("\nPaper shape: quality ranks LLM.265(2.6) > RTN4 > LLM.265(1.4) > LLM.265(0.8)");
+    println!("≈ 1-bit LAMB > RTN2; LLM.265 needs no warm-up or optimizer change.");
+}

@@ -1,0 +1,70 @@
+//! Fig 12: die-area comparison of GPU / NIC / CPU versus video codecs
+//! normalized to 100 Gb/s, with per-component breakdowns.
+
+use llm265_bench::table::{f, Table};
+use llm265_hardware::area::{
+    cpu_server, gpu_rtx3090, h264_decoder, h264_encoder, h265_decoder, h265_encoder,
+    instances_for, nic_cx5, single_instance_4k60_gbps, Component,
+};
+
+fn main() {
+    let gpu = gpu_rtx3090();
+    let nic = nic_cx5();
+    let cpu = cpu_server();
+
+    let mut dies = Table::new(vec!["die", "area (mm^2)", "vs H.264 enc+dec pair"]);
+    let pair = h264_encoder().area_mm2 + h264_decoder().area_mm2;
+    dies.row(vec![
+        format!("{} @7nm", gpu.name),
+        f(gpu.area_at_7nm(), 1),
+        format!("{:.0}x", gpu.area_at_7nm() / pair),
+    ]);
+    dies.row(vec![
+        format!("{} (measured)", nic.name),
+        f(nic.native_area_mm2, 1),
+        format!("{:.0}x", nic.native_area_mm2 / pair),
+    ]);
+    dies.row(vec![
+        format!("{} @7nm", cpu.name),
+        f(cpu.area_at_7nm(), 1),
+        format!("{:.0}x", cpu.area_at_7nm() / pair),
+    ]);
+    dies.print("Fig 12 (1-3) — datacenter dies vs a 100 Gb/s H.264 codec pair");
+
+    let inst = instances_for(100.0, single_instance_4k60_gbps());
+    println!("\n(100 Gb/s = {} aggregated 4K60 instances per codec)", inst);
+
+    let mut blocks = Table::new(vec![
+        "codec @100Gb/s",
+        "area (mm^2)",
+        "power (W)",
+        "inter%",
+        "framebuf%",
+        "intra%",
+        "xform%",
+        "entropy%",
+        "tensor-only (mm^2)",
+    ]);
+    for b in [h264_encoder(), h264_decoder(), h265_encoder(), h265_decoder()] {
+        let pc = |c: Component| {
+            format!(
+                "{:.0}",
+                b.component_area(c) / b.area_mm2 * 100.0
+            )
+        };
+        blocks.row(vec![
+            b.name.to_string(),
+            f(b.area_mm2, 2),
+            f(b.power_w, 2),
+            pc(Component::InterPrediction),
+            pc(Component::FrameBuffer),
+            pc(Component::IntraPrediction),
+            pc(Component::Transform),
+            pc(Component::Entropy),
+            f(b.tensor_only_area(), 2),
+        ]);
+    }
+    blocks.print("Fig 12 (a-d) — codec component breakdown and tensor-only area");
+    println!("\nPaper shape: codecs are 1-2 orders of magnitude smaller than the other dies;");
+    println!("inter prediction + frame buffer dominate and are dead weight for tensors.");
+}

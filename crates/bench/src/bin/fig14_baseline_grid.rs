@@ -1,0 +1,107 @@
+//! Fig 14: information efficiency of the three-in-one codec (our software
+//! LLM.265 pipeline) versus the 2×4 chained baseline grid — {INT, MXFP} ×
+//! {Huffman, Deflate, LZ4, CABAC}.
+//!
+//! (a) gradient compression: mean-absolute-error versus measured
+//! bits/value. (b) weight compression: probe accuracy versus bits/value.
+//! Paper shape: under the same error budget the codec uses fewer bits
+//! than every chained baseline.
+
+use llm265_bench::table::{f, pct, Table};
+use llm265_bench::workloads::small_trained_lm;
+use llm265_core::Llm265Channel;
+use llm265_quant::chained::{ChainedCodec, LosslessStage, NumericStage};
+use llm265_quant::mxfp::MxFormat;
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::stats;
+use llm265_tensor::synthetic::{llm_gradient, GradientProfile};
+
+fn main() {
+    // --- (a) Gradient MAE vs bits/value.
+    let mut rng = Pcg32::seed_from(50);
+    let grads: Vec<_> = (0..3)
+        .map(|i| llm_gradient(128, 128, &GradientProfile::at_progress(0.2 * i as f64), &mut rng))
+        .collect();
+
+    let mut contenders: Vec<Box<dyn LossyCompressor>> = Vec::new();
+    for bits in [3u32, 4, 6] {
+        for stage in LosslessStage::all() {
+            contenders.push(Box::new(ChainedCodec::new(NumericStage::Rtn(bits), stage)));
+        }
+    }
+    for fmt in [MxFormat::Mxfp4, MxFormat::Mxfp6, MxFormat::Mxfp8] {
+        for stage in LosslessStage::all() {
+            contenders.push(Box::new(ChainedCodec::new(NumericStage::Mxfp(fmt), stage)));
+        }
+    }
+    for b in [2.0, 2.5, 3.0, 4.0, 5.0] {
+        contenders.push(Box::new(Llm265Channel::at_bits(b)));
+    }
+
+    let mut table = Table::new(vec!["codec", "bits/value", "gradient MAE"]);
+    let mut points: Vec<(String, f64, f64)> = Vec::new();
+    for c in contenders.iter_mut() {
+        let mut bits = 0u64;
+        let mut values = 0u64;
+        let mut mae = 0.0;
+        for g in &grads {
+            let (out, b) = c.transcode(g);
+            bits += b;
+            values += g.len() as u64;
+            mae += stats::mae(g.data(), out.data());
+        }
+        let bpv = bits as f64 / values as f64;
+        let mae = mae / grads.len() as f64;
+        points.push((c.name(), bpv, mae));
+    }
+    points.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, bpv, mae) in &points {
+        table.row(vec![name.clone(), f(*bpv, 2), format!("{mae:.3e}")]);
+    }
+    table.print("Fig 14(a) — gradient MAE vs measured bits/value (sorted by bits)");
+
+    // Dominance check: for each LLM.265 point, list baselines it beats on
+    // both axes.
+    let ours: Vec<_> = points.iter().filter(|(n, _, _)| n.contains("LLM.265")).collect();
+    let theirs: Vec<_> = points.iter().filter(|(n, _, _)| !n.contains("LLM.265")).collect();
+    let mut dominated = 0;
+    for b in &theirs {
+        if ours.iter().any(|o| o.1 <= b.1 && o.2 <= b.2) {
+            dominated += 1;
+        }
+    }
+    println!(
+        "\nLLM.265 Pareto-dominates {dominated}/{} chained baselines (fewer bits AND lower error).",
+        theirs.len()
+    );
+
+    // --- (b) Weight-compression accuracy vs bits.
+    let lm = small_trained_lm(9090);
+    let mut table = Table::new(vec!["codec", "bits/value", "probe accuracy"]);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for bits in [3u32, 4] {
+        for stage in [LosslessStage::Huffman, LosslessStage::Cabac] {
+            let mut c = ChainedCodec::new(NumericStage::Rtn(bits), stage);
+            let (acc, bpv) = lm.compressed_accuracy(&mut c);
+            rows.push((c.name(), bpv, acc));
+        }
+    }
+    for fmt in [MxFormat::Mxfp4, MxFormat::Mxfp6] {
+        let mut c = ChainedCodec::new(NumericStage::Mxfp(fmt), LosslessStage::Cabac);
+        let (acc, bpv) = lm.compressed_accuracy(&mut c);
+        rows.push((c.name(), bpv, acc));
+    }
+    for b in [2.2, 2.8, 3.5] {
+        let mut c = Llm265Channel::at_bits(b);
+        let (acc, bpv) = lm.compressed_accuracy(&mut c);
+        rows.push((c.name(), bpv, acc));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, bpv, acc) in &rows {
+        table.row(vec![name.clone(), f(*bpv, 2), pct(*acc)]);
+    }
+    table.print("Fig 14(b) — weight-compression accuracy vs measured bits/value");
+    println!("\nPaper shape: the codec holds higher accuracy at lower bitrates than every");
+    println!("numeric-format + lossless-compressor chain.");
+}

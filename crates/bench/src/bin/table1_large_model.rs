@@ -1,0 +1,115 @@
+//! Table 1: accuracy of the large ("70B-class stand-in") model at ~3-bit
+//! budgets under different algorithms, on three probe tasks.
+//!
+//! The paper's shape: at 3.25 bits the group-wise GPTQ/AWQ variants stay
+//! close to BF16; at 3.0 bits without grouping they fall hard (especially
+//! on the harder task); LLM.265 at a *fractional* 2.88 bits matches the
+//! group-wise baselines with fewer bits.
+
+use llm265_bench::table::{pct, Table};
+use llm265_bench::workloads::large_trained_lm;
+use llm265_core::Llm265Channel;
+use llm265_quant::awq::AwqQuantizer;
+use llm265_quant::gptq::GptqQuantizer;
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::Tensor;
+
+struct GptqAdapter {
+    bits: u32,
+    group: usize,
+}
+
+impl LossyCompressor for GptqAdapter {
+    fn name(&self) -> String {
+        if self.group >= 1 << 20 {
+            format!("GPTQ ({} bits)", self.bits)
+        } else {
+            format!("GPTQ-{}G ({} bits)", self.group, self.bits)
+        }
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let q = GptqQuantizer::with_synthetic_calibration(self.bits, self.group, t.cols(), 96, 7);
+        (q.apply(t), q.wire_bits(t))
+    }
+}
+
+struct AwqAdapter {
+    bits: u32,
+    group: usize,
+}
+
+impl LossyCompressor for AwqAdapter {
+    fn name(&self) -> String {
+        if self.group >= 1 << 20 {
+            format!("AWQ ({} bits)", self.bits)
+        } else {
+            format!("AWQ-{}G ({} bits)", self.group, self.bits)
+        }
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let group = self.group.min(t.cols());
+        let q = AwqQuantizer::with_synthetic_calibration(self.bits, group, t.cols(), 96, 8);
+        (q.apply(t), q.wire_bits(t))
+    }
+}
+
+fn main() {
+    let lm = large_trained_lm(777);
+    // Three probe tasks stand in for PIQA / WinoGrande / HellaSwag.
+    let task_names = ["grammar-0", "grammar-3", "copy-recall"];
+    let tasks: Vec<_> = lm
+        .tasks
+        .iter()
+        .filter(|t| task_names.contains(&t.name.as_str()))
+        .collect();
+
+    let score = |model: &llm265_model::transformer::TransformerLm| -> Vec<f64> {
+        tasks.iter().map(|t| t.accuracy(model)).collect()
+    };
+
+    let mut table = Table::new(vec![
+        "# avg bits",
+        "algorithm",
+        "task-A",
+        "task-B",
+        "task-C",
+        "val ppl",
+    ]);
+
+    let base = score(&lm.model);
+    table.row(vec![
+        "16".into(),
+        "- (BF16)".into(),
+        pct(base[0]),
+        pct(base[1]),
+        pct(base[2]),
+        format!("{:.3}", lm.model.eval_perplexity(&lm.eval_batch)),
+    ]);
+
+    let mut run = |label: &str, bits_label: &str, comp: &mut dyn LossyCompressor| {
+        let mut m = lm.model.clone();
+        let (bits, values) = m.compress_weights(comp);
+        let accs = score(&m);
+        let measured = bits as f64 / values.max(1) as f64;
+        table.row(vec![
+            format!("{bits_label} ({measured:.2})"),
+            label.to_string(),
+            pct(accs[0]),
+            pct(accs[1]),
+            pct(accs[2]),
+            format!("{:.3}", m.eval_perplexity(&lm.eval_batch)),
+        ]);
+    };
+
+    run("GPTQ-32G", "3.25", &mut GptqAdapter { bits: 3, group: 32 });
+    run("AWQ-32G", "3.25", &mut AwqAdapter { bits: 3, group: 32 });
+    run("GPTQ", "3.00", &mut GptqAdapter { bits: 3, group: 1 << 20 });
+    run("AWQ", "3.00", &mut AwqAdapter { bits: 3, group: 1 << 20 });
+    run("LLM.265 (ours)", "2.88", &mut Llm265Channel::at_bits(2.88));
+
+    table.print("Table 1 — large-model accuracy at ~3-bit budgets (3 probe tasks)");
+    println!("\nPaper shape: LLM.265 at 2.88 bits ≈ the 3.25-bit group-wise baselines, and");
+    println!("clearly beats the ungrouped 3-bit baselines.");
+}

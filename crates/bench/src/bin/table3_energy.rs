@@ -1,0 +1,34 @@
+//! Table 3: power, area and energy-per-bit of communication versus
+//! compression, plus the derived §7.3 ratios.
+
+use llm265_bench::table::{f, Table};
+use llm265_hardware::energy::{
+    compression_vs_link_ratio, end_to_end_gain, table3, NCCL_PJ_PER_BIT,
+};
+
+fn main() {
+    let mut table = Table::new(vec!["", "Power (W)", "Area (mm^2)", "Energy/Bit (pJ)"]);
+    for row in table3() {
+        table.row(vec![
+            row.name.to_string(),
+            row.power_w.map(|p| f(p, 2)).unwrap_or_else(|| "-".into()),
+            row.area_mm2.map(|a| f(a, 2)).unwrap_or_else(|| "-".into()),
+            f(row.energy_pj_per_bit, 1),
+        ]);
+    }
+    table.print("Table 3 — energy for communication vs compression");
+
+    let ratio = compression_vs_link_ratio(97.8, 63.5);
+    println!("\nDerived (§7.3):");
+    println!(
+        "  NCCL / three-in-one(enc+dec) = {} / ({} + {}) = {:.1}x",
+        NCCL_PJ_PER_BIT, 97.8, 63.5, ratio
+    );
+    for r in [2.0, 5.0, 10.0, 20.0] {
+        println!(
+            "  end-to-end energy gain at {r:.0}x compression: {:.2}x",
+            end_to_end_gain(r, 97.8, 63.5)
+        );
+    }
+    println!("\nPaper anchors: 31.7x compression-vs-link ratio; 4.32x gain at 5x compression.");
+}

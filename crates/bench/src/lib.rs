@@ -1,0 +1,9 @@
+//! Shared support for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper (see DESIGN.md's per-experiment index). This library provides
+//! what they share: an aligned table printer, standard workloads (weight
+//! stacks, trained models), and the compressed-model accuracy pipeline.
+
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,133 @@
+//! Aligned plain-text table printing for the experiment binaries.
+
+/// A simple column-aligned table builder.
+///
+/// # Example
+///
+/// ```
+/// use llm265_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["algo", "bits", "acc"]);
+/// t.row(vec!["LLM.265".into(), "2.88".into(), "81.5".into()]);
+/// let s = t.render();
+/// assert!(s.contains("LLM.265"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats a percentage (0..1 input) with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["x".into(), "1".into(), "2".into()]);
+        t.row(vec!["longer-cell".into(), "3".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows share the column offsets.
+        let h_off = lines[0].find("long-header").unwrap();
+        let r_off = lines[2].find('1').unwrap();
+        assert_eq!(h_off, r_off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(pct(0.815), "81.5");
+        assert!(!Table::new(vec!["x"]).len() > 0 || Table::new(vec!["x"]).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Standard workloads shared by the experiment binaries.
+//!
+//! Each binary needs the same ingredients: synthetic LLM tensors, trained
+//! language models at two scales (a "7B-class" and a "70B-class" stand-in
+//! — small transformers whose *relative* compression behaviour mirrors
+//! the paper's), probe suites, and the compressed-accuracy pipeline.
+
+use llm265_model::data::{LangConfig, SyntheticLang};
+use llm265_model::optimizer::Adam;
+use llm265_model::tasks::{probe_suite, suite_accuracy, ProbeTask};
+use llm265_model::transformer::{TransformerConfig, TransformerLm};
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::synthetic::{llm_weight_stack, WeightProfile};
+use llm265_tensor::Tensor;
+
+/// Number of training steps used to prepare the small evaluation model.
+pub const SMALL_TRAIN_STEPS: usize = 300;
+/// Number of training steps for the larger (Table 1) model.
+pub const LARGE_TRAIN_STEPS: usize = 450;
+
+/// A trained model plus everything needed to score it.
+pub struct TrainedLm {
+    /// The trained model.
+    pub model: TransformerLm,
+    /// The language it was trained on.
+    pub lang: SyntheticLang,
+    /// Evaluation batch for perplexity.
+    pub eval_batch: Vec<Vec<u16>>,
+    /// Probe tasks for accuracy.
+    pub tasks: Vec<ProbeTask>,
+}
+
+impl TrainedLm {
+    /// Mean probe-suite accuracy.
+    pub fn accuracy(&self) -> f64 {
+        suite_accuracy(&self.model, &self.tasks)
+    }
+
+    /// Perplexity on the held-out batch.
+    pub fn perplexity(&self) -> f64 {
+        self.model.eval_perplexity(&self.eval_batch)
+    }
+
+    /// Accuracy of a *copy* of the model whose weights went through
+    /// `compressor`; also returns the measured bits/value.
+    pub fn compressed_accuracy(&self, compressor: &mut dyn LossyCompressor) -> (f64, f64) {
+        let mut m = self.model.clone();
+        let (bits, values) = m.compress_weights(compressor);
+        let acc = suite_accuracy(&m, &self.tasks);
+        (acc, bits as f64 / values.max(1) as f64)
+    }
+}
+
+/// Trains the standard "7B-class stand-in" model: tiny transformer on the
+/// tiny grammar, enough steps to reach strong probe accuracy.
+pub fn small_trained_lm(seed: u64) -> TrainedLm {
+    train_lm(
+        &TransformerConfig::tiny(),
+        &LangConfig::tiny(),
+        SMALL_TRAIN_STEPS,
+        seed,
+    )
+}
+
+/// Trains the "70B-class stand-in" model (wider, deeper, more steps).
+pub fn large_trained_lm(seed: u64) -> TrainedLm {
+    train_lm(
+        &TransformerConfig::small(),
+        &LangConfig::small(),
+        LARGE_TRAIN_STEPS,
+        seed,
+    )
+}
+
+/// Trains a model and assembles its evaluation kit.
+pub fn train_lm(
+    cfg: &TransformerConfig,
+    lang_cfg: &LangConfig,
+    steps: usize,
+    seed: u64,
+) -> TrainedLm {
+    let lang = SyntheticLang::new(lang_cfg);
+    let mut rng = Pcg32::seed_from(seed);
+    let mut model = TransformerLm::new(cfg, &mut rng);
+    let mut opt = Adam::new(3e-3);
+    let mut data_rng = Pcg32::seed_from(seed ^ 0xABCD);
+    for step in 0..steps {
+        if step == steps * 2 / 3 {
+            opt.set_lr(1e-3);
+        }
+        let batch = lang.sample_batch(4, 48, &mut data_rng);
+        model.train_step(&batch, &mut opt);
+    }
+    let eval_batch = lang.sample_batch(16, 48, &mut Pcg32::seed_from(seed ^ 0xEE));
+    let tasks = probe_suite(&lang, 25, seed ^ 0xF0);
+    TrainedLm {
+        model,
+        lang,
+        eval_batch,
+        tasks,
+    }
+}
+
+/// The standard synthetic weight stack ("key-projection layers"), used by
+/// the codec-side experiments that don't need a trained model.
+pub fn weight_stack(layers: usize, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Pcg32::seed_from(seed);
+    llm_weight_stack(layers, n, n, &WeightProfile::default(), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_lm_trains_to_useful_accuracy() {
+        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 120, 1);
+        let acc = lm.accuracy();
+        assert!(acc > 0.6, "trained accuracy {acc}");
+        assert!(lm.perplexity() < 16.0, "ppl {}", lm.perplexity());
+    }
+
+    #[test]
+    fn compressed_accuracy_pipeline_runs() {
+        struct F16ish;
+        impl LossyCompressor for F16ish {
+            fn name(&self) -> String {
+                "f16ish".into()
+            }
+            fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+                (t.clone(), t.len() as u64 * 16)
+            }
+        }
+        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 60, 2);
+        let clean = lm.accuracy();
+        let (acc, bpv) = lm.compressed_accuracy(&mut F16ish);
+        assert!((acc - clean).abs() < 1e-9, "lossless hook must not change accuracy");
+        assert_eq!(bpv, 16.0);
+    }
+
+    #[test]
+    fn weight_stack_shapes() {
+        let stack = weight_stack(3, 32, 5);
+        assert_eq!(stack.len(), 3);
+        assert!(stack.iter().all(|t| t.shape() == (32, 32)));
+    }
+}

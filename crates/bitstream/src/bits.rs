@@ -1,0 +1,279 @@
+//! MSB-first bit I/O and Exp-Golomb codes.
+//!
+//! Exp-Golomb is the universal integer binarization H.264/H.265 use for
+//! syntax elements; the video codec crate uses it both directly (when the
+//! entropy stage is disabled in the Fig 2b ablation) and as the
+//! binarization feeding CABAC bypass bits.
+
+use crate::DecodeError;
+
+/// Writes bits MSB-first into a growing byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use llm265_bitstream::bits::{BitWriter, BitReader};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_ue(17);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_ue().unwrap(), 17);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Appends the low `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 57` (use two calls for wider fields) or if `value`
+    /// has bits set above `n`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(n == 64 || value < (1u64 << n), "value wider than n bits");
+        self.acc = (self.acc << n) | value;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Appends an unsigned Exp-Golomb code (`ue(v)` in H.26x).
+    pub fn write_ue(&mut self, value: u32) {
+        let v = value as u64 + 1;
+        let len = 64 - v.leading_zeros(); // bits in v
+        self.write_bits(0, len - 1); // len-1 zero prefix
+        self.write_bits(v, len);
+    }
+
+    /// Appends a signed Exp-Golomb code (`se(v)` in H.26x): 0, 1, -1, 2, -2…
+    pub fn write_se(&mut self, value: i32) {
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-(value as i64) * 2) as u32
+        };
+        self.write_ue(mapped);
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.bytes.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos as u64 * 8 - self.nbits as u64
+    }
+
+    fn refill(&mut self, need: u32) -> Result<(), DecodeError> {
+        while self.nbits < need {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DecodeError::new("bitstream exhausted"))?;
+            self.pos += 1;
+            self.acc = (self.acc << 8) | byte as u64;
+            self.nbits += 8;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 57`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, DecodeError> {
+        assert!(n <= 57, "read_bits supports at most 57 bits per call");
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill(n)?;
+        self.nbits -= n;
+        let out = (self.acc >> self.nbits) & ((1u64 << n) - 1);
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a prefix longer than 32 zeros.
+    pub fn read_ue(&mut self) -> Result<u32, DecodeError> {
+        let mut zeros = 0u32;
+        while !self.read_bit()? {
+            zeros += 1;
+            if zeros > 32 {
+                return Err(DecodeError::new("exp-golomb prefix too long"));
+            }
+        }
+        let suffix = self.read_bits(zeros)?;
+        let v = (1u64 << zeros) | suffix;
+        Ok((v - 1) as u32)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation.
+    pub fn read_se(&mut self) -> Result<i32, DecodeError> {
+        let m = self.read_ue()? as i64;
+        let v = if m % 2 == 1 { (m + 1) / 2 } else { -(m / 2) };
+        Ok(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0b1u64, 1u32), (0xABu64, 8), (0x3FFu64, 10), (0u64, 5), (0x1FFFFFu64, 21)];
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_written_bits() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn ue_small_values_match_spec() {
+        // ue(0)=1, ue(1)=010, ue(2)=011, ue(3)=00100 ... classic table.
+        let mut w = BitWriter::new();
+        w.write_ue(0);
+        w.write_ue(1);
+        w.write_ue(2);
+        w.write_ue(3);
+        let bytes = w.finish();
+        // 1 010 011 00100 -> 1010 0110 0100 0000
+        assert_eq!(bytes, vec![0b1010_0110, 0b0100_0000]);
+    }
+
+    #[test]
+    fn ue_roundtrip_wide_range() {
+        let mut w = BitWriter::new();
+        let values = [0u32, 1, 2, 3, 7, 8, 100, 1023, 65_535, u32::MAX - 1];
+        for &v in &values {
+            w.write_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [0i32, 1, -1, 2, -2, 100, -100, i32::MAX / 2, i32::MIN / 2];
+        for &v in &values {
+            w.write_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn reader_errors_on_exhaustion() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn reader_errors_on_bad_ue_prefix() {
+        // 40 zero bits: invalid prefix.
+        let mut r = BitReader::new(&[0, 0, 0, 0, 0]);
+        assert!(r.read_ue().is_err());
+    }
+
+    #[test]
+    fn empty_writer_finishes_empty() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+}

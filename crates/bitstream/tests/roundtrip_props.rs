@@ -1,0 +1,61 @@
+//! Property tests: every ByteCodec must be lossless on arbitrary bytes.
+
+use llm265_bitstream::{deflate::Deflate, huffman::Huffman, lz4::Lz4, ByteCodec, CabacBytes};
+use proptest::prelude::*;
+
+fn codecs() -> Vec<Box<dyn ByteCodec>> {
+    vec![
+        Box::new(Huffman),
+        Box::new(Deflate),
+        Box::new(Lz4),
+        Box::new(CabacBytes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in codecs() {
+            let packed = codec.compress(&data);
+            let unpacked = codec.decompress(&packed)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(&unpacked, &data, "{} roundtrip", codec.name());
+        }
+    }
+
+    #[test]
+    fn prop_roundtrip_skewed_bytes(
+        seed in any::<u64>(),
+        len in 0usize..8192,
+        spread in 1u32..64,
+    ) {
+        // Bell-shaped symbol streams (what quantized tensors look like).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                let centered = (next() % spread) as i64 - (next() % spread) as i64;
+                (128i64 + centered).clamp(0, 255) as u8
+            })
+            .collect();
+        for codec in codecs() {
+            let packed = codec.compress(&data);
+            prop_assert_eq!(&codec.decompress(&packed).unwrap(), &data, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn prop_truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 1..512), cut in 1usize..64) {
+        for codec in codecs() {
+            let packed = codec.compress(&data);
+            let cut = cut.min(packed.len());
+            // Truncated streams must error or return wrong data — never panic.
+            let _ = codec.decompress(&packed[..packed.len() - cut]);
+        }
+    }
+}

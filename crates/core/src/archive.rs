@@ -1,0 +1,202 @@
+//! Multi-tensor archives: one self-describing stream for a whole model.
+//!
+//! The paper's deployment story compresses *all* of a model's weight
+//! matrices (Fig 1b); shipping them as one archive (an index plus
+//! per-tensor LLM.265 streams) is the natural container — this is what a
+//! checkpoint saved "in LLM.265 format" looks like.
+
+use llm265_tensor::Tensor;
+
+use crate::{CodecError, EncodedTensor, RateTarget, TensorCodec};
+
+const MAGIC: u32 = 0x4C41_3635; // "LA65"
+
+/// A compressed multi-tensor archive.
+#[derive(Debug, Clone)]
+pub struct TensorArchive {
+    bytes: Vec<u8>,
+    entries: Vec<(String, usize, usize)>, // name, rows, cols
+}
+
+impl TensorArchive {
+    /// Compresses `tensors` (name, tensor) with `codec` at `target`,
+    /// producing a single self-describing byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-tensor encode failure.
+    pub fn encode(
+        codec: &dyn TensorCodec,
+        tensors: &[(String, Tensor)],
+        target: RateTarget,
+    ) -> Result<Self, CodecError> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+        let mut entries = Vec::with_capacity(tensors.len());
+        for (name, t) in tensors {
+            if name.len() > u16::MAX as usize {
+                return Err(CodecError::new("tensor name too long"));
+            }
+            let enc = codec.encode(t, target)?;
+            bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.extend_from_slice(&(enc.bytes().len() as u32).to_le_bytes());
+            bytes.extend_from_slice(enc.bytes());
+            entries.push((name.clone(), t.rows(), t.cols()));
+        }
+        Ok(TensorArchive { bytes, entries })
+    }
+
+    /// The serialized archive.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Archive entries as `(name, rows, cols)`.
+    pub fn entries(&self) -> &[(String, usize, usize)] {
+        &self.entries
+    }
+
+    /// Total archive size in bits.
+    pub fn bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    /// Average bits per stored tensor value (with all framing).
+    pub fn bits_per_value(&self) -> f64 {
+        let values: usize = self.entries.iter().map(|(_, r, c)| r * c).sum();
+        if values == 0 {
+            0.0
+        } else {
+            self.bits() as f64 / values as f64
+        }
+    }
+
+    /// Parses and decodes an archive produced by [`TensorArchive::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on corrupt or truncated streams.
+    pub fn decode(codec: &dyn TensorCodec, bytes: &[u8]) -> Result<Vec<(String, Tensor)>, CodecError> {
+        let mut pos = 0usize;
+        let magic = read_u32(bytes, &mut pos)?;
+        if magic != MAGIC {
+            return Err(CodecError::new("bad archive magic"));
+        }
+        let count = read_u32(bytes, &mut pos)? as usize;
+        if count > 1 << 20 {
+            return Err(CodecError::new("implausible archive entry count"));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = read_u16(bytes, &mut pos)? as usize;
+            let name_bytes = bytes
+                .get(pos..pos + name_len)
+                .ok_or_else(|| CodecError::new("truncated tensor name"))?;
+            pos += name_len;
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| CodecError::new("tensor name is not UTF-8"))?;
+            let len = read_u32(bytes, &mut pos)? as usize;
+            let payload = bytes
+                .get(pos..pos + len)
+                .ok_or_else(|| CodecError::new("truncated tensor payload"))?;
+            pos += len;
+            // Reconstruct an EncodedTensor wrapper around the payload; the
+            // inner stream is itself self-describing, so shape comes from
+            // the decode.
+            let enc = EncodedTensor {
+                bytes: payload.to_vec(),
+                rows: 0,
+                cols: 0,
+            };
+            let t = codec.decode(&enc)?;
+            out.push((name, t));
+        }
+        Ok(out)
+    }
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
+    let b = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| CodecError::new("truncated archive"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, CodecError> {
+    let b = bytes
+        .get(*pos..*pos + 2)
+        .ok_or_else(|| CodecError::new("truncated archive"))?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(b.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Llm265Codec;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::stats;
+    use llm265_tensor::synthetic::{llm_weight, WeightProfile};
+
+    fn stack(seed: u64) -> Vec<(String, Tensor)> {
+        let mut rng = Pcg32::seed_from(seed);
+        (0..3)
+            .map(|i| {
+                (
+                    format!("layer{i}.w"),
+                    llm_weight(48, 48, &WeightProfile::default(), &mut rng),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn archive_roundtrip_preserves_names_shapes_and_quality() {
+        let tensors = stack(1);
+        let codec = Llm265Codec::new();
+        let ar = TensorArchive::encode(&codec, &tensors, RateTarget::BitsPerValue(3.0)).unwrap();
+        assert!(ar.bits_per_value() <= 3.2, "bpv {}", ar.bits_per_value());
+        let back = TensorArchive::decode(&codec, ar.bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((name_a, t_a), (name_b, t_b)) in tensors.iter().zip(&back) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(t_a.shape(), t_b.shape());
+            let nmse = stats::tensor_mse(t_a, t_b) / stats::variance(t_a.data());
+            assert!(nmse < 0.1, "{name_a}: nmse {nmse}");
+        }
+    }
+
+    #[test]
+    fn archive_entries_report_inventory() {
+        let tensors = stack(2);
+        let codec = Llm265Codec::new();
+        let ar = TensorArchive::encode(&codec, &tensors, RateTarget::Qp(28.0)).unwrap();
+        assert_eq!(ar.entries().len(), 3);
+        assert_eq!(ar.entries()[0], ("layer0.w".to_string(), 48, 48));
+    }
+
+    #[test]
+    fn corrupt_archives_error_gracefully() {
+        let tensors = stack(3);
+        let codec = Llm265Codec::new();
+        let ar = TensorArchive::encode(&codec, &tensors, RateTarget::Qp(30.0)).unwrap();
+        assert!(TensorArchive::decode(&codec, &[]).is_err());
+        assert!(TensorArchive::decode(&codec, &ar.bytes()[..6]).is_err());
+        let mut bad = ar.bytes().to_vec();
+        bad[0] ^= 0xff;
+        assert!(TensorArchive::decode(&codec, &bad).is_err());
+        let cut = ar.bytes().len() - 10;
+        assert!(TensorArchive::decode(&codec, &ar.bytes()[..cut]).is_err());
+    }
+
+    #[test]
+    fn empty_archive_is_valid() {
+        let codec = Llm265Codec::new();
+        let ar = TensorArchive::encode(&codec, &[], RateTarget::Qp(20.0)).unwrap();
+        assert_eq!(ar.bits_per_value(), 0.0);
+        assert!(TensorArchive::decode(&codec, ar.bytes()).unwrap().is_empty());
+    }
+}

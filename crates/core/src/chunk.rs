@@ -1,0 +1,192 @@
+//! Tensor ↔ frame chunking and 8-bit affine quantization.
+//!
+//! NVENC/NVDEC limit frame dimensions, so the paper partitions each input
+//! tensor into multiple chunks, each corresponding to a frame, and rounds
+//! FP16 values to 8-bit integers before feeding the codec (§3.2). This
+//! module implements that mapping: row-band chunks, per-chunk min–max
+//! affine quantization to the Luma plane, and the inverse.
+
+use llm265_tensor::Tensor;
+use llm265_videocodec::Frame;
+
+/// A chunk: one frame plus the affine map that restores values.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// First tensor row covered by this chunk.
+    pub row0: usize,
+    /// Number of tensor rows covered.
+    pub rows: usize,
+    /// The 8-bit Luma frame (width = tensor cols, height = rows).
+    pub frame: Frame,
+    /// Value of pixel 0: `value = lo + pixel * scale`.
+    pub lo: f32,
+    /// Step per pixel level.
+    pub scale: f32,
+}
+
+/// Splits `t` into row-band chunks of at most `max_pixels` values each and
+/// quantizes each band to 8 bits with its own min–max affine map.
+///
+/// # Panics
+///
+/// Panics if `t` is empty or `max_pixels < t.cols()`.
+pub fn partition(t: &Tensor, max_pixels: usize) -> Vec<Chunk> {
+    assert!(!t.is_empty(), "cannot chunk an empty tensor");
+    assert!(
+        max_pixels >= t.cols(),
+        "max_pixels {} smaller than one row ({})",
+        max_pixels,
+        t.cols()
+    );
+    let rows_per_chunk = (max_pixels / t.cols()).max(1).min(t.rows());
+    let mut chunks = Vec::with_capacity(t.rows().div_ceil(rows_per_chunk));
+    let mut row0 = 0;
+    while row0 < t.rows() {
+        let rows = rows_per_chunk.min(t.rows() - row0);
+        chunks.push(quantize_band(t, row0, rows));
+        row0 += rows;
+    }
+    chunks
+}
+
+fn quantize_band(t: &Tensor, row0: usize, rows: usize) -> Chunk {
+    let cols = t.cols();
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for r in row0..row0 + rows {
+        for &v in t.row(r) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        // Non-finite values collapse to a flat chunk at zero; the paper's
+        // FP16 inputs never carry NaN/Inf into the codec.
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+    let frame = Frame::from_fn(cols, rows, |x, y| {
+        let v = t[(row0 + y, x)];
+        if scale == 0.0 || !v.is_finite() {
+            0
+        } else {
+            (((v - lo) / scale).round()).clamp(0.0, 255.0) as u8
+        }
+    });
+    Chunk {
+        row0,
+        rows,
+        frame,
+        lo,
+        scale,
+    }
+}
+
+/// Restores a chunk's frame (possibly the codec's lossy reconstruction)
+/// into the destination tensor.
+///
+/// # Panics
+///
+/// Panics if the chunk does not fit `dst`.
+pub fn dequantize_into(dst: &mut Tensor, frame: &Frame, row0: usize, lo: f32, scale: f32) {
+    assert!(row0 + frame.height() <= dst.rows() && frame.width() == dst.cols());
+    for y in 0..frame.height() {
+        for x in 0..frame.width() {
+            dst[(row0 + y, x)] = lo + frame.get(x, y) as f32 * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::stats;
+
+    fn sample_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from(seed);
+        Tensor::from_fn(rows, cols, |_, _| (rng.normal() * 0.05) as f32)
+    }
+
+    #[test]
+    fn partition_covers_all_rows_without_overlap() {
+        let t = sample_tensor(100, 32, 1);
+        let chunks = partition(&t, 32 * 24);
+        let mut next = 0;
+        for c in &chunks {
+            assert_eq!(c.row0, next);
+            assert_eq!(c.frame.width(), 32);
+            assert_eq!(c.frame.height(), c.rows);
+            next += c.rows;
+        }
+        assert_eq!(next, 100);
+        // 24-row bands: 100 = 24*4 + 4.
+        assert_eq!(chunks.len(), 5);
+        assert_eq!(chunks.last().unwrap().rows, 4);
+    }
+
+    #[test]
+    fn single_chunk_when_tensor_fits() {
+        let t = sample_tensor(16, 16, 2);
+        let chunks = partition(&t, 1 << 20);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let t = sample_tensor(32, 32, 3);
+        let chunks = partition(&t, 1 << 20);
+        let c = &chunks[0];
+        let mut out = Tensor::zeros(32, 32);
+        dequantize_into(&mut out, &c.frame, c.row0, c.lo, c.scale);
+        for (a, b) in t.data().iter().zip(out.data()) {
+            assert!((a - b).abs() <= c.scale * 0.5 + 1e-7);
+        }
+        // 8-bit quantization noise is tiny relative to the signal.
+        let nmse = stats::tensor_mse(&t, &out) / stats::variance(t.data());
+        assert!(nmse < 2e-3, "8-bit quantization nmse {nmse}");
+    }
+
+    #[test]
+    fn constant_tensor_roundtrips_exactly() {
+        let t = Tensor::full(8, 8, 0.125);
+        let chunks = partition(&t, 1 << 20);
+        assert_eq!(chunks[0].scale, 0.0);
+        let mut out = Tensor::zeros(8, 8);
+        let c = &chunks[0];
+        dequantize_into(&mut out, &c.frame, c.row0, c.lo, c.scale);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn extremes_map_to_0_and_255() {
+        let mut t = Tensor::zeros(2, 2);
+        t[(0, 0)] = -1.0;
+        t[(1, 1)] = 3.0;
+        let chunks = partition(&t, 1 << 20);
+        let c = &chunks[0];
+        assert_eq!(c.frame.get(0, 0), 0);
+        assert_eq!(c.frame.get(1, 1), 255);
+        assert_eq!(c.lo, -1.0);
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_chunk() {
+        let mut t = Tensor::zeros(2, 2);
+        t[(0, 0)] = f32::NAN;
+        let chunks = partition(&t, 1 << 20);
+        // Must not panic; chunk degrades to flat.
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn per_chunk_scaling_isolates_outlier_bands() {
+        // An outlier in one band must not destroy resolution in another.
+        let mut t = sample_tensor(64, 16, 4);
+        t[(0, 0)] = 100.0; // huge outlier in the first band
+        let chunks = partition(&t, 16 * 32); // two bands of 32 rows
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].scale > 10.0 * chunks[1].scale);
+    }
+}

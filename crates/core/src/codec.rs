@@ -1,0 +1,562 @@
+//! The LLM.265 codec object.
+
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::{stats, Tensor};
+use llm265_videocodec::{decode_video, encode_video, CodecConfig, PipelineConfig, Profile};
+
+use crate::chunk::{self, Chunk};
+use crate::{CodecError, EncodedTensor, RateTarget, TensorCodec};
+
+const MAGIC: u32 = 0x4C54_3635; // "LT65"
+
+/// Configuration of the LLM.265 tensor codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Llm265Config {
+    /// Video-codec profile (H.265-like by default, per the paper's §4.1.1
+    /// choice: widest availability, highest resolution and throughput).
+    pub profile: Profile,
+    /// Pipeline switches. The default enforces intra-only coding, as the
+    /// paper does for tensors.
+    pub pipeline: PipelineConfig,
+    /// Maximum pixels per frame chunk (hardware codecs bound frame sizes).
+    pub max_chunk_pixels: usize,
+    /// QP bisection iterations for rate / distortion targets.
+    pub search_iters: usize,
+}
+
+impl Default for Llm265Config {
+    fn default() -> Self {
+        Llm265Config {
+            profile: Profile::h265(),
+            pipeline: PipelineConfig::default(),
+            max_chunk_pixels: 1 << 16,
+            search_iters: 9,
+        }
+    }
+}
+
+/// The LLM.265 tensor codec: chunking + 8-bit quantization + the intra-only
+/// video codec (see crate docs).
+#[derive(Debug, Clone, Default)]
+pub struct Llm265Codec {
+    config: Llm265Config,
+}
+
+impl Llm265Codec {
+    /// Creates a codec with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a codec with an explicit configuration.
+    pub fn with_config(config: Llm265Config) -> Self {
+        Llm265Codec { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Llm265Config {
+        &self.config
+    }
+
+    /// Encodes every chunk at one QP, returning the serialized stream.
+    fn encode_at_qp(&self, t: &Tensor, chunks: &[Chunk], qp: f64) -> EncodedTensor {
+        let cfg = CodecConfig {
+            profile: self.config.profile.clone(),
+            pipeline: self.config.pipeline,
+            qp,
+        };
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+        for c in chunks {
+            let enc = encode_video(std::slice::from_ref(&c.frame), &cfg);
+            bytes.extend_from_slice(&(c.row0 as u32).to_le_bytes());
+            bytes.extend_from_slice(&(c.rows as u32).to_le_bytes());
+            bytes.extend_from_slice(&c.lo.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&c.scale.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&(enc.bytes.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&enc.bytes);
+        }
+        EncodedTensor {
+            bytes,
+            rows: t.rows(),
+            cols: t.cols(),
+        }
+    }
+
+    /// Bisects QP for the chosen target. `feasible(enc)` must be monotone
+    /// in QP in the stated `increasing` sense.
+    fn search_qp(
+        &self,
+        t: &Tensor,
+        chunks: &[Chunk],
+        feasible: impl Fn(&EncodedTensor) -> bool,
+        prefer_low_qp: bool,
+    ) -> EncodedTensor {
+        // Feasibility boundary: for a bits budget, high QPs are feasible
+        // and we want the lowest feasible QP (most quality in budget). For
+        // an MSE budget, low QPs are feasible and we want the highest
+        // feasible QP (fewest bits within quality).
+        let (mut lo, mut hi) = (0.0_f64, 51.0_f64);
+        let lo_enc = self.encode_at_qp(t, chunks, lo);
+        let hi_enc = self.encode_at_qp(t, chunks, hi);
+        if prefer_low_qp {
+            // Feasible set = [boundary, 51]; want the boundary.
+            if feasible(&lo_enc) {
+                return lo_enc;
+            }
+            if !feasible(&hi_enc) {
+                // Nothing feasible — typical for tiny tensors whose fixed
+                // headers exceed the budget. Rather than returning the
+                // maximally coarse encode, find the *finest* QP whose size
+                // is within 5% of the minimum achievable: headers dominate
+                // there, so the extra quality is nearly free.
+                let cap = hi_enc.bits() as f64 * 1.05;
+                let (mut flo, mut fhi) = (0.0_f64, 51.0_f64);
+                let mut best = hi_enc;
+                for _ in 0..self.config.search_iters {
+                    let mid = 0.5 * (flo + fhi);
+                    let enc = self.encode_at_qp(t, chunks, mid);
+                    if enc.bits() as f64 <= cap {
+                        best = enc;
+                        fhi = mid; // try finer
+                    } else {
+                        flo = mid;
+                    }
+                }
+                return best;
+            }
+        } else {
+            // Feasible set = [0, boundary]; want the boundary.
+            if feasible(&hi_enc) {
+                return hi_enc;
+            }
+            if !feasible(&lo_enc) {
+                return lo_enc;
+            }
+        }
+        let mut best: Option<EncodedTensor> = None;
+        for _ in 0..self.config.search_iters {
+            let mid = 0.5 * (lo + hi);
+            let enc = self.encode_at_qp(t, chunks, mid);
+            if feasible(&enc) {
+                best = Some(enc);
+                if prefer_low_qp {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            } else if prefer_low_qp {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        best.unwrap_or(if prefer_low_qp { hi_enc } else { lo_enc })
+    }
+}
+
+impl TensorCodec for Llm265Codec {
+    fn name(&self) -> String {
+        format!("LLM.265/{}", self.config.profile.kind().name())
+    }
+
+    fn encode(&self, t: &Tensor, target: RateTarget) -> Result<EncodedTensor, CodecError> {
+        if t.is_empty() {
+            return Err(CodecError::new("cannot encode an empty tensor"));
+        }
+        if t.cols() > self.config.max_chunk_pixels {
+            return Err(CodecError::new(format!(
+                "tensor width {} exceeds max chunk pixels {}",
+                t.cols(),
+                self.config.max_chunk_pixels
+            )));
+        }
+        let chunks = chunk::partition(t, self.config.max_chunk_pixels);
+        let enc = match target {
+            RateTarget::Qp(qp) => {
+                if !(0.0..=51.0).contains(&qp) {
+                    return Err(CodecError::new(format!("qp {qp} out of range")));
+                }
+                self.encode_at_qp(t, &chunks, qp)
+            }
+            RateTarget::BitsPerValue(b) => {
+                if b <= 0.0 {
+                    return Err(CodecError::new("bits/value target must be positive"));
+                }
+                self.search_qp(t, &chunks, |e| e.bits_per_value() <= b, true)
+            }
+            RateTarget::MaxNormalizedMse(m) => {
+                if m < 0.0 {
+                    return Err(CodecError::new("MSE target must be non-negative"));
+                }
+                let var = stats::variance(t.data()).max(1e-30);
+                let target_mse = m * var;
+                let src = t.clone();
+                self.search_qp(
+                    t,
+                    &chunks,
+                    move |e| {
+                        let dec = decode_tensor(e).expect("self-produced stream decodes");
+                        stats::tensor_mse(&src, &dec) <= target_mse
+                    },
+                    false,
+                )
+            }
+        };
+        Ok(enc)
+    }
+
+    fn decode(&self, e: &EncodedTensor) -> Result<Tensor, CodecError> {
+        decode_tensor(e)
+    }
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
+    let b = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| CodecError::new("truncated stream"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn decode_tensor(e: &EncodedTensor) -> Result<Tensor, CodecError> {
+    let bytes = &e.bytes;
+    let mut pos = 0usize;
+    if read_u32(bytes, &mut pos)? != MAGIC {
+        return Err(CodecError::new("bad tensor-stream magic"));
+    }
+    let rows = read_u32(bytes, &mut pos)? as usize;
+    let cols = read_u32(bytes, &mut pos)? as usize;
+    let n_chunks = read_u32(bytes, &mut pos)? as usize;
+    if rows
+        .checked_mul(cols)
+        .is_none_or(|n| n > (1 << 31))
+    {
+        return Err(CodecError::new("implausible tensor shape"));
+    }
+    let mut out = Tensor::zeros(rows, cols);
+    let mut covered = 0usize;
+    for _ in 0..n_chunks {
+        let row0 = read_u32(bytes, &mut pos)? as usize;
+        let c_rows = read_u32(bytes, &mut pos)? as usize;
+        let lo = f32::from_bits(read_u32(bytes, &mut pos)?);
+        let scale = f32::from_bits(read_u32(bytes, &mut pos)?);
+        let len = read_u32(bytes, &mut pos)? as usize;
+        let payload = bytes
+            .get(pos..pos + len)
+            .ok_or_else(|| CodecError::new("truncated chunk payload"))?;
+        pos += len;
+        if row0 + c_rows > rows {
+            return Err(CodecError::new("chunk exceeds tensor rows"));
+        }
+        let frames = decode_video(payload)?;
+        let frame = frames
+            .first()
+            .ok_or_else(|| CodecError::new("chunk decoded to zero frames"))?;
+        if frame.width() != cols || frame.height() != c_rows {
+            return Err(CodecError::new("chunk frame size mismatch"));
+        }
+        chunk::dequantize_into(&mut out, frame, row0, lo, scale);
+        covered += c_rows;
+    }
+    if covered != rows {
+        return Err(CodecError::new("chunks do not cover the tensor"));
+    }
+    Ok(out)
+}
+
+/// [`LossyCompressor`] adapter: an LLM.265 codec bound to one rate target,
+/// pluggable into the distributed-training simulator.
+#[derive(Debug, Clone)]
+pub struct Llm265Channel {
+    codec: Llm265Codec,
+    target: RateTarget,
+}
+
+impl Llm265Channel {
+    /// Binds a codec to a rate target.
+    pub fn new(codec: Llm265Codec, target: RateTarget) -> Self {
+        Llm265Channel { codec, target }
+    }
+
+    /// Convenience: default codec at a bits/value budget.
+    pub fn at_bits(bits: f64) -> Self {
+        Llm265Channel::new(Llm265Codec::new(), RateTarget::BitsPerValue(bits))
+    }
+}
+
+impl LossyCompressor for Llm265Channel {
+    fn name(&self) -> String {
+        match self.target {
+            RateTarget::BitsPerValue(b) => format!("LLM.265 ({b:.1}b)"),
+            RateTarget::MaxNormalizedMse(m) => format!("LLM.265 (nmse {m})"),
+            RateTarget::Qp(q) => format!("LLM.265 (qp {q})"),
+        }
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let enc = self
+            .codec
+            .encode(t, self.target)
+            .expect("transcode of non-empty tensor");
+        let out = self.codec.decode(&enc).expect("self-produced stream decodes");
+        (out, enc.bits())
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        match self.target {
+            RateTarget::BitsPerValue(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A rate-*tracking* LLM.265 channel for training loops.
+///
+/// Training-time compression calls the codec on statistically similar
+/// tensors thousands of times (every gradient, every step). Bisecting QP
+/// from scratch each call costs ~11 encodes; this channel instead carries
+/// the last accepted QP forward and runs a small proportional controller
+/// (at most a handful of encodes per call), converging to the
+/// bits/value target within a few steps and staying there.
+#[derive(Debug, Clone)]
+pub struct Llm265TrackingChannel {
+    codec: Llm265Codec,
+    target_bits: f64,
+    last_qp: f64,
+}
+
+impl Llm265TrackingChannel {
+    const MAX_TRIES: usize = 4;
+
+    /// Creates a tracking channel for a bits/value target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_bits` is not positive.
+    pub fn at_bits(target_bits: f64) -> Self {
+        assert!(target_bits > 0.0, "bits target must be positive");
+        Llm265TrackingChannel {
+            codec: Llm265Codec::new(),
+            target_bits,
+            last_qp: 30.0,
+        }
+    }
+
+    /// The QP the controller is currently sitting at.
+    pub fn current_qp(&self) -> f64 {
+        self.last_qp
+    }
+}
+
+impl LossyCompressor for Llm265TrackingChannel {
+    fn name(&self) -> String {
+        format!("LLM.265 ({:.1}b, tracking)", self.target_bits)
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let chunks = chunk::partition(t, self.codec.config.max_chunk_pixels);
+        let mut qp = self.last_qp;
+        let mut best: Option<(f64, EncodedTensor)> = None;
+        for _ in 0..Self::MAX_TRIES {
+            let enc = self.codec.encode_at_qp(t, &chunks, qp);
+            let bpv = enc.bits_per_value();
+            if bpv <= self.target_bits {
+                let better = best.as_ref().is_none_or(|(b, _)| bpv > *b);
+                if better {
+                    best = Some((bpv, enc));
+                    self.last_qp = qp;
+                }
+                if bpv >= 0.93 * self.target_bits {
+                    break; // close enough under the budget
+                }
+                // Under-spending: move to a finer QP (~1 bit per 6 QP).
+                qp = (qp - 6.0 * (self.target_bits / bpv.max(0.05)).log2().min(1.5)).max(0.0);
+            } else {
+                // Over budget: move to a coarser QP.
+                qp = (qp + 6.0 * (bpv / self.target_bits).log2().clamp(0.2, 1.5)).min(51.0);
+            }
+        }
+        let (_, enc) = best.unwrap_or_else(|| {
+            // Never got under the budget within the try limit: keep
+            // coarsening until feasible or QP saturates (headers may make
+            // the budget unreachable; QP 51 is then the best effort).
+            let mut qp = qp;
+            loop {
+                qp = (qp + 6.0).min(51.0);
+                let enc = self.codec.encode_at_qp(t, &chunks, qp);
+                let bpv = enc.bits_per_value();
+                if bpv <= self.target_bits || qp >= 51.0 {
+                    self.last_qp = qp;
+                    return (bpv, enc);
+                }
+            }
+        });
+        let out = self.codec.decode(&enc).expect("self-produced stream decodes");
+        (out, enc.bits())
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        Some(self.target_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::synthetic::{self, WeightProfile};
+
+    fn weight(seed: u64, n: usize) -> Tensor {
+        let mut rng = Pcg32::seed_from(seed);
+        synthetic::llm_weight(n, n, &WeightProfile::default(), &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_shape_and_rate() {
+        let t = weight(1, 64);
+        let codec = Llm265Codec::new();
+        let enc = codec.encode(&t, RateTarget::BitsPerValue(3.0)).unwrap();
+        assert!(enc.bits_per_value() <= 3.05, "bpv {}", enc.bits_per_value());
+        let out = codec.decode(&enc).unwrap();
+        assert_eq!(out.shape(), t.shape());
+        let nmse = stats::tensor_mse(&t, &out) / stats::variance(t.data());
+        assert!(nmse < 0.2, "nmse {nmse}");
+    }
+
+    #[test]
+    fn multi_chunk_tensors_roundtrip() {
+        let t = weight(2, 96); // forces several chunks with small limit
+        let codec = Llm265Codec::with_config(Llm265Config {
+            max_chunk_pixels: 96 * 24,
+            ..Llm265Config::default()
+        });
+        let enc = codec.encode(&t, RateTarget::Qp(20.0)).unwrap();
+        let out = codec.decode(&enc).unwrap();
+        assert_eq!(out.shape(), t.shape());
+        let nmse = stats::tensor_mse(&t, &out) / stats::variance(t.data());
+        assert!(nmse < 0.05, "nmse {nmse}");
+    }
+
+    #[test]
+    fn mse_target_is_met() {
+        let t = weight(3, 64);
+        let codec = Llm265Codec::new();
+        let enc = codec
+            .encode(&t, RateTarget::MaxNormalizedMse(0.02))
+            .unwrap();
+        let out = codec.decode(&enc).unwrap();
+        let nmse = stats::tensor_mse(&t, &out) / stats::variance(t.data());
+        assert!(nmse <= 0.02 + 1e-9, "nmse {nmse}");
+        // Should not be extravagant in bits for the quality asked.
+        assert!(enc.bits_per_value() < 8.0);
+    }
+
+    #[test]
+    fn lower_budget_means_fewer_bits_and_more_error() {
+        let t = weight(4, 64);
+        let codec = Llm265Codec::new();
+        let coarse = codec.encode(&t, RateTarget::BitsPerValue(1.5)).unwrap();
+        let fine = codec.encode(&t, RateTarget::BitsPerValue(4.5)).unwrap();
+        assert!(coarse.bits() < fine.bits());
+        let e_coarse = stats::tensor_mse(&t, &codec.decode(&coarse).unwrap());
+        let e_fine = stats::tensor_mse(&t, &codec.decode(&fine).unwrap());
+        assert!(e_coarse > e_fine);
+    }
+
+    #[test]
+    fn fractional_budgets_resolve() {
+        // The paper's headline: 2.88-bit style fractional budgets.
+        let t = weight(5, 64);
+        let codec = Llm265Codec::new();
+        let a = codec.encode(&t, RateTarget::BitsPerValue(2.6)).unwrap();
+        let b = codec.encode(&t, RateTarget::BitsPerValue(2.9)).unwrap();
+        assert!(a.bits_per_value() <= 2.65);
+        assert!(b.bits_per_value() <= 2.95);
+        assert!(b.bits() >= a.bits());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let codec = Llm265Codec::new();
+        let empty = Tensor::zeros(0, 0);
+        assert!(codec.encode(&empty, RateTarget::Qp(20.0)).is_err());
+        let t = weight(6, 8);
+        assert!(codec.encode(&t, RateTarget::Qp(99.0)).is_err());
+        assert!(codec.encode(&t, RateTarget::BitsPerValue(-1.0)).is_err());
+        assert!(codec
+            .encode(&t, RateTarget::MaxNormalizedMse(-0.5))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_streams() {
+        let t = weight(7, 32);
+        let codec = Llm265Codec::new();
+        let enc = codec.encode(&t, RateTarget::Qp(24.0)).unwrap();
+        let mut bad = enc.clone();
+        bad.bytes.truncate(bad.bytes.len() / 2);
+        assert!(codec.decode(&bad).is_err());
+        let mut bad_magic = enc.clone();
+        bad_magic.bytes[0] ^= 0xff;
+        assert!(codec.decode(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn channel_adapter_reports_bits() {
+        let t = weight(8, 48);
+        let mut ch = Llm265Channel::at_bits(3.5);
+        let (out, bits) = ch.transcode(&t);
+        assert_eq!(out.shape(), t.shape());
+        let bpv = bits as f64 / t.len() as f64;
+        assert!(bpv <= 3.55, "bpv {bpv}");
+        assert_eq!(ch.nominal_bits_per_value(), Some(3.5));
+        assert!(ch.name().contains("LLM.265"));
+    }
+
+    #[test]
+    fn constant_tensor_costs_almost_nothing() {
+        let t = Tensor::full(64, 64, 0.25);
+        let codec = Llm265Codec::new();
+        let enc = codec.encode(&t, RateTarget::Qp(30.0)).unwrap();
+        let out = codec.decode(&enc).unwrap();
+        assert_eq!(out, t);
+        assert!(enc.bits_per_value() < 0.2, "bpv {}", enc.bits_per_value());
+    }
+}
+
+#[cfg(test)]
+mod tracking_tests {
+    use super::*;
+    use llm265_tensor::channel::LossyCompressor;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::synthetic::{llm_gradient, GradientProfile};
+
+    #[test]
+    fn tracking_channel_converges_to_budget() {
+        let mut ch = Llm265TrackingChannel::at_bits(3.0);
+        let mut rng = Pcg32::seed_from(1);
+        let mut last_bpv = 0.0;
+        for step in 0..6 {
+            let g = llm_gradient(48, 48, &GradientProfile::default(), &mut rng);
+            let (out, bits) = ch.transcode(&g);
+            assert_eq!(out.shape(), g.shape());
+            last_bpv = bits as f64 / g.len() as f64;
+            // Never over budget once warmed up.
+            if step > 1 {
+                assert!(last_bpv <= 3.0 + 1e-9, "step {step}: {last_bpv}");
+            }
+        }
+        assert!(last_bpv > 2.2, "should sit near the budget, got {last_bpv}");
+        assert!(ch.current_qp() > 0.0 && ch.current_qp() < 51.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tracking_channel_rejects_bad_target() {
+        let _ = Llm265TrackingChannel::at_bits(0.0);
+    }
+}

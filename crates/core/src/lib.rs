@@ -1,0 +1,152 @@
+//! LLM.265 — the video-codec-based tensor codec (the paper's primary
+//! contribution).
+//!
+//! The pipeline mirrors §3.2 of the paper:
+//!
+//! 1. the input tensor is partitioned into frame-sized **chunks** (NVENC
+//!    has frame-size limits; so does our software codec's working set);
+//! 2. each chunk's FP16/FP32 values are affinely quantized to **8-bit
+//!    Luma** pixels;
+//! 3. frames are compressed by the **intra-only video codec**
+//!    ([`llm265_videocodec`]), with the rate knob (continuous QP /
+//!    bisection) delivering **fractional bits-per-value** targets;
+//! 4. decoding inverts the codec and the affine map.
+//!
+//! On top of the plain codec this crate provides the paper's two rate
+//! features:
+//!
+//! - **Variable bit-width allocation** ([`rate`]) — the footnote-2 search
+//!   `B = k·l + b` over a layer stack, giving later (harder) layers more
+//!   bits while holding the average budget;
+//! - **Residual-compensated gradient compression** ([`gradient`]) — §5.1's
+//!   two-stage scheme `Comp(G) + Comp(G − Comp(G))` with the late-training
+//!   switch of the residual stage to 8-bit RTN.
+//!
+//! # Example
+//!
+//! ```
+//! use llm265_core::{Llm265Codec, TensorCodec, RateTarget};
+//! use llm265_tensor::{synthetic, rng::Pcg32};
+//!
+//! let mut rng = Pcg32::seed_from(1);
+//! let w = synthetic::llm_weight(64, 64, &synthetic::WeightProfile::default(), &mut rng);
+//! let codec = Llm265Codec::new();
+//! let enc = codec.encode(&w, RateTarget::BitsPerValue(3.0))?;
+//! assert!(enc.bits_per_value() <= 3.2);
+//! let out = codec.decode(&enc)?;
+//! assert_eq!(out.shape(), w.shape());
+//! # Ok::<(), llm265_core::CodecError>(())
+//! ```
+
+pub mod archive;
+mod chunk;
+mod codec;
+pub mod gradient;
+pub mod rate;
+
+pub use codec::{Llm265Channel, Llm265Codec, Llm265Config, Llm265TrackingChannel};
+pub use llm265_videocodec::{PipelineConfig, Profile, ProfileKind};
+
+use llm265_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when encoding or decoding a tensor fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    message: String,
+}
+
+impl CodecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        CodecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor codec error: {}", self.message)
+    }
+}
+
+impl Error for CodecError {}
+
+impl From<llm265_bitstream::DecodeError> for CodecError {
+    fn from(e: llm265_bitstream::DecodeError) -> Self {
+        CodecError::new(e.to_string())
+    }
+}
+
+/// How the encoder should choose its rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateTarget {
+    /// Meet an average bits-per-value budget (fractional budgets are the
+    /// point — e.g. 2.88 or 3.5 bits).
+    BitsPerValue(f64),
+    /// Spend as few bits as possible while keeping the *normalized* MSE
+    /// (MSE divided by the tensor's variance) at or under this value.
+    MaxNormalizedMse(f64),
+    /// Encode at a fixed quantization parameter (expert knob).
+    Qp(f64),
+}
+
+/// An encoded tensor: a self-describing compressed byte stream.
+#[derive(Debug, Clone)]
+pub struct EncodedTensor {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+impl EncodedTensor {
+    /// The compressed byte stream.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Shape of the original tensor.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Compressed size in bits.
+    pub fn bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    /// Average compressed bits per tensor value (including all metadata).
+    pub fn bits_per_value(&self) -> f64 {
+        let n = self.rows * self.cols;
+        if n == 0 {
+            0.0
+        } else {
+            self.bits() as f64 / n as f64
+        }
+    }
+}
+
+/// A general-purpose tensor codec: encode to bytes, decode back.
+///
+/// This is the interface the paper's "general-purpose" claim is about: the
+/// same codec object compresses weights, activations, KV-cache slabs and
+/// gradients with no data-dependent calibration.
+pub trait TensorCodec {
+    /// Display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Encodes a tensor under a rate target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the tensor cannot be encoded (e.g. empty).
+    fn encode(&self, t: &Tensor, target: RateTarget) -> Result<EncodedTensor, CodecError>;
+
+    /// Decodes an [`EncodedTensor`] produced by this codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on corrupt or truncated input.
+    fn decode(&self, e: &EncodedTensor) -> Result<Tensor, CodecError>;
+}

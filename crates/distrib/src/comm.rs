@@ -1,0 +1,111 @@
+//! Communication-volume accounting.
+//!
+//! Every simulated exchange records both the raw (uncompressed FP16) size
+//! and the compressed wire size, so experiments can report compression
+//! ratios and — combined with a link bandwidth — communication time.
+
+/// Accumulated wire statistics for one traffic class (activations,
+/// activation gradients, weight gradients, ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of tensor values transferred.
+    pub values: u64,
+    /// Bits that crossed the wire after compression.
+    pub compressed_bits: u64,
+    /// Bits the same values would have cost uncompressed (FP16).
+    pub raw_bits: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+}
+
+impl CommStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transfer of `values` values costing `compressed_bits`.
+    pub fn record(&mut self, values: u64, compressed_bits: u64) {
+        self.values += values;
+        self.compressed_bits += compressed_bits;
+        self.raw_bits += values * 16;
+        self.transfers += 1;
+    }
+
+    /// Average compressed bits per value (16.0 when nothing was sent).
+    pub fn bits_per_value(&self) -> f64 {
+        if self.values == 0 {
+            16.0
+        } else {
+            self.compressed_bits as f64 / self.values as f64
+        }
+    }
+
+    /// Compression ratio raw/compressed (1.0 when nothing was sent).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bits == 0 {
+            1.0
+        } else {
+            self.raw_bits as f64 / self.compressed_bits as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.values += other.values;
+        self.compressed_bits += other.compressed_bits;
+        self.raw_bits += other.raw_bits;
+        self.transfers += other.transfers;
+    }
+
+    /// Transfer time in seconds over a link of `gbps` gigabits/second.
+    pub fn transfer_seconds(&self, gbps: f64) -> f64 {
+        self.compressed_bits as f64 / (gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_is_exact() {
+        let mut s = CommStats::new();
+        s.record(1000, 3500);
+        s.record(1000, 2500);
+        assert_eq!(s.values, 2000);
+        assert_eq!(s.compressed_bits, 6000);
+        assert_eq!(s.raw_bits, 32_000);
+        assert_eq!(s.transfers, 2);
+        assert!((s.bits_per_value() - 3.0).abs() < 1e-12);
+        assert!((s.ratio() - 32_000.0 / 6000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = CommStats::new();
+        assert_eq!(s.bits_per_value(), 16.0);
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.transfer_seconds(100.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats::new();
+        a.record(10, 40);
+        let mut b = CommStats::new();
+        b.record(20, 60);
+        a.merge(&b);
+        assert_eq!(a.values, 30);
+        assert_eq!(a.compressed_bits, 100);
+        assert_eq!(a.transfers, 2);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bandwidth() {
+        let mut s = CommStats::new();
+        s.record(1_000_000, 8_000_000_000);
+        assert!((s.transfer_seconds(8.0) - 1.0).abs() < 1e-12);
+        assert!((s.transfer_seconds(80.0) - 0.1).abs() < 1e-12);
+    }
+}

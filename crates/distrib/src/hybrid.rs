@@ -1,0 +1,261 @@
+//! Hybrid parallelism: data-parallel replicas, each pipeline-sharded —
+//! the deployment shape of the paper's Fig 1, with *both* traffic classes
+//! compressed (inter-stage activations/gradients inside each replica,
+//! weight gradients across replicas).
+
+use llm265_model::optimizer::Optimizer;
+use llm265_model::param::VisitParams;
+use llm265_model::transformer::{Batch, TransformerLm};
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::Tensor;
+
+use crate::comm::CommStats;
+use crate::pipeline::stage_boundaries;
+
+/// Factory for per-replica compressors (stateful schemes need one
+/// instance per replica).
+pub type CompressorFactory = Box<dyn Fn() -> Box<dyn LossyCompressor>>;
+
+/// Hybrid trainer: `replicas` data-parallel copies, each split into
+/// `stages` pipeline stages.
+pub struct HybridTrainer<'a> {
+    model: &'a mut TransformerLm,
+    replicas: usize,
+    boundaries: Vec<usize>,
+    act_compressors: Vec<Option<Box<dyn LossyCompressor>>>,
+    actgrad_compressors: Vec<Option<Box<dyn LossyCompressor>>>,
+    grad_compressors: Vec<Option<Box<dyn LossyCompressor>>>,
+    pp_stats: CommStats,
+    dp_stats: CommStats,
+}
+
+impl<'a> HybridTrainer<'a> {
+    /// Creates an uncompressed hybrid trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is 0 or `stages` does not divide the model's
+    /// blocks sensibly (see [`stage_boundaries`]).
+    pub fn new(model: &'a mut TransformerLm, replicas: usize, stages: usize) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        let boundaries = stage_boundaries(model.n_blocks(), stages);
+        HybridTrainer {
+            model,
+            replicas,
+            boundaries,
+            act_compressors: (0..replicas).map(|_| None).collect(),
+            actgrad_compressors: (0..replicas).map(|_| None).collect(),
+            grad_compressors: (0..replicas).map(|_| None).collect(),
+            pp_stats: CommStats::new(),
+            dp_stats: CommStats::new(),
+        }
+    }
+
+    /// Installs per-replica activation compressors for the PP boundaries.
+    pub fn with_act_compressors(mut self, make: CompressorFactory) -> Self {
+        self.act_compressors = (0..self.replicas).map(|_| Some(make())).collect();
+        self
+    }
+
+    /// Installs per-replica activation-gradient compressors.
+    pub fn with_actgrad_compressors(mut self, make: CompressorFactory) -> Self {
+        self.actgrad_compressors = (0..self.replicas).map(|_| Some(make())).collect();
+        self
+    }
+
+    /// Installs per-replica weight-gradient compressors for the DP
+    /// exchange.
+    pub fn with_grad_compressors(mut self, make: CompressorFactory) -> Self {
+        self.grad_compressors = (0..self.replicas).map(|_| Some(make())).collect();
+        self
+    }
+
+    /// Pipeline (inter-stage) wire statistics, both directions.
+    pub fn pp_stats(&self) -> &CommStats {
+        &self.pp_stats
+    }
+
+    /// Data-parallel (gradient all-reduce) wire statistics.
+    pub fn dp_stats(&self) -> &CommStats {
+        &self.dp_stats
+    }
+
+    /// Immutable access to the wrapped model.
+    pub fn model(&self) -> &TransformerLm {
+        self.model
+    }
+
+    /// One hybrid step: each replica runs its shard through the pipeline
+    /// (compressing boundary crossings), then weight gradients are
+    /// exchanged through the DP compressors and averaged. Returns the
+    /// mean per-token loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != replicas`.
+    pub fn train_step(&mut self, shards: &[Batch], opt: &mut dyn Optimizer) -> f64 {
+        assert_eq!(shards.len(), self.replicas, "one shard per replica");
+        let mut summed: Vec<Tensor> = Vec::new();
+        let mut total_nll = 0.0;
+        let mut total_tokens = 0usize;
+
+        for (r, shard) in shards.iter().enumerate() {
+            self.model.zero_grads();
+            let mut nll = 0.0;
+            let mut tokens = 0usize;
+            for seq in shard {
+                let act_c = &mut self.act_compressors[r];
+                let actgrad_c = &mut self.actgrad_compressors[r];
+                // Separate accumulators per direction (the closures need
+                // disjoint captures); merged below.
+                let mut fwd_stats = CommStats::new();
+                let mut bwd_stats = CommStats::new();
+                let (n, t) = self.model.forward_backward_with_boundaries(
+                    seq,
+                    &self.boundaries,
+                    &mut |h| transcode_or_clone(act_c, h, &mut fwd_stats),
+                    &mut |g| transcode_or_clone(actgrad_c, g, &mut bwd_stats),
+                );
+                self.pp_stats.merge(&fwd_stats);
+                self.pp_stats.merge(&bwd_stats);
+                nll += n;
+                tokens += t;
+            }
+            total_nll += nll;
+            total_tokens += tokens;
+            let scale = 1.0 / tokens.max(1) as f32;
+
+            let comp = &mut self.grad_compressors[r];
+            let dp_stats = &mut self.dp_stats;
+            let summed_ref = &mut summed;
+            let mut idx = 0usize;
+            self.model.visit_params(&mut |p| {
+                let mut g = p.grad.clone();
+                g.scale(scale);
+                let sent = transcode_or_clone(comp, &g, dp_stats);
+                if summed_ref.len() <= idx {
+                    summed_ref.push(Tensor::zeros(sent.rows(), sent.cols()));
+                }
+                summed_ref[idx].add_assign(&sent);
+                idx += 1;
+            });
+        }
+
+        let inv_r = 1.0 / self.replicas as f32;
+        let mut idx = 0usize;
+        self.model.visit_params(&mut |p| {
+            let mut g = summed[idx].clone();
+            g.scale(inv_r);
+            p.grad = g;
+            idx += 1;
+        });
+        opt.step(self.model);
+        total_nll / total_tokens.max(1) as f64
+    }
+}
+
+fn transcode_or_clone(
+    comp: &mut Option<Box<dyn LossyCompressor>>,
+    t: &Tensor,
+    stats: &mut CommStats,
+) -> Tensor {
+    match comp {
+        Some(c) => {
+            let (out, bits) = c.transcode(t);
+            stats.record(t.len() as u64, bits);
+            out
+        }
+        None => {
+            stats.record(t.len() as u64, t.len() as u64 * 16);
+            t.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_model::data::{LangConfig, SyntheticLang};
+    use llm265_model::optimizer::Adam;
+    use llm265_model::transformer::TransformerConfig;
+    use llm265_tensor::rng::Pcg32;
+
+    struct Rtnish;
+    impl LossyCompressor for Rtnish {
+        fn name(&self) -> String {
+            "rtn8ish".into()
+        }
+        fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+            let m = t.max_abs().max(1e-6) / 127.0;
+            (t.map(|v| (v / m).round() * m), t.len() as u64 * 8)
+        }
+    }
+
+    #[test]
+    fn uncompressed_hybrid_matches_plain_training() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(1);
+        let shards: Vec<Vec<Batch>> = (0..3)
+            .map(|_| vec![lang.sample_batch(2, 20, &mut rng)])
+            .collect();
+        let eval = lang.sample_batch(4, 20, &mut Pcg32::seed_from(2));
+
+        let mut plain = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(5));
+        let mut o1 = Adam::new(1e-3);
+        for s in &shards {
+            plain.train_step(&s[0], &mut o1);
+        }
+
+        let mut hybrid_model =
+            TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(5));
+        {
+            let mut o2 = Adam::new(1e-3);
+            let mut hy = HybridTrainer::new(&mut hybrid_model, 1, 2);
+            for s in &shards {
+                hy.train_step(s, &mut o2);
+            }
+            assert!(hy.pp_stats().values > 0);
+            assert_eq!(hy.pp_stats().bits_per_value(), 16.0);
+            assert_eq!(hy.dp_stats().bits_per_value(), 16.0);
+        }
+        let d = (plain.eval_perplexity(&eval) - hybrid_model.eval_perplexity(&eval)).abs();
+        assert!(d < 1e-6, "hybrid must be a refactoring of plain: {d}");
+    }
+
+    #[test]
+    fn fully_compressed_hybrid_still_trains() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(6));
+        let mut opt = Adam::new(3e-3);
+        let mut rng = Pcg32::seed_from(7);
+        let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(8));
+        let before = model.eval_perplexity(&eval);
+        {
+            let mut hy = HybridTrainer::new(&mut model, 2, 2)
+                .with_act_compressors(Box::new(|| Box::new(Rtnish)))
+                .with_actgrad_compressors(Box::new(|| Box::new(Rtnish)))
+                .with_grad_compressors(Box::new(|| Box::new(Rtnish)));
+            for _ in 0..25 {
+                let shards: Vec<Batch> =
+                    (0..2).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+                hy.train_step(&shards, &mut opt);
+            }
+            assert_eq!(hy.pp_stats().bits_per_value(), 8.0);
+            assert_eq!(hy.dp_stats().bits_per_value(), 8.0);
+            assert!((hy.pp_stats().ratio() - 2.0).abs() < 1e-12);
+        }
+        let after = model.eval_perplexity(&eval);
+        assert!(after < before * 0.9, "before {before} after {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per replica")]
+    fn shard_count_mismatch_panics() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
+        let mut opt = Adam::new(1e-3);
+        let mut hy = HybridTrainer::new(&mut model, 2, 2);
+        let batch = lang.sample_batch(1, 16, &mut Pcg32::seed_from(10));
+        hy.train_step(&[batch], &mut opt);
+    }
+}

@@ -1,0 +1,22 @@
+//! Distributed-training simulator for the LLM.265 reproduction.
+//!
+//! §5 of the paper evaluates communication compression in two parallelism
+//! regimes. We have one machine, so both regimes are *simulated* in a way
+//! that preserves exactly what the experiments measure — which tensors
+//! cross device boundaries, how compression distorts them, and how many
+//! bits they cost:
+//!
+//! - [`pipeline`] — pipeline parallelism: the model's blocks are assigned
+//!   to stages; hidden activations cross stage boundaries on the forward
+//!   pass and their gradients on the backward pass, each through a
+//!   pluggable [`LossyCompressor`](llm265_tensor::channel::LossyCompressor).
+//! - [`data_parallel`] — data parallelism: each replica computes gradients
+//!   on its own shard; gradients pass through per-replica compressors
+//!   (error-feedback state stays per-replica, as 1-bit Adam requires) and
+//!   are averaged before the optimizer step.
+//! - [`comm`] — wire-volume accounting shared by both.
+
+pub mod comm;
+pub mod data_parallel;
+pub mod hybrid;
+pub mod pipeline;

@@ -1,0 +1,252 @@
+//! Pipeline-parallel training simulation (§5.1 of the paper).
+//!
+//! The model's blocks are partitioned into `stages` contiguous stages.
+//! On each training step the hidden activations that would cross a stage
+//! boundary pass through the activation compressor on the forward pass,
+//! and their gradients pass through the gradient compressor on the
+//! backward pass — the two traffic classes the paper's LLM.265(A) and
+//! LLM.265(A+G) configurations compress. Wire volume is accounted per
+//! class.
+
+use llm265_model::optimizer::Optimizer;
+use llm265_model::param::VisitParams;
+use llm265_model::transformer::{Batch, TransformerLm};
+use llm265_tensor::channel::LossyCompressor;
+
+use crate::comm::CommStats;
+
+/// Pipeline-parallel trainer wrapping a model.
+pub struct PipelineTrainer<'a> {
+    model: &'a mut TransformerLm,
+    boundaries: Vec<usize>,
+    /// Compressor for forward activations (None = uncompressed FP16).
+    pub act_compressor: Option<Box<dyn LossyCompressor>>,
+    /// Compressor for backward activation gradients (None = FP16).
+    pub grad_compressor: Option<Box<dyn LossyCompressor>>,
+    act_stats: CommStats,
+    grad_stats: CommStats,
+}
+
+/// Computes the block indices after which stage boundaries fall, for a
+/// model of `n_blocks` split into `stages` contiguous stages.
+///
+/// # Panics
+///
+/// Panics if `stages` is 0 or exceeds `n_blocks`.
+pub fn stage_boundaries(n_blocks: usize, stages: usize) -> Vec<usize> {
+    assert!(stages >= 1 && stages <= n_blocks, "invalid stage count");
+    // Boundary after block i means blocks 0..=i are in an earlier stage.
+    (1..stages)
+        .map(|s| (s * n_blocks).div_ceil(stages) - 1)
+        .collect()
+}
+
+impl<'a> PipelineTrainer<'a> {
+    /// Creates a trainer over `model` with `stages` pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is 0 or exceeds the block count.
+    pub fn new(model: &'a mut TransformerLm, stages: usize) -> Self {
+        let boundaries = stage_boundaries(model.n_blocks(), stages);
+        PipelineTrainer {
+            model,
+            boundaries,
+            act_compressor: None,
+            grad_compressor: None,
+            act_stats: CommStats::new(),
+            grad_stats: CommStats::new(),
+        }
+    }
+
+    /// Sets the activation compressor (builder style).
+    pub fn with_act_compressor(mut self, c: Box<dyn LossyCompressor>) -> Self {
+        self.act_compressor = Some(c);
+        self
+    }
+
+    /// Sets the activation-gradient compressor (builder style).
+    pub fn with_grad_compressor(mut self, c: Box<dyn LossyCompressor>) -> Self {
+        self.grad_compressor = Some(c);
+        self
+    }
+
+    /// The stage-boundary block indices.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Forward-activation wire statistics.
+    pub fn act_stats(&self) -> &CommStats {
+        &self.act_stats
+    }
+
+    /// Backward-gradient wire statistics.
+    pub fn grad_stats(&self) -> &CommStats {
+        &self.grad_stats
+    }
+
+    /// Runs one training step over `batch`; returns mean per-token loss.
+    pub fn train_step(&mut self, batch: &Batch, opt: &mut dyn Optimizer) -> f64 {
+        self.model.zero_grads();
+        let mut nll = 0.0;
+        let mut tokens = 0usize;
+        for seq in batch {
+            let act_c = &mut self.act_compressor;
+            let grad_c = &mut self.grad_compressor;
+            let act_stats = &mut self.act_stats;
+            let grad_stats = &mut self.grad_stats;
+            let (n, t) = self.model.forward_backward_with_boundaries(
+                seq,
+                &self.boundaries,
+                &mut |h| match act_c {
+                    Some(c) => {
+                        let (out, bits) = c.transcode(h);
+                        act_stats.record(h.len() as u64, bits);
+                        out
+                    }
+                    None => {
+                        act_stats.record(h.len() as u64, h.len() as u64 * 16);
+                        h.clone()
+                    }
+                },
+                &mut |g| match grad_c {
+                    Some(c) => {
+                        let (out, bits) = c.transcode(g);
+                        grad_stats.record(g.len() as u64, bits);
+                        out
+                    }
+                    None => {
+                        grad_stats.record(g.len() as u64, g.len() as u64 * 16);
+                        g.clone()
+                    }
+                },
+            );
+            nll += n;
+            tokens += t;
+        }
+        let scale = 1.0 / tokens.max(1) as f32;
+        self.model.visit_params(&mut |p| p.grad.scale(scale));
+        opt.step(self.model);
+        nll / tokens.max(1) as f64
+    }
+
+    /// Immutable access to the wrapped model (for evaluation).
+    pub fn model(&self) -> &TransformerLm {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_model::data::{LangConfig, SyntheticLang};
+    use llm265_model::optimizer::Adam;
+    use llm265_model::transformer::TransformerConfig;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::Tensor;
+
+    struct CountingNoop(u64);
+    impl LossyCompressor for CountingNoop {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+        fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+            self.0 += 1;
+            (t.clone(), t.len() as u64 * 4)
+        }
+    }
+
+    #[test]
+    fn boundaries_partition_blocks_evenly() {
+        assert_eq!(stage_boundaries(4, 4), vec![0, 1, 2]);
+        assert_eq!(stage_boundaries(4, 2), vec![1]);
+        assert_eq!(stage_boundaries(4, 1), Vec::<usize>::new());
+        assert_eq!(stage_boundaries(6, 4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stage count")]
+    fn too_many_stages_panics() {
+        let _ = stage_boundaries(2, 3);
+    }
+
+    #[test]
+    fn uncompressed_pp_matches_plain_training() {
+        // With no compressors, PP training must produce exactly the same
+        // parameters as plain training.
+        let cfg = TransformerConfig::tiny();
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(1);
+        let batches: Vec<_> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+
+        let mut m1 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(5));
+        let mut m2 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(5));
+        let mut o1 = Adam::new(1e-3);
+        let mut o2 = Adam::new(1e-3);
+        for b in &batches {
+            m1.train_step(b, &mut o1);
+        }
+        {
+            let mut pp = PipelineTrainer::new(&mut m2, 2);
+            for b in &batches {
+                pp.train_step(b, &mut o2);
+            }
+            assert!(pp.act_stats().values > 0);
+            assert_eq!(pp.act_stats().bits_per_value(), 16.0);
+        }
+        let ppl_batch = lang.sample_batch(4, 24, &mut Pcg32::seed_from(9));
+        let p1 = m1.eval_perplexity(&ppl_batch);
+        let p2 = m2.eval_perplexity(&ppl_batch);
+        assert!((p1 - p2).abs() < 1e-6, "{p1} vs {p2}");
+    }
+
+    #[test]
+    fn compressors_are_invoked_per_boundary_and_direction() {
+        let cfg = TransformerConfig::tiny(); // 2 blocks
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut model = TransformerLm::new(&cfg, &mut Pcg32::seed_from(2));
+        let mut opt = Adam::new(1e-3);
+        let batch = lang.sample_batch(3, 16, &mut Pcg32::seed_from(3));
+        let mut pp = PipelineTrainer::new(&mut model, 2)
+            .with_act_compressor(Box::new(CountingNoop(0)))
+            .with_grad_compressor(Box::new(CountingNoop(0)));
+        pp.train_step(&batch, &mut opt);
+        // 1 boundary × 3 sequences, both directions.
+        assert_eq!(pp.act_stats().transfers, 3);
+        assert_eq!(pp.grad_stats().transfers, 3);
+        assert_eq!(pp.act_stats().bits_per_value(), 4.0);
+        assert!((pp.act_stats().ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_activation_compression_still_trains() {
+        struct Rtnish;
+        impl LossyCompressor for Rtnish {
+            fn name(&self) -> String {
+                "rtn8ish".into()
+            }
+            fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+                let m = t.max_abs().max(1e-6) / 127.0;
+                (t.map(|v| (v / m).round() * m), t.len() as u64 * 8)
+            }
+        }
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(4));
+        let mut opt = Adam::new(3e-3);
+        let mut rng = Pcg32::seed_from(5);
+        let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(6));
+        let before = model.eval_perplexity(&eval);
+        {
+            let mut pp = PipelineTrainer::new(&mut model, 2)
+                .with_act_compressor(Box::new(Rtnish))
+                .with_grad_compressor(Box::new(Rtnish));
+            for _ in 0..30 {
+                let b = lang.sample_batch(4, 24, &mut rng);
+                pp.train_step(&b, &mut opt);
+            }
+        }
+        let after = model.eval_perplexity(&eval);
+        assert!(after < before * 0.9, "before {before} after {after}");
+    }
+}

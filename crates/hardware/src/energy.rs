@@ -1,0 +1,169 @@
+//! Energy model (the paper's Table 3 and the §7.3 ratios).
+//!
+//! The paper measures NCCL end-to-end communication at 5120 pJ/bit (BMC
+//! power sensors during nccl-tests) and derives codec energy from the
+//! synthesized designs. We carry those calibrated numbers and reproduce
+//! the derived arithmetic: compression is ~32× cheaper than transmission
+//! for the three-in-one codec, and with a compression ratio r the
+//! end-to-end energy gain is `E_link / (E_link/r + E_enc + E_dec)`.
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyRow {
+    /// Display name.
+    pub name: &'static str,
+    /// Power in W (None for the NCCL end-to-end row).
+    pub power_w: Option<f64>,
+    /// Die area in mm² (None for NCCL).
+    pub area_mm2: Option<f64>,
+    /// Energy per bit in pJ.
+    pub energy_pj_per_bit: f64,
+}
+
+/// NCCL end-to-end communication energy.
+pub const NCCL_PJ_PER_BIT: f64 = 5120.0;
+
+/// The full Table 3.
+pub fn table3() -> Vec<EnergyRow> {
+    vec![
+        EnergyRow {
+            name: "NCCL End to End",
+            power_w: None,
+            area_mm2: None,
+            energy_pj_per_bit: NCCL_PJ_PER_BIT,
+        },
+        EnergyRow {
+            name: "H.264 Enc (100Gbps)",
+            power_w: Some(1.1),
+            area_mm2: Some(0.96),
+            energy_pj_per_bit: 167.8,
+        },
+        EnergyRow {
+            name: "H.264 Dec (100Gbps)",
+            power_w: Some(1.0),
+            area_mm2: Some(0.97),
+            energy_pj_per_bit: 154.3,
+        },
+        EnergyRow {
+            name: "H.265 Enc (100Gbps)",
+            power_w: Some(11.0),
+            area_mm2: Some(11.7),
+            energy_pj_per_bit: 1707.5,
+        },
+        EnergyRow {
+            name: "H.265 Dec (100Gbps)",
+            power_w: Some(4.3),
+            area_mm2: Some(2.1),
+            energy_pj_per_bit: 665.4,
+        },
+        EnergyRow {
+            name: "Three-in-one Enc",
+            power_w: Some(0.78),
+            area_mm2: Some(0.70),
+            energy_pj_per_bit: 97.8,
+        },
+        EnergyRow {
+            name: "Three-in-one Dec",
+            power_w: Some(0.58),
+            area_mm2: Some(0.58),
+            energy_pj_per_bit: 63.5,
+        },
+    ]
+}
+
+/// Looks up a row by name.
+pub fn row(name: &str) -> Option<EnergyRow> {
+    table3().into_iter().find(|r| r.name == name)
+}
+
+/// Ratio of link energy to codec (enc+dec) energy — the paper's
+/// "31.7× lower than end-to-end communication" for the three-in-one codec.
+pub fn compression_vs_link_ratio(enc_pj: f64, dec_pj: f64) -> f64 {
+    NCCL_PJ_PER_BIT / (enc_pj + dec_pj)
+}
+
+/// End-to-end energy-efficiency gain of compressed communication at
+/// compression ratio `r`: `E_link / (E_link/r + E_enc + E_dec)` (§7.3).
+pub fn end_to_end_gain(r: f64, enc_pj: f64, dec_pj: f64) -> f64 {
+    assert!(r > 0.0, "compression ratio must be positive");
+    NCCL_PJ_PER_BIT / (NCCL_PJ_PER_BIT / r + enc_pj + dec_pj)
+}
+
+/// Energy in joules to move `bits` uncompressed over NCCL.
+pub fn link_energy_j(bits: u64) -> f64 {
+    bits as f64 * NCCL_PJ_PER_BIT * 1e-12
+}
+
+/// Total energy in joules to compress-at-ratio-r and move `bits` of raw
+/// payload (enc+dec on the full raw stream, link on the compressed one).
+pub fn compressed_transfer_energy_j(bits: u64, r: f64, enc_pj: f64, dec_pj: f64) -> f64 {
+    assert!(r > 0.0, "compression ratio must be positive");
+    let b = bits as f64;
+    (b / r * NCCL_PJ_PER_BIT + b * (enc_pj + dec_pj)) * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_complete_and_ordered() {
+        let t = table3();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].name, "NCCL End to End");
+        assert!(t[0].power_w.is_none());
+        for r in &t[1..] {
+            assert!(r.power_w.is_some() && r.area_mm2.is_some(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn three_in_one_ratio_matches_paper() {
+        // 5120 / (97.8 + 63.5) = 31.7x (§7.3).
+        let ratio = compression_vs_link_ratio(97.8, 63.5);
+        assert!((ratio - 31.74).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn five_x_compression_gain_matches_paper() {
+        // 5120 / (5120/5 + 97.8 + 63.5) = 4.32x (§7.3).
+        let g = end_to_end_gain(5.0, 97.8, 63.5);
+        assert!((g - 4.32).abs() < 0.01, "gain {g}");
+    }
+
+    #[test]
+    fn gain_increases_with_ratio_but_saturates() {
+        let g2 = end_to_end_gain(2.0, 97.8, 63.5);
+        let g5 = end_to_end_gain(5.0, 97.8, 63.5);
+        let g20 = end_to_end_gain(20.0, 97.8, 63.5);
+        let g_inf = end_to_end_gain(1e9, 97.8, 63.5);
+        assert!(g2 < g5 && g5 < g20 && g20 < g_inf);
+        // Saturation point: link energy fully amortized, codec remains.
+        assert!((g_inf - NCCL_PJ_PER_BIT / (97.8 + 63.5)).abs() < 0.1);
+    }
+
+    #[test]
+    fn no_compression_is_a_net_loss() {
+        // r = 1 still pays the codec energy: gain < 1.
+        assert!(end_to_end_gain(1.0, 97.8, 63.5) < 1.0);
+    }
+
+    #[test]
+    fn transfer_energy_accounting() {
+        let bits = 1_000_000_000u64; // 1 Gb
+        let raw = link_energy_j(bits);
+        assert!((raw - 5.12).abs() < 1e-9, "raw {raw}");
+        let comp = compressed_transfer_energy_j(bits, 5.0, 97.8, 63.5);
+        assert!((raw / comp - end_to_end_gain(5.0, 97.8, 63.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_in_one_cheaper_than_h26x() {
+        let t31_enc = row("Three-in-one Enc").unwrap();
+        let h264_enc = row("H.264 Enc (100Gbps)").unwrap();
+        let h265_enc = row("H.265 Enc (100Gbps)").unwrap();
+        assert!(t31_enc.energy_pj_per_bit < h264_enc.energy_pj_per_bit);
+        assert!(t31_enc.energy_pj_per_bit < h265_enc.energy_pj_per_bit);
+        assert!(t31_enc.area_mm2.unwrap() < h264_enc.area_mm2.unwrap());
+    }
+}

@@ -1,0 +1,144 @@
+//! NVENC/NVDEC-style engine throughput model (§6.1 of the paper).
+//!
+//! We have no GPU video engines here, so their performance envelope is a
+//! model calibrated to the paper's measurements: NVENC sustains about
+//! 1100 MB/s compressing tensors and NVDEC about 1300 MB/s decompressing,
+//! which caps a GPU's compressed-communication bandwidth at the encoder's
+//! rate. The end-to-end link model combines engine rates, link bandwidth
+//! and compression ratio, pipelined or store-and-forward.
+
+/// A fixed-function codec engine with a sustained byte throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecEngine {
+    /// Display name.
+    pub name: &'static str,
+    /// Sustained encode throughput in MB/s of raw tensor input.
+    pub encode_mb_s: f64,
+    /// Sustained decode throughput in MB/s of raw tensor output.
+    pub decode_mb_s: f64,
+}
+
+/// The paper's measured NVENC/NVDEC envelope.
+pub fn nvenc_nvdec() -> CodecEngine {
+    CodecEngine {
+        name: "NVENC/NVDEC",
+        encode_mb_s: 1100.0,
+        decode_mb_s: 1300.0,
+    }
+}
+
+/// The proposed three-in-one codec sized for 100 Gb/s of tensor traffic
+/// (12.5 GB/s each way).
+pub fn three_in_one_engine() -> CodecEngine {
+    CodecEngine {
+        name: "Three-in-one",
+        encode_mb_s: 12_500.0,
+        decode_mb_s: 12_500.0,
+    }
+}
+
+impl CodecEngine {
+    /// The compressed-communication bandwidth cap in MB/s — the slowest
+    /// pipeline stage bounds the stream (the paper: "limiting the GPU's
+    /// end-to-end communication bandwidth to 1100 MB/s").
+    pub fn effective_cap_mb_s(&self) -> f64 {
+        self.encode_mb_s.min(self.decode_mb_s)
+    }
+}
+
+/// Time to move `bytes` of raw tensor data over a link of `link_gb_s`
+/// GB/s with compression ratio `ratio`, when encode, transfer and decode
+/// are pipelined (steady-state: the slowest stage governs).
+pub fn pipelined_transfer_seconds(
+    bytes: f64,
+    ratio: f64,
+    engine: &CodecEngine,
+    link_gb_s: f64,
+) -> f64 {
+    assert!(ratio > 0.0 && bytes >= 0.0 && link_gb_s > 0.0);
+    let enc = bytes / (engine.encode_mb_s * 1e6);
+    let dec = bytes / (engine.decode_mb_s * 1e6);
+    let wire = (bytes / ratio) / (link_gb_s * 1e9);
+    enc.max(dec).max(wire)
+}
+
+/// Same transfer without pipelining (encode, then send, then decode).
+pub fn sequential_transfer_seconds(
+    bytes: f64,
+    ratio: f64,
+    engine: &CodecEngine,
+    link_gb_s: f64,
+) -> f64 {
+    assert!(ratio > 0.0 && bytes >= 0.0 && link_gb_s > 0.0);
+    bytes / (engine.encode_mb_s * 1e6)
+        + (bytes / ratio) / (link_gb_s * 1e9)
+        + bytes / (engine.decode_mb_s * 1e6)
+}
+
+/// Time to move `bytes` uncompressed.
+pub fn raw_transfer_seconds(bytes: f64, link_gb_s: f64) -> f64 {
+    assert!(link_gb_s > 0.0);
+    bytes / (link_gb_s * 1e9)
+}
+
+/// Speedup of compressed over raw transfer (pipelined model).
+pub fn compression_speedup(bytes: f64, ratio: f64, engine: &CodecEngine, link_gb_s: f64) -> f64 {
+    raw_transfer_seconds(bytes, link_gb_s)
+        / pipelined_transfer_seconds(bytes, ratio, engine, link_gb_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvenc_caps_at_encoder_rate() {
+        let e = nvenc_nvdec();
+        assert_eq!(e.effective_cap_mb_s(), 1100.0);
+    }
+
+    #[test]
+    fn slow_engine_bottlenecks_fast_link() {
+        // On a fast link (25 GB/s NVLink-ish), NVENC is the bottleneck:
+        // compression cannot help; it slows the transfer down.
+        let e = nvenc_nvdec();
+        let speedup = compression_speedup(1e9, 5.0, &e, 25.0);
+        assert!(speedup < 1.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn slow_link_benefits_from_compression() {
+        // On a 0.5 GB/s (4 Gb/s) link — slower than NVENC's 1.1 GB/s — 5x
+        // compression wins despite the engine bound.
+        let e = nvenc_nvdec();
+        let speedup = compression_speedup(1e9, 5.0, &e, 0.5);
+        assert!(speedup > 1.5, "speedup {speedup}");
+        // The three-in-one engine realizes the full ratio even on 10 Gb/s.
+        let s31 = compression_speedup(1e9, 5.0, &three_in_one_engine(), 1.25);
+        assert!((s31 - 5.0).abs() < 1e-9, "s31 {s31}");
+    }
+
+    #[test]
+    fn pipelined_never_slower_than_sequential() {
+        let e = nvenc_nvdec();
+        for &(bytes, ratio, link) in &[(1e8, 3.0, 1.25), (1e9, 8.0, 12.5), (1e7, 1.5, 0.125)] {
+            let p = pipelined_transfer_seconds(bytes, ratio, &e, link);
+            let s = sequential_transfer_seconds(bytes, ratio, &e, link);
+            assert!(p <= s + 1e-12, "pipelined {p} sequential {s}");
+        }
+    }
+
+    #[test]
+    fn paper_bandwidth_cap_reproduced() {
+        // With infinite ratio and link, throughput is encoder-bound:
+        // 1 GB moves in 1/1.1 s → ~1100 MB/s end to end.
+        let e = nvenc_nvdec();
+        let t = pipelined_transfer_seconds(1.1e9, 1e9, &e, 1e6);
+        assert!((t - 1.0).abs() < 1e-9, "t {t}");
+    }
+
+    #[test]
+    fn raw_transfer_math() {
+        assert!((raw_transfer_seconds(12.5e9, 12.5) - 1.0).abs() < 1e-12);
+    }
+}

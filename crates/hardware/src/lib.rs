@@ -1,0 +1,31 @@
+//! Analytical hardware models for the LLM.265 reproduction.
+//!
+//! §6–7 of the paper evaluate the *silicon* side of the idea: how big and
+//! how power-hungry video-codec hardware is compared to GPUs/NICs/CPUs
+//! (Fig 12), what encoding/decoding costs per bit versus transmitting a
+//! bit (Table 3), what a tensor-specialized "three-in-one" codec saves,
+//! and how communication compression changes cluster-level performance
+//! and energy (Fig 15, Fig 16). The paper's own numbers come from an
+//! analytical flow (synthesize one RTL instance, normalize throughput,
+//! scale the process node); since we cannot run Synopsys here, this crate
+//! reimplements that flow with per-component constants calibrated to the
+//! paper's reported figures (see DESIGN.md's substitution table).
+//!
+//! - [`area`] — die-area model: codec component breakdowns, reference
+//!   dies (GPU / NIC / CPU), process-node density scaling, throughput
+//!   normalization.
+//! - [`energy`] — Table 3's power / area / energy-per-bit table and the
+//!   derived compression-vs-communication energy ratios.
+//! - [`engine`] — NVENC/NVDEC-style engine throughput model and the
+//!   end-to-end compressed-link model.
+//! - [`gpu_support`] — Table 2's GPU codec-support matrix.
+//! - [`three_in_one`] — the proposed tensor/image/video codec.
+//! - [`cluster`] — the distributed-training performance and energy model
+//!   behind Fig 16.
+
+pub mod area;
+pub mod cluster;
+pub mod energy;
+pub mod engine;
+pub mod gpu_support;
+pub mod three_in_one;

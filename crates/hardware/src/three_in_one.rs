@@ -1,0 +1,304 @@
+//! The three-in-one codec model (§7 of the paper).
+//!
+//! The proposed design takes the H.264 codec, keeps the intra-frame
+//! pipeline as a **shared pipeline** scaled to 100 Gb/s of tensor
+//! throughput, keeps a slimmer video-specific path (inter prediction +
+//! motion estimation) sized for 8K60, adds a data-type conversion and
+//! alignment front-end (FP16/BF16/micro-scaling → 8 bit), and supports
+//! the AVC image format by reusing the intra path. This module models the
+//! area/power budget of that design and the Fig 15 system-level
+//! comparison (codec + NIC area / energy for 100 Gb/s effective
+//! bandwidth).
+
+use crate::area::{nic_cx5, CodecBlock, Component};
+use crate::energy;
+
+/// Operating modes of the three-in-one codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Tensor compression (alignment + shared pipeline; video path idle).
+    Tensor,
+    /// Image coding (shared pipeline only).
+    Image,
+    /// Video coding (shared + video-specific pipeline).
+    Video,
+}
+
+/// The three-in-one codec's area/power budget, split by sub-block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeInOne {
+    /// Total encoder area (mm² at 7 nm): 0.70 per Table 3.
+    pub enc_area_mm2: f64,
+    /// Total decoder area: 0.58.
+    pub dec_area_mm2: f64,
+    /// Encoder power at 100 Gb/s tensor throughput: 0.78 W.
+    pub enc_power_w: f64,
+    /// Decoder power: 0.58 W.
+    pub dec_power_w: f64,
+    /// Fraction of the encoder taken by the shared pipeline (the paper:
+    /// 80%).
+    pub shared_fraction: f64,
+    /// Fraction taken by the data-type conversion/alignment unit.
+    pub align_fraction: f64,
+}
+
+impl Default for ThreeInOne {
+    fn default() -> Self {
+        ThreeInOne {
+            enc_area_mm2: 0.70,
+            dec_area_mm2: 0.58,
+            enc_power_w: 0.78,
+            dec_power_w: 0.58,
+            shared_fraction: 0.80,
+            align_fraction: 0.06,
+        }
+    }
+}
+
+impl ThreeInOne {
+    /// The paper's design point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Area of the video-specific pipeline (what tensor workloads leave
+    /// idle).
+    pub fn video_only_area(&self) -> f64 {
+        self.enc_area_mm2 * (1.0 - self.shared_fraction - self.align_fraction)
+    }
+
+    /// Which sub-blocks a workload activates, as a fraction of encoder
+    /// area (utilization proxy).
+    pub fn active_fraction(&self, w: Workload) -> f64 {
+        match w {
+            Workload::Tensor => self.shared_fraction + self.align_fraction,
+            Workload::Image => self.shared_fraction,
+            Workload::Video => 1.0 - self.align_fraction,
+        }
+    }
+
+    /// Combined enc+dec energy per bit (pJ), from Table 3.
+    pub fn codec_pj_per_bit(&self) -> f64 {
+        97.8 + 63.5
+    }
+
+    /// Total enc+dec area.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.enc_area_mm2 + self.dec_area_mm2
+    }
+}
+
+/// Static partitioning of the shared pipeline between concurrent
+/// multimedia and tensor workloads (§7: "the shared pipeline is
+/// statically partitioned for both workloads by software", with
+/// latency-sensitive multimedia given priority and throughput-oriented
+/// tensor traffic taking the remainder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedPipelineSchedule {
+    /// Fraction of shared-pipeline throughput reserved for multimedia.
+    video_share: f64,
+}
+
+impl SharedPipelineSchedule {
+    /// Creates a schedule reserving `video_share` of the shared pipeline
+    /// for multimedia (clamped to `[0, 1]`).
+    pub fn new(video_share: f64) -> Self {
+        SharedPipelineSchedule {
+            video_share: video_share.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The reservation needed to sustain a given video workload, as a
+    /// fraction of the pipeline sized for `design_gbps` of tensor
+    /// throughput. An 8K60 stream consumes ~8 Gb/s of the shared
+    /// pipeline's input bandwidth.
+    pub fn for_video_streams(streams_8k60: u32, design_gbps: f64) -> Self {
+        assert!(design_gbps > 0.0, "design throughput must be positive");
+        let video_gbps = streams_8k60 as f64 * 7960.0 / 1000.0; // 7680×4320×60×8b
+        Self::new(video_gbps / design_gbps)
+    }
+
+    /// Fraction reserved for multimedia.
+    pub fn video_share(&self) -> f64 {
+        self.video_share
+    }
+
+    /// Effective tensor throughput (Gb/s) left over from a pipeline
+    /// designed for `design_gbps`, after the multimedia reservation.
+    pub fn tensor_gbps(&self, design_gbps: f64) -> f64 {
+        design_gbps * (1.0 - self.video_share)
+    }
+}
+
+/// One contender in the Fig 15 comparison: a codec design with its area
+/// and its *information efficiency* (compression ratio achieved at the
+/// experiment's quality point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemContender {
+    /// Display name.
+    pub name: String,
+    /// Codec area (enc + dec) in mm² at 100 Gb/s.
+    pub codec_area_mm2: f64,
+    /// Enc+dec energy per raw bit in pJ.
+    pub codec_pj_per_bit: f64,
+    /// Compression ratio at the common quality point.
+    pub ratio: f64,
+}
+
+impl SystemContender {
+    /// Total system area (codec + NICs) to sustain `effective_gbps` of
+    /// *raw tensor* bandwidth: compression shrinks the NIC provisioning by
+    /// the ratio (the paper's point — the NIC is the dominant cost and
+    /// information efficiency shrinks it).
+    pub fn system_area_mm2(&self, effective_gbps: f64) -> f64 {
+        let nic_area = nic_cx5().native_area_mm2; // measured die, as in Fig 12
+        let nics = (effective_gbps / self.ratio / 100.0).ceil().max(1.0);
+        self.codec_area_mm2 + nics * nic_area
+    }
+
+    /// Energy in joules to communicate `raw_bits` of tensor data.
+    pub fn transfer_energy_j(&self, raw_bits: u64) -> f64 {
+        energy::compressed_transfer_energy_j(
+            raw_bits,
+            self.ratio,
+            self.codec_pj_per_bit / 2.0,
+            self.codec_pj_per_bit / 2.0,
+        )
+    }
+}
+
+/// The uncompressed baseline for Fig 15.
+pub fn uncompressed_contender() -> SystemContender {
+    SystemContender {
+        name: "Uncompressed".to_string(),
+        codec_area_mm2: 0.0,
+        codec_pj_per_bit: 0.0,
+        ratio: 1.0,
+    }
+}
+
+/// Builds the three-in-one contender at a measured compression ratio.
+pub fn three_in_one_contender(ratio: f64) -> SystemContender {
+    let t = ThreeInOne::new();
+    SystemContender {
+        name: "Three-in-one".to_string(),
+        codec_area_mm2: t.total_area_mm2(),
+        codec_pj_per_bit: t.codec_pj_per_bit(),
+        ratio,
+    }
+}
+
+/// Builds a chained-codec contender (Fig 15's H./D./L./C. bars) from a
+/// hardware block and its measured ratio.
+pub fn chained_contender(name: &str, block: &CodecBlock, ratio: f64) -> SystemContender {
+    SystemContender {
+        name: name.to_string(),
+        codec_area_mm2: block.area_mm2,
+        codec_pj_per_bit: block.power_w / 100.0e9 * 1e12 * 2.0, // P/tput, enc+dec
+        ratio,
+    }
+}
+
+/// Area/power of lossless-compressor hardware blocks at 100 Gb/s, for the
+/// chained baselines of Fig 15 (calibrated to published accelerator
+/// implementations: CABAC from video-codec entropy stages, Huffman and
+/// LZ-family from memory-compression designs).
+pub fn lossless_hw_block(name: &'static str) -> CodecBlock {
+    let (area, power) = match name {
+        "Huffman" => (0.55, 0.50),
+        "Deflate" => (1.40, 1.30),
+        "LZ4" => (0.80, 0.70),
+        "CABAC" => (0.90, 0.95),
+        _ => panic!("unknown lossless block {name}"),
+    };
+    CodecBlock {
+        name,
+        area_mm2: area,
+        power_w: power,
+        fractions: vec![(Component::Entropy, 0.8), (Component::Control, 0.2)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_pipeline_dominates() {
+        let t = ThreeInOne::new();
+        assert!((t.shared_fraction - 0.80).abs() < 1e-9);
+        assert!(t.video_only_area() < 0.2 * t.enc_area_mm2);
+        assert!(t.active_fraction(Workload::Tensor) > t.active_fraction(Workload::Image));
+        assert!(t.active_fraction(Workload::Video) > t.active_fraction(Workload::Tensor));
+    }
+
+    #[test]
+    fn cheaper_than_both_h26x_pairs() {
+        let t = ThreeInOne::new();
+        // vs H.264 pair (0.96 + 0.97) and H.265 pair (11.7 + 2.1).
+        assert!(t.total_area_mm2() < 0.96 + 0.97);
+        assert!(t.total_area_mm2() < 11.7 + 2.1);
+        assert!(t.enc_power_w + t.dec_power_w < 1.1 + 1.0);
+    }
+
+    #[test]
+    fn system_area_shrinks_with_ratio() {
+        // 500 Gb/s effective raw bandwidth.
+        let base = uncompressed_contender().system_area_mm2(500.0);
+        let comp = three_in_one_contender(5.0).system_area_mm2(500.0);
+        assert!(comp < base / 3.0, "compressed {comp} vs raw {base}");
+    }
+
+    #[test]
+    fn at_least_one_nic_always() {
+        let c = three_in_one_contender(100.0);
+        let a = c.system_area_mm2(100.0);
+        assert!(a > nic_cx5().area_at_7nm());
+    }
+
+    #[test]
+    fn transfer_energy_beats_uncompressed_at_good_ratio() {
+        let raw = uncompressed_contender().transfer_energy_j(1 << 33);
+        let comp = three_in_one_contender(5.0).transfer_energy_j(1 << 33);
+        assert!(comp < raw / 3.0, "comp {comp} raw {raw}");
+    }
+
+    #[test]
+    fn lossless_blocks_exist_and_are_small() {
+        for name in ["Huffman", "Deflate", "LZ4", "CABAC"] {
+            let b = lossless_hw_block(name);
+            assert!(b.area_mm2 < 2.0);
+            assert!(b.power_w < 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown lossless block")]
+    fn unknown_lossless_block_panics() {
+        let _ = lossless_hw_block("zstd");
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+
+    #[test]
+    fn video_reservation_reduces_tensor_throughput() {
+        let idle = SharedPipelineSchedule::new(0.0);
+        assert_eq!(idle.tensor_gbps(100.0), 100.0);
+        let busy = SharedPipelineSchedule::for_video_streams(1, 100.0);
+        // One 8K60 stream ≈ 8 Gb/s of the 100 Gb/s pipeline.
+        assert!((busy.video_share() - 0.0796).abs() < 1e-3, "{}", busy.video_share());
+        assert!((busy.tensor_gbps(100.0) - 92.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn schedule_saturates_at_full_reservation() {
+        let over = SharedPipelineSchedule::for_video_streams(20, 100.0);
+        assert_eq!(over.video_share(), 1.0);
+        assert_eq!(over.tensor_gbps(100.0), 0.0);
+        let neg = SharedPipelineSchedule::new(-0.5);
+        assert_eq!(neg.video_share(), 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The synthetic language: a stand-in for the Pile / WikiText corpora.
+//!
+//! We have no text corpus, so the training and evaluation experiments run
+//! on a deterministic generated language with enough structure for a
+//! small transformer to learn and for compression damage to show up as
+//! accuracy loss:
+//!
+//! - a **sparse Markov backbone**: each token has a small set of legal
+//!   successors with skewed probabilities (a learnable local syntax);
+//! - **long-range copies**: a marker token announces that the token from
+//!   `copy_distance` positions back repeats (exercises attention);
+//! - a small **noise floor** so the task never saturates.
+
+use llm265_tensor::rng::Pcg32;
+
+/// Language parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangConfig {
+    /// Vocabulary size (the last token id is the copy marker).
+    pub vocab: usize,
+    /// Legal successors per token.
+    pub branch: usize,
+    /// Distance of the long-range copy pattern.
+    pub copy_distance: usize,
+    /// Generator seed (defines the grammar itself).
+    pub seed: u64,
+}
+
+impl LangConfig {
+    /// A tiny grammar matching [`crate::transformer::TransformerConfig::tiny`].
+    pub fn tiny() -> Self {
+        LangConfig {
+            vocab: 32,
+            branch: 3,
+            copy_distance: 8,
+            seed: 1234,
+        }
+    }
+
+    /// A small grammar matching `TransformerConfig::small`.
+    pub fn small() -> Self {
+        LangConfig {
+            vocab: 64,
+            branch: 3,
+            copy_distance: 12,
+            seed: 5678,
+        }
+    }
+}
+
+/// A generated language: grammar plus samplers.
+#[derive(Debug, Clone)]
+pub struct SyntheticLang {
+    config: LangConfig,
+    /// `successors[t]` = legal next tokens after `t`, most likely first.
+    successors: Vec<Vec<u16>>,
+}
+
+/// Skewed branch probabilities (most likely successor first).
+const BRANCH_WEIGHTS: [f64; 4] = [0.55, 0.30, 0.10, 0.05];
+/// Probability that a step ignores the grammar entirely (noise floor).
+const NOISE_PROB: f64 = 0.08;
+/// Probability of emitting the copy pattern at an eligible position.
+const COPY_PROB: f64 = 0.10;
+
+impl SyntheticLang {
+    /// Builds the grammar for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 8` or `branch` is 0 or exceeds 4.
+    pub fn new(config: &LangConfig) -> Self {
+        assert!(config.vocab >= 8, "vocab too small");
+        assert!((1..=4).contains(&config.branch), "branch must be 1..=4");
+        let mut rng = Pcg32::seed_from(config.seed);
+        let content = config.vocab - 1; // last id reserved as copy marker
+        let successors = (0..content)
+            .map(|t| {
+                let mut set = Vec::with_capacity(config.branch);
+                while set.len() < config.branch {
+                    let s = rng.below(content as u32) as u16;
+                    if s as usize != t && !set.contains(&s) {
+                        set.push(s);
+                    }
+                }
+                set
+            })
+            .collect();
+        SyntheticLang {
+            config: config.clone(),
+            successors,
+        }
+    }
+
+    /// The configuration this grammar was built from.
+    pub fn config(&self) -> &LangConfig {
+        &self.config
+    }
+
+    /// The copy-marker token id.
+    pub fn marker(&self) -> u16 {
+        (self.config.vocab - 1) as u16
+    }
+
+    /// Legal successors of a content token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is the marker or out of range.
+    pub fn successors(&self, t: u16) -> &[u16] {
+        &self.successors[t as usize]
+    }
+
+    /// Samples the next content token after `t` from the grammar.
+    pub fn sample_successor(&self, t: u16, rng: &mut Pcg32) -> u16 {
+        let set = &self.successors[t as usize];
+        let u = rng.f64();
+        let mut acc = 0.0;
+        for (i, &s) in set.iter().enumerate() {
+            acc += BRANCH_WEIGHTS[i] / BRANCH_WEIGHTS[..set.len()].iter().sum::<f64>();
+            if u < acc {
+                return s;
+            }
+        }
+        *set.last().expect("branch >= 1")
+    }
+
+    /// Samples one sequence of `len` tokens.
+    pub fn sample_seq(&self, len: usize, rng: &mut Pcg32) -> Vec<u16> {
+        let content = (self.config.vocab - 1) as u32;
+        let mut seq: Vec<u16> = Vec::with_capacity(len);
+        seq.push(rng.below(content) as u16);
+        while seq.len() < len {
+            let pos = seq.len();
+            // Copy pattern: marker then the token copy_distance back.
+            if pos + 1 < len
+                && pos + 1 >= self.config.copy_distance
+                && rng.chance(COPY_PROB)
+                && seq[pos - 1] != self.marker()
+            {
+                // Marker at `pos`; the copied token lands at `pos + 1` and
+                // repeats the token `copy_distance` before itself.
+                let copied = seq[pos + 1 - self.config.copy_distance];
+                if copied != self.marker() {
+                    seq.push(self.marker());
+                    seq.push(copied);
+                    continue;
+                }
+            }
+            let prev = *seq.last().expect("non-empty");
+            let next = if prev == self.marker() || rng.chance(NOISE_PROB) {
+                rng.below(content) as u16
+            } else {
+                self.sample_successor(prev, rng)
+            };
+            seq.push(next);
+        }
+        seq.truncate(len);
+        seq
+    }
+
+    /// Samples a batch of sequences.
+    pub fn sample_batch(&self, n: usize, len: usize, rng: &mut Pcg32) -> Vec<Vec<u16>> {
+        (0..n).map(|_| self.sample_seq(len, rng)).collect()
+    }
+
+    /// Builds a multiple-choice item: a context whose last token is a
+    /// content token, the grammar's most likely continuation, and a
+    /// distractor that is *not* a legal successor.
+    pub fn choice_item(&self, ctx_len: usize, rng: &mut Pcg32) -> (Vec<u16>, u16, u16) {
+        let content = (self.config.vocab - 1) as u32;
+        loop {
+            let ctx = self.sample_seq(ctx_len, rng);
+            let last = *ctx.last().expect("non-empty");
+            if last == self.marker() {
+                continue;
+            }
+            let good = self.successors[last as usize][0];
+            let bad = loop {
+                let cand = rng.below(content) as u16;
+                if !self.successors[last as usize].contains(&cand) && cand != last {
+                    break cand;
+                }
+            };
+            return (ctx, good, bad);
+        }
+    }
+
+    /// Builds a *hard* multiple-choice item: the top successor versus the
+    /// second most likely successor. Both are legal; telling them apart
+    /// needs well-calibrated logits, so this item class is sensitive to
+    /// small weight distortion — the property the compression experiments
+    /// measure.
+    pub fn choice_item_hard(&self, ctx_len: usize, rng: &mut Pcg32) -> (Vec<u16>, u16, u16) {
+        loop {
+            let ctx = self.sample_seq(ctx_len, rng);
+            let last = *ctx.last().expect("non-empty");
+            if last == self.marker() {
+                continue;
+            }
+            let set = &self.successors[last as usize];
+            if set.len() < 2 {
+                continue;
+            }
+            return (ctx, set[0], set[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_is_deterministic_per_seed() {
+        let a = SyntheticLang::new(&LangConfig::tiny());
+        let b = SyntheticLang::new(&LangConfig::tiny());
+        assert_eq!(a.successors, b.successors);
+        let c = SyntheticLang::new(&LangConfig {
+            seed: 999,
+            ..LangConfig::tiny()
+        });
+        assert_ne!(a.successors, c.successors);
+    }
+
+    #[test]
+    fn sequences_have_requested_length_and_range() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(1);
+        for len in [2usize, 7, 33, 64] {
+            let seq = lang.sample_seq(len, &mut rng);
+            assert_eq!(seq.len(), len);
+            assert!(seq.iter().all(|&t| (t as usize) < 32));
+        }
+    }
+
+    #[test]
+    fn grammar_transitions_dominate() {
+        // Most steps follow the Markov backbone.
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(2);
+        let seq = lang.sample_seq(4000, &mut rng);
+        let mut legal = 0usize;
+        let mut checked = 0usize;
+        for w in seq.windows(2) {
+            if w[0] != lang.marker() && w[1] != lang.marker() {
+                checked += 1;
+                if lang.successors(w[0]).contains(&w[1]) {
+                    legal += 1;
+                }
+            }
+        }
+        let frac = legal as f64 / checked as f64;
+        assert!(frac > 0.8, "grammar-following fraction {frac}");
+    }
+
+    #[test]
+    fn copy_pattern_present_and_correct() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(3);
+        let seq = lang.sample_seq(4000, &mut rng);
+        let d = lang.config().copy_distance;
+        let mut copies = 0usize;
+        for (i, &t) in seq.iter().enumerate() {
+            if t == lang.marker() && i + 1 < seq.len() && i >= d {
+                assert_eq!(seq[i + 1], seq[i + 1 - d], "copy at {i} broken");
+                copies += 1;
+            }
+        }
+        assert!(copies > 50, "too few copy events: {copies}");
+    }
+
+    #[test]
+    fn choice_items_are_well_formed() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(4);
+        for _ in 0..50 {
+            let (ctx, good, bad) = lang.choice_item(16, &mut rng);
+            assert_eq!(ctx.len(), 16);
+            let last = *ctx.last().unwrap();
+            assert!(lang.successors(last).contains(&good));
+            assert!(!lang.successors(last).contains(&bad));
+            assert_ne!(good, bad);
+        }
+    }
+
+    #[test]
+    fn successor_sampling_matches_weights() {
+        let lang = SyntheticLang::new(&LangConfig::tiny());
+        let mut rng = Pcg32::seed_from(5);
+        let token = 3u16;
+        let set: Vec<u16> = lang.successors(token).to_vec();
+        let mut counts = vec![0usize; set.len()];
+        for _ in 0..10_000 {
+            let s = lang.sample_successor(token, &mut rng);
+            let idx = set.iter().position(|&x| x == s).expect("legal successor");
+            counts[idx] += 1;
+        }
+        // First successor should clearly dominate.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Transformer substrate for the LLM.265 reproduction.
+//!
+//! The paper's evaluation needs trainable language models (Pythia-style
+//! runs for §5) and compressible inference models (LLaMA-style probes for
+//! §4). We build that substrate from scratch: a decoder-only transformer
+//! with hand-written backprop, Adam/LAMB optimizers, a deterministic
+//! synthetic language with learnable structure, and probe tasks whose
+//! accuracy degrades smoothly with weight distortion — the scalar every
+//! compression experiment ultimately reports.
+//!
+//! - [`param`] — parameters with accumulated gradients.
+//! - [`layers`] — Linear / LayerNorm / Embedding / GELU with forward and
+//!   backward passes (gradient-checked against finite differences).
+//! - [`attention`] — causal multi-head self-attention, with hook points
+//!   for KV-cache compression.
+//! - [`transformer`] — the decoder-only LM: training step, perplexity
+//!   evaluation, and evaluation under compression hooks.
+//! - [`mlp`] — a small MLP classifier for the paper's non-LM tasks
+//!   (Fig 7).
+//! - [`optimizer`] — Adam and LAMB.
+//! - [`data`] — the synthetic language (sparse Markov transitions plus
+//!   long-range copy structure).
+//! - [`tasks`] — multiple-choice probe tasks and the four Fig-7 task
+//!   generators.
+//!
+//! # Example
+//!
+//! ```
+//! use llm265_model::data::{LangConfig, SyntheticLang};
+//! use llm265_model::transformer::{TransformerConfig, TransformerLm};
+//! use llm265_model::optimizer::Adam;
+//! use llm265_tensor::rng::Pcg32;
+//!
+//! let lang = SyntheticLang::new(&LangConfig::tiny());
+//! let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(0));
+//! let mut opt = Adam::new(3e-3);
+//! let mut rng = Pcg32::seed_from(1);
+//! let before = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng));
+//! for _ in 0..30 {
+//!     let batch = lang.sample_batch(4, 32, &mut rng);
+//!     model.train_step(&batch, &mut opt);
+//! }
+//! let after = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng));
+//! assert!(after < before, "training must reduce perplexity");
+//! ```
+
+pub mod attention;
+pub mod data;
+pub mod layers;
+pub mod mlp;
+pub mod optimizer;
+pub mod param;
+pub mod tasks;
+pub mod transformer;

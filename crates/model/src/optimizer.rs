@@ -1,0 +1,243 @@
+//! Optimizers: Adam and LAMB.
+//!
+//! The data-parallel experiments (§5.2 of the paper) contrast LLM.265's
+//! optimizer-agnostic gradient compression against 1-bit Adam / 1-bit
+//! LAMB, which replace the optimizer itself. Both base optimizers are
+//! implemented here so the comparison can hold the optimizer fixed.
+
+use crate::param::{Param, VisitParams};
+
+/// An optimizer over any model exposing [`VisitParams`].
+pub trait Optimizer {
+    /// Applies one update from the parameters' accumulated gradients.
+    fn step(&mut self, model: &mut dyn VisitParams);
+}
+
+/// Per-parameter moment state.
+#[derive(Debug, Clone, Default)]
+struct Moments {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam with bias correction (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    state: Vec<Moments>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+}
+
+/// Ensures the moment buffers for parameter `idx` exist and match `len`.
+fn moments_for(state: &mut Vec<Moments>, idx: usize, len: usize) -> &mut Moments {
+    if state.len() <= idx {
+        state.resize_with(idx + 1, Moments::default);
+    }
+    let st = &mut state[idx];
+    if st.m.len() != len {
+        st.m = vec![0.0; len];
+        st.v = vec![0.0; len];
+    }
+    st
+}
+
+/// Computes the bias-corrected Adam direction into `u`, updating moments.
+#[allow(clippy::too_many_arguments)]
+fn adam_direction(
+    p: &Param,
+    st: &mut Moments,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    u: &mut Vec<f32>,
+) {
+    let bc1 = 1.0 - beta1.powi(t as i32);
+    let bc2 = 1.0 - beta2.powi(t as i32);
+    let (b1, b2) = (beta1 as f32, beta2 as f32);
+    u.clear();
+    u.reserve(p.value.len());
+    for (&g, (m, v)) in p.grad.data().iter().zip(st.m.iter_mut().zip(st.v.iter_mut())) {
+        *m = b1 * *m + (1.0 - b1) * g;
+        *v = b2 * *v + (1.0 - b2) * g * g;
+        let mhat = *m as f64 / bc1;
+        let vhat = *v as f64 / bc2;
+        u.push((mhat / (vhat.sqrt() + eps)) as f32);
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn VisitParams) {
+        self.t += 1;
+        let (lr, beta1, beta2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let state = &mut self.state;
+        let mut idx = 0;
+        let mut u = Vec::new();
+        model.visit_params(&mut |p| {
+            let st = moments_for(state, idx, p.value.len());
+            adam_direction(p, st, beta1, beta2, eps, t, &mut u);
+            for (w, &ui) in p.value.data_mut().iter_mut().zip(&u) {
+                *w -= (lr * ui as f64) as f32;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// LAMB: Adam update normalized per-parameter-tensor by the trust ratio
+/// `‖w‖ / ‖u‖` (You et al.), as used by the 1-bit LAMB baseline.
+#[derive(Debug, Clone)]
+pub struct Lamb {
+    inner: Adam,
+}
+
+impl Lamb {
+    /// LAMB with standard betas.
+    pub fn new(lr: f64) -> Self {
+        Lamb {
+            inner: Adam::new(lr),
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, model: &mut dyn VisitParams) {
+        self.inner.t += 1;
+        let (lr, beta1, beta2, eps, t) = (
+            self.inner.lr,
+            self.inner.beta1,
+            self.inner.beta2,
+            self.inner.eps,
+            self.inner.t,
+        );
+        let state = &mut self.inner.state;
+        let mut idx = 0;
+        let mut u = Vec::new();
+        model.visit_params(&mut |p| {
+            let st = moments_for(state, idx, p.value.len());
+            adam_direction(p, st, beta1, beta2, eps, t, &mut u);
+            // Trust ratio: scale the Adam direction by ‖w‖/‖u‖.
+            let w_norm = p.value.sq_norm().sqrt();
+            let u_norm = u.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            let trust = if w_norm > 0.0 && u_norm > 0.0 {
+                (w_norm / u_norm).clamp(0.01, 10.0)
+            } else {
+                1.0
+            };
+            for (w, &ui) in p.value.data_mut().iter_mut().zip(&u) {
+                *w -= (lr * trust * ui as f64) as f32;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::Tensor;
+
+    /// A one-parameter quadratic bowl: L(w) = Σ w².
+    struct Bowl {
+        p: Param,
+    }
+
+    impl Bowl {
+        fn new(init: f32) -> Self {
+            Bowl {
+                p: Param {
+                    name: "w".into(),
+                    value: Tensor::full(4, 4, init),
+                    grad: Tensor::zeros(4, 4),
+                },
+            }
+        }
+
+        fn set_grad(&mut self) {
+            // dL/dw = 2w.
+            let g: Vec<f32> = self.p.value.data().iter().map(|&w| 2.0 * w).collect();
+            self.p.grad = Tensor::from_vec(4, 4, g);
+        }
+
+        fn loss(&self) -> f64 {
+            self.p.value.sq_norm()
+        }
+    }
+
+    impl VisitParams for Bowl {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut bowl = Bowl::new(1.0);
+        let mut opt = Adam::new(0.05);
+        let start = bowl.loss();
+        for _ in 0..200 {
+            bowl.set_grad();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.loss() < start * 1e-3, "loss {}", bowl.loss());
+    }
+
+    #[test]
+    fn lamb_minimizes_quadratic() {
+        let mut bowl = Bowl::new(1.0);
+        let mut opt = Lamb::new(0.05);
+        let start = bowl.loss();
+        for _ in 0..200 {
+            bowl.set_grad();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.loss() < start * 1e-2, "loss {}", bowl.loss());
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_close_to_lr() {
+        // With bias correction, the first Adam step is ≈ lr per coordinate.
+        let mut bowl = Bowl::new(1.0);
+        let mut opt = Adam::new(0.1);
+        bowl.set_grad();
+        let before = bowl.p.value[(0, 0)];
+        opt.step(&mut bowl);
+        let delta = (before - bowl.p.value[(0, 0)]).abs();
+        assert!((delta - 0.1).abs() < 0.01, "delta {delta}");
+    }
+
+    #[test]
+    fn lr_setter_works() {
+        let mut opt = Adam::new(0.1);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Trainable parameters.
+
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter name (used to select which tensors are compressed — the
+    /// paper compresses weight matrices, not biases/norms).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (zeroed by [`Param::zero_grad`]).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// A parameter initialized from `N(0, std²)`.
+    pub fn randn(name: impl Into<String>, rows: usize, cols: usize, std: f64, rng: &mut Pcg32) -> Self {
+        let value = Tensor::from_fn(rows, cols, |_, _| (std * rng.normal()) as f32);
+        Param {
+            name: name.into(),
+            grad: Tensor::zeros(rows, cols),
+            value,
+        }
+    }
+
+    /// A parameter initialized to a constant.
+    pub fn constant(name: impl Into<String>, rows: usize, cols: usize, v: f32) -> Self {
+        Param {
+            name: name.into(),
+            value: Tensor::full(rows, cols, v),
+            grad: Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Whether this parameter is a weight matrix (2-D, not a bias or norm
+    /// vector) — the class of tensors the paper's weight compression
+    /// targets.
+    pub fn is_weight_matrix(&self) -> bool {
+        self.value.rows() > 1 && self.value.cols() > 1
+    }
+}
+
+/// Visitor over a model's parameters, used by optimizers, gradient
+/// compression and weight compression alike.
+pub trait VisitParams {
+    /// Calls `f` on every parameter, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes every gradient.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randn_has_requested_scale() {
+        let mut rng = Pcg32::seed_from(1);
+        let p = Param::randn("w", 64, 64, 0.02, &mut rng);
+        let std = llm265_tensor::stats::std_dev(p.value.data());
+        assert!((std - 0.02).abs() < 0.005, "std {std}");
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn weight_matrix_detection() {
+        let mut rng = Pcg32::seed_from(2);
+        assert!(Param::randn("w", 8, 8, 0.1, &mut rng).is_weight_matrix());
+        assert!(!Param::constant("b", 1, 8, 0.0).is_weight_matrix());
+        assert!(!Param::constant("gamma", 8, 1, 1.0).is_weight_matrix());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::constant("b", 1, 4, 0.0);
+        p.grad.data_mut().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

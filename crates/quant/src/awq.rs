@@ -1,0 +1,193 @@
+//! AWQ-style activation-aware weight quantization.
+//!
+//! AWQ observes that the weights multiplying high-magnitude activation
+//! channels matter most, and protects them by scaling each input channel
+//! by `s_c = E[|x_c|]^α` before group-wise RTN (dividing activations by
+//! the same factor at runtime). The exponent α is grid-searched on a
+//! calibration batch (§2.1; Lin et al. 2024). Like GPTQ, this is a
+//! calibration-dependent baseline.
+
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::{stats, Tensor};
+
+use crate::rtn::{GroupScheme, RtnQuantizer};
+
+/// AWQ-style quantizer bound to calibration activations.
+#[derive(Debug, Clone)]
+pub struct AwqQuantizer {
+    bits: u32,
+    group: usize,
+    calib: Tensor,
+    alpha_grid: Vec<f64>,
+}
+
+impl AwqQuantizer {
+    /// Creates a quantizer from calibration activations
+    /// (`samples × in_features`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=8 or `calib` is empty.
+    pub fn new(bits: u32, group: usize, calib: Tensor) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1..=8");
+        assert!(!calib.is_empty(), "calibration set must be non-empty");
+        AwqQuantizer {
+            bits,
+            group: group.max(1),
+            calib,
+            alpha_grid: (0..=10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+
+    /// Creates a quantizer with synthetic calibration activations that
+    /// carry outlier channels (the structure AWQ exists to exploit).
+    pub fn with_synthetic_calibration(
+        bits: u32,
+        group: usize,
+        in_features: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Pcg32::seed_from(seed);
+        let chan_scale: Vec<f64> = (0..in_features)
+            .map(|_| if rng.chance(0.04) { 12.0 } else { 1.0 })
+            .collect();
+        let calib = Tensor::from_fn(samples, in_features, |_, c| {
+            (chan_scale[c] * rng.normal()) as f32
+        });
+        Self::new(bits, group, calib)
+    }
+
+    /// Mean absolute activation per input channel.
+    fn channel_magnitudes(&self) -> Vec<f64> {
+        let n = self.calib.cols();
+        let mut mags = vec![0.0f64; n];
+        for s in 0..self.calib.rows() {
+            for (c, &v) in self.calib.row(s).iter().enumerate() {
+                mags[c] += (v as f64).abs();
+            }
+        }
+        let samples = self.calib.rows() as f64;
+        for m in mags.iter_mut() {
+            *m = (*m / samples).max(1e-8);
+        }
+        mags
+    }
+
+    fn apply_with_alpha(&self, w: &Tensor, mags: &[f64], alpha: f64) -> Tensor {
+        let scales: Vec<f32> = mags.iter().map(|&m| m.powf(alpha) as f32).collect();
+        // Scale columns up, quantize, scale back down.
+        let scaled = Tensor::from_fn(w.rows(), w.cols(), |r, c| w[(r, c)] * scales[c]);
+        let rtn = RtnQuantizer::symmetric(self.bits, GroupScheme::Groups(self.group));
+        let q = rtn.apply(&scaled);
+        Tensor::from_fn(w.rows(), w.cols(), |r, c| q[(r, c)] / scales[c])
+    }
+
+    /// Quantizes a weight matrix, grid-searching α on the calibration
+    /// batch's layer-output error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts mismatch the calibration features.
+    pub fn apply(&self, w: &Tensor) -> Tensor {
+        assert_eq!(
+            w.cols(),
+            self.calib.cols(),
+            "weight in_features must match calibration features"
+        );
+        let mags = self.channel_magnitudes();
+        let reference = self.calib.matmul(&w.transposed());
+        let mut best: Option<(f64, Tensor)> = None;
+        for &alpha in &self.alpha_grid {
+            let wq = self.apply_with_alpha(w, &mags, alpha);
+            let out = self.calib.matmul(&wq.transposed());
+            let err = stats::mse(reference.data(), out.data());
+            if best.as_ref().is_none_or(|(e, _)| err < *e) {
+                best = Some((err, wq));
+            }
+        }
+        best.expect("alpha grid is non-empty").1
+    }
+
+    /// Wire size in bits: payload + group scales + per-channel scales.
+    pub fn wire_bits(&self, w: &Tensor) -> u64 {
+        let groups = w.len().div_ceil(self.group) as u64;
+        w.len() as u64 * self.bits as u64 + groups * 32 + w.cols() as u64 * 32
+    }
+}
+
+impl LossyCompressor for AwqQuantizer {
+    fn name(&self) -> String {
+        if self.group >= 1 << 20 {
+            format!("AWQ{}", self.bits)
+        } else {
+            format!("AWQ{}-{}G", self.bits, self.group)
+        }
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        (self.apply(t), self.wire_bits(t))
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        Some(self.bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::synthetic::{llm_weight, WeightProfile};
+
+    #[test]
+    fn awq_beats_plain_rtn_on_outlier_activations() {
+        let n = 64;
+        let mut rng = Pcg32::seed_from(1);
+        let w = llm_weight(n, n, &WeightProfile::default(), &mut rng);
+        let q = AwqQuantizer::with_synthetic_calibration(3, 32, n, 128, 9);
+
+        let wq_awq = q.apply(&w);
+        let wq_rtn = RtnQuantizer::symmetric(3, GroupScheme::Groups(32)).apply(&w);
+
+        // Evaluate on a *fresh* probe batch with the same outlier channels.
+        let probe = {
+            let q2 = AwqQuantizer::with_synthetic_calibration(3, 32, n, 96, 9);
+            q2.calib
+        };
+        let y = probe.matmul(&w.transposed());
+        let e_awq = stats::mse(y.data(), probe.matmul(&wq_awq.transposed()).data());
+        let e_rtn = stats::mse(y.data(), probe.matmul(&wq_rtn.transposed()).data());
+        assert!(e_awq < e_rtn, "awq {e_awq} vs rtn {e_rtn}");
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_rtn() {
+        let n = 32;
+        let mut rng = Pcg32::seed_from(2);
+        let w = llm_weight(n, n, &WeightProfile::default(), &mut rng);
+        let q = AwqQuantizer::with_synthetic_calibration(4, 16, n, 64, 3);
+        let mags = q.channel_magnitudes();
+        let awq0 = q.apply_with_alpha(&w, &mags, 0.0);
+        let rtn = RtnQuantizer::symmetric(4, GroupScheme::Groups(16)).apply(&w);
+        assert_eq!(awq0, rtn);
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded() {
+        let n = 32;
+        let mut rng = Pcg32::seed_from(3);
+        let w = llm_weight(n, n, &WeightProfile::default(), &mut rng);
+        let q = AwqQuantizer::with_synthetic_calibration(4, 32, n, 64, 4);
+        let wq = q.apply(&w);
+        let nmse = stats::mse(w.data(), wq.data()) / stats::variance(w.data());
+        assert!(nmse < 0.1, "nmse {nmse}");
+    }
+
+    #[test]
+    fn wire_bits_include_channel_scales() {
+        let w = Tensor::zeros(8, 64);
+        let q = AwqQuantizer::with_synthetic_calibration(4, 64, 64, 16, 5);
+        assert_eq!(q.wire_bits(&w), 512 * 4 + 8 * 32 + 64 * 32);
+    }
+}

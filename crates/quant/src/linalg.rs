@@ -1,0 +1,130 @@
+//! Minimal dense linear algebra for the GPTQ-style quantizer: symmetric
+//! positive-definite Cholesky factorization and inversion.
+
+/// Cholesky factor `L` (lower triangular, row-major n×n) of a symmetric
+/// positive-definite matrix `a`. Returns `None` when `a` is not PD.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Inverse of a symmetric positive-definite matrix via Cholesky.
+/// Returns `None` when the matrix is not PD.
+pub fn spd_inverse(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    let l = cholesky(a, n)?;
+    // Invert L (lower triangular) by forward substitution.
+    let mut linv = vec![0.0f64; n * n];
+    for i in 0..n {
+        linv[i * n + i] = 1.0 / l[i * n + i];
+        for j in 0..i {
+            let mut sum = 0.0;
+            for k in j..i {
+                sum -= l[i * n + k] * linv[k * n + j];
+            }
+            linv[i * n + j] = sum / l[i * n + i];
+        }
+    }
+    // A^-1 = L^-T L^-1.
+    let mut inv = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = 0.0;
+            for k in i..n {
+                sum += linv[k * n + i] * linv[k * n + j];
+            }
+            inv[i * n + j] = sum;
+            inv[j * n + i] = sum;
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn spd_example(n: usize) -> Vec<f64> {
+        // A = B^T B + n·I with B a fixed pseudo-random matrix.
+        let b: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 2654435761 % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += b[k * n + i] * b[k * n + j];
+                }
+            }
+            a[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let n = 8;
+        let a = spd_example(n);
+        let l = cholesky(&a, n).unwrap();
+        // L L^T = A.
+        let mut lt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                lt[i * n + j] = l[j * n + i];
+            }
+        }
+        let back = matmul(&l, &lt, n);
+        for (x, y) in a.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let n = 10;
+        let a = spd_example(n);
+        let inv = spd_inverse(&a, n).unwrap();
+        let prod = matmul(&a, &inv, n);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i * n + j] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn non_pd_matrix_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+        assert!(spd_inverse(&a, 2).is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! NormalFloat-4 (NF4) codebook quantization.
+//!
+//! QLoRA's NF4 (Dettmers et al. 2023) quantizes absmax-normalized blocks
+//! against a 16-level codebook placed at the quantiles of a standard
+//! normal — information-optimal for exactly the bell-shaped tensors the
+//! paper studies. Cited in §2.1 as the representative non-uniform
+//! quantization format.
+
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::Tensor;
+
+/// NF4 block size (QLoRA default).
+pub const BLOCK: usize = 64;
+
+/// The 16 NF4 codebook levels in `[-1, 1]` (normal quantiles, from the
+/// QLoRA reference implementation).
+#[allow(clippy::excessive_precision)] // published reference values, kept exact
+pub const CODEBOOK: [f32; 16] = [
+    -1.0,
+    -0.6961928009986877,
+    -0.5250730514526367,
+    -0.39491748809814453,
+    -0.28444138169288635,
+    -0.18477343022823334,
+    -0.09105003625154495,
+    0.0,
+    0.07958029955625534,
+    0.16093020141124725,
+    0.24611230194568634,
+    0.33791524171829224,
+    0.44070982933044434,
+    0.5626170039176941,
+    0.7229568362236023,
+    1.0,
+];
+
+/// NF4 quantizer: absmax block normalization + codebook rounding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Nf4Quantizer;
+
+impl Nf4Quantizer {
+    /// Creates the quantizer.
+    pub fn new() -> Self {
+        Nf4Quantizer
+    }
+
+    /// Quantizes and dequantizes `t` blockwise.
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        let mut out = t.clone();
+        let data = out.data_mut();
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + BLOCK).min(data.len());
+            let chunk = &mut data[start..end];
+            let absmax = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if absmax > 0.0 {
+                for v in chunk.iter_mut() {
+                    let norm = *v / absmax;
+                    let idx = nearest_level(norm);
+                    *v = CODEBOOK[idx] * absmax;
+                }
+            }
+            start = end;
+        }
+        out
+    }
+
+    /// Wire size: 4 bits/value + one f32 absmax per block.
+    pub fn wire_bits(&self, t: &Tensor) -> u64 {
+        let blocks = t.len().div_ceil(BLOCK) as u64;
+        t.len() as u64 * 4 + blocks * 32
+    }
+}
+
+fn nearest_level(x: f32) -> usize {
+    // Codebook is sorted: binary search then compare neighbours.
+    let mut lo = 0usize;
+    let mut hi = CODEBOOK.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if CODEBOOK[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if (x - CODEBOOK[lo]).abs() <= (CODEBOOK[hi] - x).abs() {
+        lo
+    } else {
+        hi
+    }
+}
+
+impl LossyCompressor for Nf4Quantizer {
+    fn name(&self) -> String {
+        "NF4".to_string()
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        (self.apply(t), self.wire_bits(t))
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        Some(4.0 + 32.0 / BLOCK as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::{GroupScheme, RtnQuantizer};
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::stats;
+
+    #[test]
+    fn codebook_is_sorted_and_symmetric_endpoints() {
+        for w in CODEBOOK.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(CODEBOOK[0], -1.0);
+        assert_eq!(CODEBOOK[15], 1.0);
+        assert_eq!(CODEBOOK[7], 0.0);
+    }
+
+    #[test]
+    fn nearest_level_picks_closest() {
+        assert_eq!(nearest_level(-1.0), 0);
+        assert_eq!(nearest_level(1.0), 15);
+        assert_eq!(nearest_level(0.0), 7);
+        assert_eq!(nearest_level(0.9), 15);
+        assert_eq!(nearest_level(0.03), 7);
+        assert_eq!(nearest_level(0.05), 8);
+    }
+
+    #[test]
+    fn outputs_lie_on_scaled_codebook() {
+        let mut rng = Pcg32::seed_from(1);
+        let t = Tensor::from_fn(2, BLOCK, |_, _| rng.normal() as f32);
+        let out = Nf4Quantizer::new().apply(&t);
+        for r in 0..2 {
+            let absmax = t.row(r).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for v in out.row(r) {
+                let norm = v / absmax;
+                let on_grid = CODEBOOK.iter().any(|&c| (c - norm).abs() < 1e-6);
+                assert!(on_grid, "{norm} not on codebook");
+            }
+        }
+    }
+
+    #[test]
+    fn nf4_beats_uniform_int4_on_gaussian_data() {
+        // The whole point of NF4: normal-quantile levels beat a uniform
+        // grid on normal data.
+        let mut rng = Pcg32::seed_from(2);
+        let t = Tensor::from_fn(64, 64, |_, _| rng.normal() as f32);
+        let nf4 = Nf4Quantizer::new().apply(&t);
+        let int4 = RtnQuantizer::symmetric(4, GroupScheme::Groups(BLOCK)).apply(&t);
+        let e_nf4 = stats::mse(t.data(), nf4.data());
+        let e_int4 = stats::mse(t.data(), int4.data());
+        assert!(e_nf4 < e_int4, "nf4 {e_nf4} vs int4 {e_int4}");
+    }
+
+    #[test]
+    fn wire_bits_accounting() {
+        let t = Tensor::zeros(2, 96); // 192 values = 3 blocks
+        assert_eq!(Nf4Quantizer::new().wire_bits(&t), 192 * 4 + 3 * 32);
+    }
+
+    #[test]
+    fn zero_tensor_is_fixed_point() {
+        let t = Tensor::zeros(4, 16);
+        assert_eq!(Nf4Quantizer::new().apply(&t), t);
+    }
+}

@@ -1,0 +1,209 @@
+//! 1-bit Adam and 1-bit LAMB gradient compression.
+//!
+//! The paper's data-parallel baselines (§5.2): after a warm-up phase in
+//! which gradients are transmitted uncompressed (the model "hasn't
+//! converged to a point where the weights can be easily compressed yet"),
+//! these methods send only the **sign** of the error-compensated gradient
+//! plus a per-column magnitude, keeping a local error-feedback buffer of
+//! what the 1-bit channel could not carry. The warm-up is what drives
+//! their realized average to ~3.25 bits (15% of steps at 16 bits), and
+//! their variance-freeze assumption is what makes them unstable compared
+//! to the training-agnostic LLM.265 channel.
+
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::Tensor;
+
+/// Which optimizer family the compressor mimics (they differ only in the
+/// scale statistic here, mirroring the LAMB trust-ratio normalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneBitFlavor {
+    /// 1-bit Adam: per-column mean |v| scale.
+    Adam,
+    /// 1-bit LAMB: per-column RMS scale (LAMB normalizes by layer norms).
+    Lamb,
+}
+
+/// Error-feedback 1-bit gradient compressor with a warm-up phase.
+#[derive(Debug, Clone)]
+pub struct OneBitCompressor {
+    flavor: OneBitFlavor,
+    /// Number of uncompressed warm-up steps.
+    warmup_steps: usize,
+    step: usize,
+    error: Option<Tensor>,
+}
+
+impl OneBitCompressor {
+    /// Creates a compressor with `warmup_steps` uncompressed steps (the
+    /// paper uses 15% of total iterations).
+    pub fn new(flavor: OneBitFlavor, warmup_steps: usize) -> Self {
+        OneBitCompressor {
+            flavor,
+            warmup_steps,
+            step: 0,
+            error: None,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Whether the compressor is still in its warm-up phase.
+    pub fn in_warmup(&self) -> bool {
+        self.step < self.warmup_steps
+    }
+
+    /// Realized average bits/value over `total_steps` with this warm-up.
+    pub fn average_bits(&self, total_steps: usize) -> f64 {
+        let warm = self.warmup_steps.min(total_steps) as f64;
+        let cold = total_steps.saturating_sub(self.warmup_steps) as f64;
+        (16.0 * warm + 1.0 * cold) / (warm + cold).max(1.0)
+    }
+
+    fn compress_cold(&mut self, g: &Tensor) -> Tensor {
+        // Error feedback: compensate with what previous steps dropped.
+        let mut v = g.clone();
+        if let Some(e) = &self.error {
+            if e.shape() == g.shape() {
+                v.add_assign(e);
+            }
+        }
+        // Per-column scale.
+        let cols = v.cols();
+        let rows = v.rows();
+        let mut scale = vec![0.0f64; cols];
+        for r in 0..rows {
+            for (c, &x) in v.row(r).iter().enumerate() {
+                scale[c] += match self.flavor {
+                    OneBitFlavor::Adam => (x as f64).abs(),
+                    OneBitFlavor::Lamb => (x as f64) * (x as f64),
+                };
+            }
+        }
+        for s in scale.iter_mut() {
+            *s = match self.flavor {
+                OneBitFlavor::Adam => *s / rows as f64,
+                OneBitFlavor::Lamb => (*s / rows as f64).sqrt(),
+            };
+        }
+        let out = Tensor::from_fn(rows, cols, |r, c| {
+            let x = v[(r, c)];
+            (scale[c] as f32) * x.signum()
+        });
+        // Update the error memory with what the channel dropped.
+        let mut err = v;
+        err.sub_assign(&out);
+        self.error = Some(err);
+        out
+    }
+}
+
+impl LossyCompressor for OneBitCompressor {
+    fn name(&self) -> String {
+        match self.flavor {
+            OneBitFlavor::Adam => "1-bit Adam".to_string(),
+            OneBitFlavor::Lamb => "1-bit LAMB".to_string(),
+        }
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let result = if self.in_warmup() {
+            // Uncompressed FP16 during warm-up.
+            (t.map(llm265_tensor::half::round_f16), t.len() as u64 * 16)
+        } else {
+            let out = self.compress_cold(t);
+            // 1 bit/value + one f32 scale per column.
+            (out, t.len() as u64 + t.cols() as u64 * 32)
+        };
+        self.step += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::rng::Pcg32;
+    use llm265_tensor::synthetic::{llm_gradient, GradientProfile};
+
+    fn grad(seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from(seed);
+        llm_gradient(32, 32, &GradientProfile::default(), &mut rng)
+    }
+
+    #[test]
+    fn warmup_is_uncompressed() {
+        let mut c = OneBitCompressor::new(OneBitFlavor::Adam, 2);
+        let g = grad(1);
+        let (out, bits) = c.transcode(&g);
+        assert_eq!(bits, g.len() as u64 * 16);
+        // FP16 roundtrip: nearly identical.
+        for (a, b) in g.data().iter().zip(out.data()) {
+            assert!((a - b).abs() <= a.abs() / 1000.0 + 1e-7);
+        }
+        assert!(c.in_warmup());
+    }
+
+    #[test]
+    fn cold_phase_is_one_bit_signs() {
+        let mut c = OneBitCompressor::new(OneBitFlavor::Adam, 0);
+        let g = grad(2);
+        let (out, bits) = c.transcode(&g);
+        assert_eq!(bits, g.len() as u64 + g.cols() as u64 * 32);
+        // Each column has at most two distinct magnitudes (±scale).
+        for col in 0..out.cols() {
+            let mags: Vec<f32> = (0..out.rows()).map(|r| out[(r, col)].abs()).collect();
+            let first = mags[0];
+            assert!(mags.iter().all(|&m| (m - first).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn error_feedback_reduces_long_run_bias() {
+        // Accumulated sum of compressed gradients should track the true
+        // sum thanks to error feedback (the EF-SGD property).
+        let mut c = OneBitCompressor::new(OneBitFlavor::Adam, 0);
+        let mut rng = Pcg32::seed_from(3);
+        let mut true_sum = Tensor::zeros(16, 16);
+        let mut comp_sum = Tensor::zeros(16, 16);
+        for _ in 0..200 {
+            let g = Tensor::from_fn(16, 16, |r, c2| {
+                (0.01 * (r as f64 - 7.5) + 0.002 * c2 as f64 + 0.05 * rng.normal()) as f32
+            });
+            true_sum.add_assign(&g);
+            let (out, _) = c.transcode(&g);
+            comp_sum.add_assign(&out);
+        }
+        // Relative deviation of the accumulated signal stays bounded.
+        let num: f64 = true_sum
+            .data()
+            .iter()
+            .zip(comp_sum.data())
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum();
+        let den = true_sum.sq_norm().max(1e-12);
+        assert!(num / den < 0.2, "relative drift {}", num / den);
+    }
+
+    #[test]
+    fn average_bits_matches_paper() {
+        // 15% warm-up of 16-bit + 85% of 1-bit ≈ 3.25 bits.
+        let c = OneBitCompressor::new(OneBitFlavor::Lamb, 150);
+        let avg = c.average_bits(1000);
+        assert!((avg - 3.25).abs() < 0.01, "avg {avg}");
+    }
+
+    #[test]
+    fn lamb_and_adam_scales_differ() {
+        let g = grad(4);
+        let mut adam = OneBitCompressor::new(OneBitFlavor::Adam, 0);
+        let mut lamb = OneBitCompressor::new(OneBitFlavor::Lamb, 0);
+        let (a, _) = adam.transcode(&g);
+        let (l, _) = lamb.transcode(&g);
+        // RMS >= mean|x| always, with equality only for constant |x|.
+        assert!(l.data().iter().map(|x| x.abs()).sum::<f32>()
+            > a.data().iter().map(|x| x.abs()).sum::<f32>());
+    }
+}

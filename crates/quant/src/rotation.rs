@@ -1,0 +1,229 @@
+//! Rotation-based quantization (QuaRot / SpinQuant style).
+//!
+//! These baselines fight activation outliers by applying an orthogonal
+//! rotation — a randomized Hadamard transform — before quantization: the
+//! rotation smears outlier energy across all channels, flattening the
+//! distribution so low-bit RTN grids fit. Decoding quantizes back through
+//! the inverse rotation. This is the paper's strongest KV-cache /
+//! activation baseline (Fig 8). SpinQuant *learns* its rotations on data;
+//! we model it as the Hadamard pipeline with per-group scales, which is
+//! the common data-free core of both methods.
+
+use llm265_tensor::channel::LossyCompressor;
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::Tensor;
+
+use crate::rtn::{GroupScheme, RtnQuantizer};
+
+/// Fast in-place Walsh–Hadamard transform (unnormalized). Length must be a
+/// power of two.
+fn fwht(xs: &mut [f32]) {
+    let n = xs.len();
+    debug_assert!(n.is_power_of_two());
+    let mut h = 1;
+    while h < n {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let a = xs[j];
+                let b = xs[j + h];
+                xs[j] = a + b;
+                xs[j + h] = a - b;
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+}
+
+/// Randomized-Hadamard rotation quantizer.
+#[derive(Debug, Clone)]
+pub struct RotationQuantizer {
+    bits: u32,
+    group: usize,
+    seed: u64,
+    /// Display name ("QuaRot" or "SpinQuant" flavor).
+    flavor: &'static str,
+}
+
+impl RotationQuantizer {
+    /// QuaRot-style: Hadamard rotation + per-group asymmetric RTN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=8.
+    pub fn quarot(bits: u32, group: usize, seed: u64) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1..=8");
+        RotationQuantizer {
+            bits,
+            group: group.max(1),
+            seed,
+            flavor: "QuaRot",
+        }
+    }
+
+    /// SpinQuant-style (same data-free core, finer default grouping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=8.
+    pub fn spinquant(bits: u32, group: usize, seed: u64) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1..=8");
+        RotationQuantizer {
+            bits,
+            group: group.max(1),
+            seed,
+            flavor: "SpinQuant",
+        }
+    }
+
+    /// Largest power-of-two block that divides the row length.
+    fn block_len(cols: usize) -> usize {
+        let mut b = 1;
+        while b * 2 <= cols && cols.is_multiple_of(b * 2) {
+            b *= 2;
+        }
+        b
+    }
+
+    /// Applies the randomized-Hadamard rotation to each row, blockwise.
+    fn rotate_rows(&self, t: &Tensor, inverse: bool) -> Tensor {
+        let cols = t.cols();
+        let block = Self::block_len(cols);
+        // Deterministic sign vector shared by forward and inverse.
+        let mut rng = Pcg32::seed_from(self.seed);
+        let signs: Vec<f32> = (0..cols)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let norm = 1.0 / (block as f32).sqrt();
+        let mut out = t.clone();
+        for r in 0..t.rows() {
+            let row = out.row_mut(r);
+            for b0 in (0..cols).step_by(block) {
+                let chunk = &mut row[b0..b0 + block];
+                if inverse {
+                    // Inverse: H/√n then sign flip (H is its own inverse
+                    // up to scale; signs commute as a diagonal matrix).
+                    fwht(chunk);
+                    for (x, s) in chunk.iter_mut().zip(&signs[b0..b0 + block]) {
+                        *x *= norm * s;
+                    }
+                } else {
+                    for (x, s) in chunk.iter_mut().zip(&signs[b0..b0 + block]) {
+                        *x *= s;
+                    }
+                    fwht(chunk);
+                    for x in chunk.iter_mut() {
+                        *x *= norm;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Quantizes through the rotation and returns the reconstruction in
+    /// the original (unrotated) space.
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        if t.is_empty() {
+            return t.clone();
+        }
+        let rotated = self.rotate_rows(t, false);
+        let q = RtnQuantizer::asymmetric(self.bits, GroupScheme::Groups(self.group));
+        let rq = q.apply(&rotated);
+        self.rotate_rows(&rq, true)
+    }
+
+    /// Wire size in bits (same payload accounting as the inner RTN; the
+    /// rotation itself is a shared seed, effectively free).
+    pub fn wire_bits(&self, t: &Tensor) -> u64 {
+        RtnQuantizer::asymmetric(self.bits, GroupScheme::Groups(self.group)).wire_bits(t) + 64
+    }
+}
+
+impl LossyCompressor for RotationQuantizer {
+    fn name(&self) -> String {
+        format!("{}{}", self.flavor, self.bits)
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        (self.apply(t), self.wire_bits(t))
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        Some(self.bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::stats;
+    use llm265_tensor::synthetic::{llm_activation, ActivationProfile};
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let mut rng = Pcg32::seed_from(1);
+        let t = Tensor::from_fn(4, 64, |_, _| rng.normal() as f32);
+        let q = RotationQuantizer::quarot(8, 64, 7);
+        let rot = q.rotate_rows(&t, false);
+        // Energy preserved.
+        assert!((rot.sq_norm() - t.sq_norm()).abs() / t.sq_norm() < 1e-5);
+        // Inverse restores the input.
+        let back = q.rotate_rows(&rot, true);
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rotation_flattens_outlier_channels() {
+        let mut rng = Pcg32::seed_from(2);
+        let p = ActivationProfile {
+            outlier_channel_frac: 0.05,
+            ..ActivationProfile::default()
+        };
+        let t = llm_activation(64, 128, &p, &mut rng);
+        let q = RotationQuantizer::quarot(4, 128, 3);
+        let rot = q.rotate_rows(&t, false);
+        assert!(
+            stats::peak_to_sigma(rot.data()) < stats::peak_to_sigma(t.data()) * 0.8,
+            "rotation should shrink peak/σ: {} -> {}",
+            stats::peak_to_sigma(t.data()),
+            stats::peak_to_sigma(rot.data())
+        );
+    }
+
+    #[test]
+    fn quarot_beats_plain_rtn_on_outlier_activations() {
+        let mut rng = Pcg32::seed_from(3);
+        let p = ActivationProfile {
+            outlier_channel_frac: 0.04,
+            ..ActivationProfile::default()
+        };
+        let t = llm_activation(128, 128, &p, &mut rng);
+        let rot = RotationQuantizer::quarot(4, 128, 5).apply(&t);
+        let rtn = RtnQuantizer::asymmetric(4, GroupScheme::Groups(128)).apply(&t);
+        let e_rot = stats::mse(t.data(), rot.data());
+        let e_rtn = stats::mse(t.data(), rtn.data());
+        assert!(e_rot < e_rtn, "rotated {e_rot} vs plain {e_rtn}");
+    }
+
+    #[test]
+    fn non_power_of_two_widths_are_handled() {
+        let mut rng = Pcg32::seed_from(4);
+        let t = Tensor::from_fn(8, 96, |_, _| rng.normal() as f32); // 96 = 32·3
+        let q = RotationQuantizer::spinquant(6, 32, 1);
+        let out = q.apply(&t);
+        assert_eq!(out.shape(), t.shape());
+        let nmse = stats::mse(t.data(), out.data()) / stats::variance(t.data());
+        assert!(nmse < 0.02, "nmse {nmse}");
+    }
+
+    #[test]
+    fn block_len_is_largest_pow2_divisor() {
+        assert_eq!(RotationQuantizer::block_len(128), 128);
+        assert_eq!(RotationQuantizer::block_len(96), 32);
+        assert_eq!(RotationQuantizer::block_len(7), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! The lossy-compression interface shared by every compressor in the
+//! reproduction.
+//!
+//! The distributed-training simulator, the evaluation harness and the
+//! benchmark binaries all treat compressors uniformly: hand a tensor in,
+//! get the reconstruction plus the compressed size back. LLM.265, every
+//! baseline quantizer and the chained codecs of Fig 14 implement this
+//! trait.
+
+use crate::half::Precision;
+use crate::Tensor;
+
+/// A lossy tensor compressor, viewed as a transparent channel: callers see
+/// only the reconstruction and the wire size.
+pub trait LossyCompressor {
+    /// Display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Compresses and immediately decompresses `t`, returning the
+    /// reconstruction and the compressed size in bits.
+    ///
+    /// Takes `&mut self` because some compressors are stateful (error
+    /// feedback, warm-up schedules, step counters).
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64);
+
+    /// Average bits per value of the last/typical transcode, if the
+    /// compressor has a fixed rate; informational only.
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The "no compression" channel: values pass through at storage precision
+/// (FP16/BF16 rounding), costing 16 bits each — the uncompressed baseline
+/// in every training experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Uncompressed {
+    precision: Precision,
+}
+
+impl Uncompressed {
+    /// Uncompressed channel at the given storage precision.
+    pub fn new(precision: Precision) -> Self {
+        Uncompressed { precision }
+    }
+}
+
+impl Default for Uncompressed {
+    fn default() -> Self {
+        Uncompressed::new(Precision::F16)
+    }
+}
+
+impl LossyCompressor for Uncompressed {
+    fn name(&self) -> String {
+        "Uncompressed".to_string()
+    }
+
+    fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+        let out = t.map(|x| self.precision.round(x));
+        let bits = t.len() as u64 * self.precision.bits() as u64;
+        (out, bits)
+    }
+
+    fn nominal_bits_per_value(&self) -> Option<f64> {
+        Some(self.precision.bits() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncompressed_is_16_bits_and_near_lossless() {
+        let t = Tensor::from_fn(8, 8, |r, c| (r as f32 - 3.5) * 0.01 + c as f32 * 0.001);
+        let mut ch = Uncompressed::default();
+        let (out, bits) = ch.transcode(&t);
+        assert_eq!(bits, 64 * 16);
+        for (a, b) in t.data().iter().zip(out.data()) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-7);
+        }
+        assert_eq!(ch.nominal_bits_per_value(), Some(16.0));
+    }
+
+    #[test]
+    fn f32_precision_is_exact() {
+        let t = Tensor::from_fn(4, 4, |r, c| (r * 4 + c) as f32 * 0.377);
+        let mut ch = Uncompressed::new(Precision::F32);
+        let (out, bits) = ch.transcode(&t);
+        assert_eq!(out, t);
+        assert_eq!(bits, 16 * 32);
+    }
+}

@@ -1,0 +1,229 @@
+//! Software FP16 / BF16 conversion.
+//!
+//! The paper's tensors live in FP16 or BF16 and are rounded to 8-bit
+//! integers before entering the video codec (§3.2). We emulate both
+//! half-precision formats in software so the "stored precision" of every
+//! experiment matches the paper's: baselines quantize from FP16 values, and
+//! uncompressed communication volume is counted at 16 bits per element.
+
+/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: preserve a NaN payload bit so NaNs stay NaNs.
+        let nan = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan | ((mant >> 13) as u16 & 0x3ff).min(0x3ff);
+    }
+
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal range.
+        let half_exp = (unbiased + 15) as u32;
+        let mut half_mant = mant >> 13;
+        // Round to nearest even on the 13 truncated bits.
+        let rem = mant & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (half_mant & 1) == 1) {
+            half_mant += 1;
+        }
+        // Mantissa carry may bump the exponent (possibly to infinity).
+        let combined = (half_exp << 10) + half_mant;
+        return sign | combined as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: shift in the implicit leading 1.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mut half_mant = full_mant >> shift;
+        let rem_mask = (1u32 << shift) - 1;
+        let rem = full_mant & rem_mask;
+        let halfway = 1u32 << (shift - 1);
+        if rem > halfway || (rem == halfway && (half_mant & 1) == 1) {
+            half_mant += 1;
+        }
+        return sign | half_mant as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts IEEE 754 binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize. Value is m·2^-24; after k left-shifts
+            // the exponent is -15 + 1 - k, i.e. e = -k with the +1 folded
+            // into the formula below.
+            let mut e = 0i32;
+            let mut m = m;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            let m = (m & 0x3ff) << 13;
+            let e = (127 - 15 + e + 1) as u32;
+            sign | (e << 23) | m
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through FP16 precision (the paper's storage format).
+pub fn round_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Converts an `f32` to bfloat16 bits with round-to-nearest-even.
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Quiet the NaN, keep it NaN after truncation.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rem = bits & 0xffff;
+    let mut hi = bits >> 16;
+    if rem > 0x8000 || (rem == 0x8000 && (hi & 1) == 1) {
+        hi += 1;
+    }
+    hi as u16
+}
+
+/// Converts bfloat16 bits to an `f32`.
+pub fn bf16_bits_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Rounds an `f32` through BF16 precision.
+pub fn round_bf16(x: f32) -> f32 {
+    bf16_bits_to_f32(f32_to_bf16_bits(x))
+}
+
+/// Storage precision of an uncompressed tensor, used for bits-per-value
+/// accounting in the communication experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE binary16 — 16 bits/value.
+    #[default]
+    F16,
+    /// bfloat16 — 16 bits/value.
+    Bf16,
+    /// IEEE binary32 — 32 bits/value.
+    F32,
+}
+
+impl Precision {
+    /// Bits each stored value occupies.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::F16 | Precision::Bf16 => 16,
+            Precision::F32 => 32,
+        }
+    }
+
+    /// Rounds a value through this precision.
+    pub fn round(self, x: f32) -> f32 {
+        match self {
+            Precision::F16 => round_f16(x),
+            Precision::Bf16 => round_bf16(x),
+            Precision::F32 => x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let y = round_f16(x);
+            assert_eq!(round_f16(y), y, "idempotent for {x}");
+        }
+        assert_eq!(round_f16(1.0), 1.0);
+        assert_eq!(round_f16(-2.5), -2.5);
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert!(round_f16(1.0e5).is_infinite());
+        assert!(round_f16(-1.0e5).is_infinite());
+        assert!(round_f16(-1.0e5) < 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let tiny = 6.0e-8_f32; // near f16 min subnormal 5.96e-8
+        let r = round_f16(tiny);
+        assert!(r > 0.0 && r < 1.3e-7, "got {r}");
+        // Deep underflow flushes to zero.
+        assert_eq!(round_f16(1.0e-12), 0.0);
+        assert!(round_f16(-1.0e-12).to_bits() == (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn f16_nan_preserved() {
+        assert!(round_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn f16_relative_error_bounded_in_normal_range() {
+        let mut x = 1.0e-4_f32;
+        while x < 6.0e4 {
+            let r = round_f16(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel < 1.0 / 1024.0, "rel err {rel} at {x}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_and_precision() {
+        assert_eq!(round_bf16(1.0), 1.0);
+        let x = 3.14159_f32;
+        let r = round_bf16(x);
+        assert!(((r - x) / x).abs() < 1.0 / 128.0);
+        assert!(round_bf16(f32::NAN).is_nan());
+        // bf16 has f32's range: no overflow at 1e30.
+        assert!(round_bf16(1.0e30).is_finite());
+    }
+
+    #[test]
+    fn bf16_round_to_nearest_even() {
+        // 1.0 + 2^-9 rounds to nearest-even at bf16's 7-bit mantissa.
+        let x = f32::from_bits(0x3f80_8000); // halfway between two bf16 values
+        let r = round_bf16(x);
+        assert!(r == 1.0 || r == f32::from_bits(0x3f81_0000));
+        // Even tie-break picks 1.0 (mantissa 0).
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn precision_bits() {
+        assert_eq!(Precision::F16.bits(), 16);
+        assert_eq!(Precision::Bf16.bits(), 16);
+        assert_eq!(Precision::F32.bits(), 32);
+        assert_eq!(Precision::F32.round(1.2345678), 1.2345678);
+    }
+
+    #[test]
+    fn f16_mantissa_carry_propagates() {
+        // A mantissa of all ones must carry into the exponent when rounded up.
+        let x = f32::from_bits(0x3fff_ffff); // just under 2.0
+        assert_eq!(round_f16(x), 2.0);
+    }
+}

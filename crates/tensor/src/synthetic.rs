@@ -1,0 +1,400 @@
+//! Synthetic LLM-tensor generators.
+//!
+//! We do not have LLaMA / Pythia checkpoints, so every experiment runs on
+//! synthetic tensors that reproduce the statistical structure §3.1 of the
+//! paper identifies as the reason video codecs work on tensors:
+//!
+//! 1. **Bell-shaped bodies** — weights/activations/gradients follow a normal
+//!    or Laplacian distribution (entropy coding win, Fig 2b step 2);
+//! 2. **Channel-wise scale structure** — each input channel has its own
+//!    scale, so the tensor "viewed as an image" has edges and planar regions
+//!    (intra-prediction win, Fig 4);
+//! 3. **Heavy-tailed outliers** — rare values orders of magnitude beyond the
+//!    body (transform-coding win, Fig 3).
+//!
+//! Generators are parameterized so experiments can sweep each property.
+
+use crate::rng::Pcg32;
+use crate::Tensor;
+
+/// Parameters of the synthetic weight-matrix generator.
+///
+/// Defaults are tuned so the generated matrices have kurtosis, outlier
+/// fraction and channel-scale spread in the range reported for LLaMA-family
+/// projection weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightProfile {
+    /// Standard deviation of the central body.
+    pub body_std: f64,
+    /// Log-normal sigma of per-column (input-channel) scales; 0 disables
+    /// channel structure.
+    pub channel_spread: f64,
+    /// Probability that an element is an outlier.
+    pub outlier_prob: f64,
+    /// Outlier magnitude multiplier relative to the body std.
+    pub outlier_scale: f64,
+    /// Strength of low-rank smooth structure (what intra prediction finds).
+    pub smooth_strength: f64,
+    /// Rank of the smooth component.
+    pub smooth_rank: usize,
+    /// Amplitude (in `body_std` units) of the *banded* per-channel means:
+    /// groups of adjacent channels share a mean offset, producing the
+    /// sharp vertical "edges" the paper's Fig 4 shows in weight images.
+    pub band_strength: f64,
+    /// Channels per band.
+    pub band_width: usize,
+}
+
+impl Default for WeightProfile {
+    fn default() -> Self {
+        WeightProfile {
+            body_std: 0.02,
+            channel_spread: 0.5,
+            outlier_prob: 1.0e-3,
+            outlier_scale: 12.0,
+            smooth_strength: 0.6,
+            smooth_rank: 4,
+            band_strength: 1.5,
+            band_width: 6,
+        }
+    }
+}
+
+impl WeightProfile {
+    /// A profile with no channel structure and no outliers — i.i.d. noise,
+    /// the hardest case for prediction-based coding.
+    pub fn iid() -> Self {
+        WeightProfile {
+            channel_spread: 0.0,
+            outlier_prob: 0.0,
+            smooth_strength: 0.0,
+            band_strength: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a weight matrix with LLM-like structure (see module docs).
+pub fn llm_weight(rows: usize, cols: usize, p: &WeightProfile, rng: &mut Pcg32) -> Tensor {
+    // Per-column channel scales: log-normal, matching the channel-wise
+    // distribution property from AWQ/SmoothQuant the paper cites.
+    let col_scale: Vec<f64> = (0..cols)
+        .map(|_| (p.channel_spread * rng.normal()).exp())
+        .collect();
+
+    // Low-rank smooth field: sum of r outer products of slowly varying
+    // vectors; this is the "edges and planar blocks" structure intra
+    // prediction exploits.
+    let rank = p.smooth_rank.max(1);
+    let mut row_basis = vec![vec![0.0f64; rows]; rank];
+    let mut col_basis = vec![vec![0.0f64; cols]; rank];
+    for k in 0..rank {
+        smooth_walk(&mut row_basis[k], rng);
+        smooth_walk(&mut col_basis[k], rng);
+    }
+
+    // Banded per-channel means: sharp steps every `band_width` columns.
+    let band_w = p.band_width.max(1);
+    let band_level: Vec<f64> = {
+        let n_bands = cols.div_ceil(band_w);
+        let levels: Vec<f64> = (0..n_bands)
+            .map(|_| p.band_strength * rng.normal())
+            .collect();
+        (0..cols).map(|c| levels[c / band_w]).collect()
+    };
+
+    let mut t = Tensor::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut smooth = 0.0;
+            if p.smooth_strength > 0.0 {
+                for k in 0..rank {
+                    smooth += row_basis[k][r] * col_basis[k][c];
+                }
+                smooth *= p.smooth_strength / (rank as f64).sqrt();
+            }
+            let mut v = p.body_std * (col_scale[c] * (rng.normal() + smooth) + band_level[c]);
+            if p.outlier_prob > 0.0 && rng.chance(p.outlier_prob) {
+                let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+                v += sign * p.body_std * p.outlier_scale * (1.0 + rng.f64());
+            }
+            t[(r, c)] = v as f32;
+        }
+    }
+    t
+}
+
+/// Generates a stack of `layers` weight matrices whose profiles drift
+/// slightly with depth — the paper's 4-D video tensor with the layer index
+/// as the temporal channel (§3, footnote 1). Deliberately, consecutive
+/// layers are *not* pixel-correlated: the paper finds inter-frame prediction
+/// does not help (Fig 2b step 5→6).
+pub fn llm_weight_stack(
+    layers: usize,
+    rows: usize,
+    cols: usize,
+    p: &WeightProfile,
+    rng: &mut Pcg32,
+) -> Vec<Tensor> {
+    (0..layers)
+        .map(|l| {
+            let mut pl = p.clone();
+            // Later layers are mildly harder to compress (larger spread),
+            // motivating the variable bit-width search B = k·l + b.
+            pl.channel_spread = p.channel_spread * (1.0 + 0.08 * l as f64);
+            pl.outlier_prob = p.outlier_prob * (1.0 + 0.15 * l as f64);
+            let mut fork = rng.fork(l as u64);
+            llm_weight(rows, cols, &pl, &mut fork)
+        })
+        .collect()
+}
+
+/// Parameters of the activation generator. Activations have much stronger
+/// channel outliers than weights (§2.1 "Activation Compression").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationProfile {
+    /// Body standard deviation.
+    pub body_std: f64,
+    /// Fraction of channels that are persistent outlier channels.
+    pub outlier_channel_frac: f64,
+    /// Scale multiplier of outlier channels.
+    pub outlier_channel_scale: f64,
+    /// Per-token scale jitter (sequence-position structure).
+    pub token_jitter: f64,
+}
+
+impl Default for ActivationProfile {
+    fn default() -> Self {
+        ActivationProfile {
+            body_std: 1.0,
+            outlier_channel_frac: 0.01,
+            outlier_channel_scale: 20.0,
+            token_jitter: 0.15,
+        }
+    }
+}
+
+/// Generates an activation matrix (`tokens × channels`) with persistent
+/// outlier channels, the structure SmoothQuant/QuaRot exist to fight.
+pub fn llm_activation(
+    tokens: usize,
+    channels: usize,
+    p: &ActivationProfile,
+    rng: &mut Pcg32,
+) -> Tensor {
+    let chan_scale: Vec<f64> = (0..channels)
+        .map(|_| {
+            if rng.chance(p.outlier_channel_frac) {
+                p.outlier_channel_scale * (0.5 + rng.f64())
+            } else {
+                (0.25 * rng.normal()).exp()
+            }
+        })
+        .collect();
+    Tensor::from_fn(tokens, channels, |_t, c| {
+        let tok_scale = 1.0 + p.token_jitter * rng.normal();
+        (p.body_std * chan_scale[c] * tok_scale * rng.normal()) as f32
+    })
+}
+
+/// Parameters of the gradient generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientProfile {
+    /// Laplace scale of the body (gradients are heavier-tailed than weights).
+    pub body_scale: f64,
+    /// Per-dimension range variance in orders of magnitude. The paper
+    /// observes this grows from 1 to 3 orders of magnitude over training
+    /// (§5.1), which is why late-stage residuals need 8-bit coding.
+    pub range_orders: f64,
+    /// Probability of spike outliers.
+    pub spike_prob: f64,
+    /// Spike magnitude multiplier.
+    pub spike_scale: f64,
+}
+
+impl Default for GradientProfile {
+    fn default() -> Self {
+        GradientProfile {
+            body_scale: 1.0e-3,
+            range_orders: 1.0,
+            spike_prob: 5.0e-4,
+            spike_scale: 40.0,
+        }
+    }
+}
+
+impl GradientProfile {
+    /// Profile at a given training progress in `[0, 1]`: range variance
+    /// grows from 1 to 3 orders of magnitude, per §5.1.
+    pub fn at_progress(progress: f64) -> Self {
+        let p = progress.clamp(0.0, 1.0);
+        GradientProfile {
+            range_orders: 1.0 + 2.0 * p,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a weight-gradient matrix: Laplacian body, per-row scale spread
+/// of `range_orders` orders of magnitude, rare large spikes.
+pub fn llm_gradient(rows: usize, cols: usize, p: &GradientProfile, rng: &mut Pcg32) -> Tensor {
+    let ln10 = std::f64::consts::LN_10;
+    let row_scale: Vec<f64> = (0..rows)
+        .map(|_| (p.range_orders * ln10 * (rng.f64() - 0.5)).exp())
+        .collect();
+    Tensor::from_fn(rows, cols, |r, _c| {
+        let mut v = p.body_scale * row_scale[r] * rng.laplace(1.0);
+        if p.spike_prob > 0.0 && rng.chance(p.spike_prob) {
+            v *= p.spike_scale;
+        }
+        v as f32
+    })
+}
+
+/// Generates a KV-cache slab (`positions × head_dim`) — smoother along the
+/// sequence axis than activations, with mild channel structure.
+pub fn kv_cache_slab(positions: usize, head_dim: usize, rng: &mut Pcg32) -> Tensor {
+    let chan_scale: Vec<f64> = (0..head_dim).map(|_| (0.3 * rng.normal()).exp()).collect();
+    let mut t = Tensor::zeros(positions, head_dim);
+    let mut prev = vec![0.0f64; head_dim];
+    for pos in 0..positions {
+        for d in 0..head_dim {
+            // AR(1) along the sequence: keys/values evolve slowly with
+            // position, giving intra prediction vertical structure.
+            let innov = rng.normal();
+            prev[d] = 0.8 * prev[d] + 0.6 * innov;
+            t[(pos, d)] = (chan_scale[d] * prev[d]) as f32;
+        }
+    }
+    t
+}
+
+/// Random-walk smooth vector used for the low-rank structure.
+fn smooth_walk(out: &mut [f64], rng: &mut Pcg32) {
+    let mut acc = rng.normal();
+    for o in out.iter_mut() {
+        acc = 0.95 * acc + 0.12 * rng.normal();
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn weight_has_bell_body_and_outliers() {
+        let mut rng = Pcg32::seed_from(100);
+        let w = llm_weight(128, 128, &WeightProfile::default(), &mut rng);
+        // Heavy tails vs. pure normal.
+        assert!(stats::kurtosis(w.data()) > 1.0);
+        // Peak dominated by outliers.
+        assert!(stats::peak_to_sigma(w.data()) > 4.0);
+    }
+
+    #[test]
+    fn iid_profile_has_no_structure() {
+        let mut rng = Pcg32::seed_from(101);
+        let w = llm_weight(128, 128, &WeightProfile::iid(), &mut rng);
+        assert!(stats::kurtosis(w.data()).abs() < 0.5);
+    }
+
+    #[test]
+    fn weight_generation_is_deterministic() {
+        let p = WeightProfile::default();
+        let a = llm_weight(32, 32, &p, &mut Pcg32::seed_from(7));
+        let b = llm_weight(32, 32, &p, &mut Pcg32::seed_from(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_stack_layers_differ() {
+        let mut rng = Pcg32::seed_from(8);
+        let stack = llm_weight_stack(3, 16, 16, &WeightProfile::default(), &mut rng);
+        assert_eq!(stack.len(), 3);
+        assert_ne!(stack[0], stack[1]);
+        assert_ne!(stack[1], stack[2]);
+    }
+
+    #[test]
+    fn channel_structure_shows_in_column_scales() {
+        let mut rng = Pcg32::seed_from(9);
+        let p = WeightProfile {
+            channel_spread: 1.0,
+            outlier_prob: 0.0,
+            smooth_strength: 0.0,
+            ..WeightProfile::default()
+        };
+        let w = llm_weight(256, 64, &p, &mut rng);
+        // Per-column std devs should vary by much more than sampling noise.
+        let stds: Vec<f64> = (0..64)
+            .map(|c| {
+                let col: Vec<f32> = (0..256).map(|r| w[(r, c)]).collect();
+                stats::std_dev(&col)
+            })
+            .collect();
+        let lo = stds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = stds.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo > 3.0, "column scale spread {}", hi / lo);
+    }
+
+    #[test]
+    fn activations_have_outlier_channels() {
+        let mut rng = Pcg32::seed_from(10);
+        let p = ActivationProfile {
+            outlier_channel_frac: 0.05,
+            ..ActivationProfile::default()
+        };
+        let a = llm_activation(256, 128, &p, &mut rng);
+        let stds: Vec<f64> = (0..128)
+            .map(|c| {
+                let col: Vec<f32> = (0..256).map(|r| a[(r, c)]).collect();
+                stats::std_dev(&col)
+            })
+            .collect();
+        let hi = stds.iter().cloned().fold(0.0, f64::max);
+        let med = {
+            let mut s = stds.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(hi / med > 5.0, "outlier channel ratio {}", hi / med);
+    }
+
+    #[test]
+    fn gradient_range_grows_with_progress() {
+        let mut rng = Pcg32::seed_from(11);
+        let early = llm_gradient(128, 128, &GradientProfile::at_progress(0.0), &mut rng);
+        let late = llm_gradient(128, 128, &GradientProfile::at_progress(1.0), &mut rng);
+        let spread = |t: &Tensor| {
+            let stds: Vec<f64> = (0..t.rows()).map(|r| stats::std_dev(t.row(r))).collect();
+            let lo = stds.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+            let hi = stds.iter().cloned().fold(0.0, f64::max);
+            hi / lo
+        };
+        assert!(
+            spread(&late) > 5.0 * spread(&early),
+            "late spread {} vs early {}",
+            spread(&late),
+            spread(&early)
+        );
+    }
+
+    #[test]
+    fn kv_slab_is_sequence_correlated() {
+        let mut rng = Pcg32::seed_from(12);
+        let kv = kv_cache_slab(128, 32, &mut rng);
+        // Adjacent positions should correlate strongly (AR(1) with 0.8).
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for pos in 1..128 {
+            for d in 0..32 {
+                num += (kv[(pos, d)] * kv[(pos - 1, d)]) as f64;
+                den += (kv[(pos, d)] * kv[(pos, d)]) as f64;
+            }
+        }
+        let rho = num / den;
+        assert!(rho > 0.5, "sequence autocorrelation {rho}");
+    }
+}

@@ -1,0 +1,228 @@
+//! The video decoder, mirroring [`crate::encoder`]'s syntax exactly.
+
+use llm265_bitstream::bits::BitReader;
+use llm265_bitstream::cabac::CabacDecoder;
+
+use crate::encoder::{FIXED_CU, MAGIC, VERSION};
+use crate::inter::{compensate, MotionVector};
+use crate::intra::RefSamples;
+use crate::quant::Quantizer;
+use crate::syntax::{parse_residual, Contexts};
+use crate::transform::DctPlans;
+use crate::{CodecConfig, DecodeError, Frame, PipelineConfig, Profile};
+
+struct FrameDecoder<'a> {
+    cfg: &'a CodecConfig,
+    plans: &'a DctPlans,
+    recon: Frame,
+    prev: Option<&'a Frame>,
+    quant: Quantizer,
+    frame_inter: bool,
+    mode_bits: u32,
+    prev_mode: u8,
+}
+
+impl<'a> FrameDecoder<'a> {
+    fn min_cu(&self) -> usize {
+        if self.cfg.pipeline.adaptive_partition {
+            self.cfg.profile.min_cu()
+        } else {
+            FIXED_CU.min(self.cfg.profile.ctu())
+        }
+    }
+
+    fn parse_cu(
+        &mut self,
+        dec: &mut CabacDecoder<'_>,
+        ctxs: &mut Contexts,
+        x0: usize,
+        y0: usize,
+        size: usize,
+    ) -> Result<(), DecodeError> {
+        let min = self.min_cu();
+        let split = if !self.cfg.pipeline.adaptive_partition {
+            size > min
+        } else if size > min {
+            dec.decode_bit(&mut ctxs.split)
+        } else {
+            false
+        };
+        if split {
+            let half = size / 2;
+            for (dx, dy) in [(0, 0), (half, 0), (0, half), (half, half)] {
+                self.parse_cu(dec, ctxs, x0 + dx, y0 + dy, half)?;
+            }
+            return Ok(());
+        }
+        self.parse_leaf(dec, ctxs, x0, y0, size)
+    }
+
+    fn parse_leaf(
+        &mut self,
+        dec: &mut CabacDecoder<'_>,
+        ctxs: &mut Contexts,
+        x0: usize,
+        y0: usize,
+        size: usize,
+    ) -> Result<(), DecodeError> {
+        // Prediction kind + parameters.
+        let is_inter = self.frame_inter && dec.decode_bit(&mut ctxs.inter_flag);
+        let pred: Vec<i32> = if is_inter {
+            let dx = parse_signed_eg(dec);
+            let dy = parse_signed_eg(dec);
+            let mv = MotionVector {
+                dx: dx.clamp(-128, 127) as i8,
+                dy: dy.clamp(-128, 127) as i8,
+            };
+            let prev = self
+                .prev
+                .ok_or_else(|| DecodeError::new("inter block without reference frame"))?;
+            compensate(prev, x0, y0, size, mv)
+        } else if self.cfg.pipeline.intra {
+            let n_modes = self.cfg.profile.modes().len();
+            let idx = if dec.decode_bit(&mut ctxs.mpm) {
+                self.prev_mode
+            } else {
+                dec.decode_bypass_bits(self.mode_bits) as u8
+            };
+            if idx as usize >= n_modes {
+                return Err(DecodeError::new("intra mode index out of range"));
+            }
+            self.prev_mode = idx;
+            let refs = RefSamples::gather(&self.recon, x0, y0, size);
+            refs.predict(self.cfg.profile.modes()[idx as usize])
+        } else {
+            vec![128; size * size]
+        };
+
+        // Residual per TU.
+        let tu = size.min(self.cfg.profile.max_tu());
+        let per_side = size / tu;
+        let spatial = !self.cfg.pipeline.transform;
+        let mut block = vec![0i32; size * size];
+        for ty in 0..per_side {
+            for tx in 0..per_side {
+                let levels = parse_residual(dec, ctxs, tu, spatial);
+                let rres: Vec<i32> = if self.cfg.pipeline.transform {
+                    let deq = self.quant.dequantize_block(&levels);
+                    self.plans.get(tu).inverse(&deq)
+                } else {
+                    levels
+                        .iter()
+                        .map(|&l| self.quant.dequantize(l).round() as i32)
+                        .collect()
+                };
+                for y in 0..tu {
+                    for x in 0..tu {
+                        let idx = (ty * tu + y) * size + tx * tu + x;
+                        block[idx] = (pred[idx] + rres[y * tu + x]).clamp(0, 255);
+                    }
+                }
+            }
+        }
+        self.recon.write_block(x0, y0, size, &block);
+        Ok(())
+    }
+}
+
+fn parse_signed_eg(dec: &mut CabacDecoder<'_>) -> i32 {
+    let mut m = 1u32;
+    let mut base = 0u32;
+    while m < 31 && dec.decode_bypass() {
+        base += 1 << m;
+        m += 1;
+    }
+    let mapped = base + dec.decode_bypass_bits(m) as u32;
+    if mapped & 1 == 0 {
+        (mapped >> 1) as i32
+    } else {
+        -(((mapped + 1) >> 1) as i32)
+    }
+}
+
+/// Decodes a bitstream produced by [`crate::encode_video`].
+pub(crate) fn decode_video(bytes: &[u8]) -> Result<Vec<Frame>, DecodeError> {
+    let mut r = BitReader::new(bytes);
+    if r.read_bits(32)? as u32 != MAGIC {
+        return Err(DecodeError::new("bad magic"));
+    }
+    if r.read_bits(8)? as u8 != VERSION {
+        return Err(DecodeError::new("unsupported bitstream version"));
+    }
+    let profile = Profile::from_header_id(r.read_bits(8)? as u8)
+        .ok_or_else(|| DecodeError::new("unknown profile id"))?;
+    let pipeline = PipelineConfig::from_byte(r.read_bits(8)? as u8);
+    let qp = r.read_bits(16)? as f64 / 256.0;
+    let w = r.read_bits(32)? as usize;
+    let h = r.read_bits(32)? as usize;
+    let n_frames = r.read_bits(32)? as usize;
+    if w == 0 || h == 0 {
+        return Err(DecodeError::new("zero frame dimensions"));
+    }
+    if n_frames > 1 << 20 {
+        return Err(DecodeError::new("implausible frame count"));
+    }
+    let mut pos = 21; // header is exactly 168 bits
+
+    let cfg = CodecConfig {
+        profile,
+        pipeline,
+        qp,
+    };
+
+    if !cfg.pipeline.entropy {
+        // Raw 8-bit storage.
+        let mut frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let data = bytes
+                .get(pos..pos + w * h)
+                .ok_or_else(|| DecodeError::new("truncated raw frame"))?;
+            frames.push(Frame::from_vec(w, h, data.to_vec()));
+            pos += w * h;
+        }
+        return Ok(frames);
+    }
+
+    let plans = DctPlans::new();
+    let ctu = cfg.profile.ctu();
+    let pw = w.div_ceil(ctu) * ctu;
+    let ph = h.div_ceil(ctu) * ctu;
+
+    let mut frames = Vec::with_capacity(n_frames);
+    let mut prev_padded: Option<Frame> = None;
+    for i in 0..n_frames {
+        let len_bytes = bytes
+            .get(pos..pos + 4)
+            .ok_or_else(|| DecodeError::new("truncated frame length"))?;
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        pos += 4;
+        let payload = bytes
+            .get(pos..pos + len)
+            .ok_or_else(|| DecodeError::new("truncated frame payload"))?;
+        pos += len;
+
+        let frame_inter = cfg.pipeline.inter && i > 0 && prev_padded.is_some();
+        let mode_count = cfg.profile.modes().len() as u32;
+        let mut fd = FrameDecoder {
+            cfg: &cfg,
+            plans: &plans,
+            recon: Frame::new(pw, ph),
+            prev: prev_padded.as_ref(),
+            quant: Quantizer::from_qp(qp),
+            frame_inter,
+            mode_bits: 32 - (mode_count - 1).leading_zeros(),
+            prev_mode: 0,
+        };
+        let mut dec = CabacDecoder::new(payload);
+        let mut ctxs = Contexts::new();
+        for cy in (0..ph).step_by(ctu) {
+            for cx in (0..pw).step_by(ctu) {
+                fd.parse_cu(&mut dec, &mut ctxs, cx, cy, ctu)?;
+            }
+        }
+        let recon = fd.recon;
+        frames.push(recon.cropped(w, h));
+        prev_padded = Some(recon);
+    }
+    Ok(frames)
+}

@@ -1,0 +1,478 @@
+//! The frame/video encoder.
+//!
+//! Encoding is two-phase per frame:
+//!
+//! 1. **Decide** — walk CTUs in raster order, recursively choosing quad-tree
+//!    splits, prediction modes and quantized levels by rate-distortion cost
+//!    (`cost = SSD + λ·bits`, bits estimated by `syntax::BitCounter` on
+//!    cloned contexts). Reconstruction is committed as decisions are made,
+//!    so later blocks predict from exactly what the decoder will see.
+//! 2. **Emit** — replay the decision tree into the real CABAC coder.
+//!
+//! Because the cost counter evolves context models identically to the real
+//! coder, both phases see the same probability state, and the encoder's
+//! reconstruction is bit-exact with the decoder's output.
+
+use llm265_bitstream::bits::BitWriter;
+use llm265_bitstream::cabac::CabacEncoder;
+
+use crate::inter::{compensate, motion_search, MotionVector};
+use crate::intra::RefSamples;
+use crate::quant::{lambda, Quantizer};
+use crate::syntax::{code_residual, BinSink, BitCounter, Contexts};
+use crate::transform::DctPlans;
+use crate::{CodecConfig, EncodedVideo, Frame};
+
+/// Magic number at the start of every bitstream ("L265").
+pub(crate) const MAGIC: u32 = 0x4C32_3635;
+/// Bitstream format version.
+pub(crate) const VERSION: u8 = 1;
+/// Coding-unit size used when adaptive partitioning is disabled.
+pub(crate) const FIXED_CU: usize = 8;
+/// Number of top SAD candidates taken to full RD evaluation.
+const RD_CANDIDATES: usize = 4;
+
+/// How a leaf coding unit is predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CuKind {
+    /// Constant mid-gray prediction (intra stage disabled).
+    Flat,
+    /// Intra prediction with the profile's mode at this index.
+    Intra(u8),
+    /// Motion-compensated prediction from the previous frame.
+    Inter(MotionVector),
+}
+
+/// A decided leaf: prediction kind plus quantized levels per TU.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafData {
+    pub kind: CuKind,
+    /// Levels for each transform unit, raster TU order.
+    pub tus: Vec<Vec<i32>>,
+}
+
+/// A node of the decided coding quad-tree.
+#[derive(Debug, Clone)]
+pub(crate) enum CuNode {
+    Split(Vec<CuNode>),
+    Leaf(LeafData),
+}
+
+/// Coder state that must stay in lock-step between decide and emit: the
+/// CABAC contexts plus the previous-mode predictor.
+#[derive(Debug, Clone)]
+pub(crate) struct CoderState {
+    pub ctxs: Contexts,
+    pub prev_mode: u8,
+}
+
+impl CoderState {
+    pub fn new() -> Self {
+        CoderState {
+            ctxs: Contexts::new(),
+            prev_mode: 0,
+        }
+    }
+}
+
+/// Everything a single frame encode needs.
+struct FrameCoder<'a> {
+    cfg: &'a CodecConfig,
+    plans: &'a DctPlans,
+    orig: &'a Frame,
+    recon: Frame,
+    prev: Option<&'a Frame>,
+    quant: Quantizer,
+    lambda: f64,
+    frame_inter: bool,
+    mode_bits: u32,
+}
+
+impl<'a> FrameCoder<'a> {
+    fn new(
+        cfg: &'a CodecConfig,
+        plans: &'a DctPlans,
+        orig: &'a Frame,
+        prev: Option<&'a Frame>,
+        frame_inter: bool,
+    ) -> Self {
+        let n_modes = cfg.profile.modes().len() as u32;
+        FrameCoder {
+            cfg,
+            plans,
+            orig,
+            recon: Frame::new(orig.width(), orig.height()),
+            prev,
+            quant: Quantizer::from_qp(cfg.qp),
+            lambda: lambda(cfg.qp),
+            frame_inter,
+            mode_bits: 32 - (n_modes - 1).leading_zeros(),
+        }
+    }
+
+    fn min_cu(&self) -> usize {
+        if self.cfg.pipeline.adaptive_partition {
+            self.cfg.profile.min_cu()
+        } else {
+            FIXED_CU.min(self.cfg.profile.ctu())
+        }
+    }
+
+    /// Transforms + quantizes one residual block, returning the levels and
+    /// the reconstructed residual (what dequantization will recover).
+    fn code_tu(&self, residual: &[i32], n: usize) -> (Vec<i32>, Vec<i32>) {
+        if self.cfg.pipeline.transform {
+            let plan = self.plans.get(n);
+            let coeffs = plan.forward(residual);
+            let levels = self.quant.quantize_block(&coeffs);
+            let deq = self.quant.dequantize_block(&levels);
+            let recon = plan.inverse(&deq);
+            (levels, recon)
+        } else {
+            // Transform skip: quantize the spatial residual directly.
+            let levels: Vec<i32> =
+                residual.iter().map(|&r| self.quant.quantize(r as f64)).collect();
+            let recon: Vec<i32> = levels
+                .iter()
+                .map(|&l| self.quant.dequantize(l).round() as i32)
+                .collect();
+            (levels, recon)
+        }
+    }
+
+    /// Runs the residual path for a whole CU (splitting into TUs as the
+    /// profile requires). Returns levels per TU, the reconstructed block,
+    /// and the SSD distortion against the original.
+    fn code_cu_residual(
+        &self,
+        x0: usize,
+        y0: usize,
+        size: usize,
+        pred: &[i32],
+    ) -> (Vec<Vec<i32>>, Vec<i32>, f64) {
+        let tu = size.min(self.cfg.profile.max_tu());
+        let per_side = size / tu;
+        let mut orig = vec![0i32; size * size];
+        self.orig.read_block(x0, y0, size, &mut orig);
+
+        let mut tus = Vec::with_capacity(per_side * per_side);
+        let mut recon = vec![0i32; size * size];
+        for ty in 0..per_side {
+            for tx in 0..per_side {
+                let mut residual = vec![0i32; tu * tu];
+                for y in 0..tu {
+                    for x in 0..tu {
+                        let idx = (ty * tu + y) * size + tx * tu + x;
+                        residual[y * tu + x] = orig[idx] - pred[idx];
+                    }
+                }
+                let (levels, rres) = self.code_tu(&residual, tu);
+                for y in 0..tu {
+                    for x in 0..tu {
+                        let idx = (ty * tu + y) * size + tx * tu + x;
+                        recon[idx] = (pred[idx] + rres[y * tu + x]).clamp(0, 255);
+                    }
+                }
+                tus.push(levels);
+            }
+        }
+        let dist: f64 = orig
+            .iter()
+            .zip(&recon)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum();
+        (tus, recon, dist)
+    }
+
+    /// Codes (or counts) the syntax of one leaf.
+    fn code_leaf_syntax<S: BinSink>(
+        &self,
+        sink: &mut S,
+        state: &mut CoderState,
+        leaf: &LeafData,
+        size: usize,
+    ) {
+        if self.frame_inter {
+            let is_inter = matches!(leaf.kind, CuKind::Inter(_));
+            sink.bit(&mut state.ctxs.inter_flag, is_inter);
+        }
+        match leaf.kind {
+            CuKind::Inter(mv) => {
+                code_signed_eg(sink, mv.dx as i32);
+                code_signed_eg(sink, mv.dy as i32);
+            }
+            CuKind::Intra(idx) => {
+                let is_mpm = idx == state.prev_mode;
+                sink.bit(&mut state.ctxs.mpm, is_mpm);
+                if !is_mpm {
+                    sink.bypass_bits(idx as u64, self.mode_bits);
+                }
+                state.prev_mode = idx;
+            }
+            CuKind::Flat => {}
+        }
+        let tu = size.min(self.cfg.profile.max_tu());
+        for levels in &leaf.tus {
+            code_residual(sink, &mut state.ctxs, levels, tu, !self.cfg.pipeline.transform);
+        }
+    }
+
+    /// Evaluates and commits the best leaf for this CU. Updates `state`
+    /// and the reconstruction; returns the decided leaf and its RD cost.
+    fn decide_leaf(&mut self, x0: usize, y0: usize, size: usize, state: &mut CoderState) -> (LeafData, f64) {
+        let mut orig = vec![0i32; size * size];
+        self.orig.read_block(x0, y0, size, &mut orig);
+
+        // Candidate predictions.
+        let mut cands: Vec<(CuKind, Vec<i32>)> = Vec::new();
+        if self.cfg.pipeline.intra {
+            let refs = RefSamples::gather(&self.recon, x0, y0, size);
+            let mut scored: Vec<(u64, u8, Vec<i32>)> = self
+                .cfg
+                .profile
+                .modes()
+                .iter()
+                .enumerate()
+                .map(|(i, &mode)| {
+                    let pred = refs.predict(mode);
+                    let sad: u64 = orig
+                        .iter()
+                        .zip(&pred)
+                        .map(|(&a, &b)| (a - b).unsigned_abs() as u64)
+                        .sum();
+                    (sad, i as u8, pred)
+                })
+                .collect();
+            scored.sort_by_key(|&(sad, i, _)| (sad, i));
+            for (_, i, pred) in scored.into_iter().take(RD_CANDIDATES) {
+                cands.push((CuKind::Intra(i), pred));
+            }
+        } else {
+            cands.push((CuKind::Flat, vec![128; size * size]));
+        }
+        if self.frame_inter {
+            if let Some(prev) = self.prev {
+                let (mv, _) = motion_search(self.orig, prev, x0, y0, size);
+                cands.push((CuKind::Inter(mv), compensate(prev, x0, y0, size, mv)));
+            }
+        }
+
+        let mut best: Option<(LeafData, Vec<i32>, f64)> = None;
+        for (kind, pred) in cands {
+            let (tus, recon, dist) = self.code_cu_residual(x0, y0, size, &pred);
+            let leaf = LeafData { kind, tus };
+            let mut trial_state = state.clone();
+            let mut counter = BitCounter::new();
+            self.code_leaf_syntax(&mut counter, &mut trial_state, &leaf, size);
+            let cost = dist + self.lambda * counter.bits();
+            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                best = Some((leaf, recon, cost));
+            }
+        }
+        let (leaf, recon, cost) = best.expect("at least one candidate");
+
+        // Commit: context evolution + reconstruction.
+        let mut counter = BitCounter::new();
+        self.code_leaf_syntax(&mut counter, state, &leaf, size);
+        self.recon.write_block(x0, y0, size, &recon);
+        (leaf, cost)
+    }
+
+    /// Recursively decides the coding tree for a CU.
+    fn decide_cu(&mut self, x0: usize, y0: usize, size: usize, state: &mut CoderState) -> (CuNode, f64) {
+        let min = self.min_cu();
+        if !self.cfg.pipeline.adaptive_partition {
+            // Implied splits down to the fixed grid; no flags coded.
+            if size > min {
+                let half = size / 2;
+                let mut children = Vec::with_capacity(4);
+                let mut cost = 0.0;
+                for (dx, dy) in [(0, 0), (half, 0), (0, half), (half, half)] {
+                    let (node, c) = self.decide_cu(x0 + dx, y0 + dy, half, state);
+                    children.push(node);
+                    cost += c;
+                }
+                return (CuNode::Split(children), cost);
+            }
+            let (leaf, cost) = self.decide_leaf(x0, y0, size, state);
+            return (CuNode::Leaf(leaf), cost);
+        }
+
+        if size <= min {
+            let (leaf, cost) = self.decide_leaf(x0, y0, size, state);
+            return (CuNode::Leaf(leaf), cost);
+        }
+
+        let saved_region = self.recon.save_region(x0, y0, size);
+        let base_state = state.clone();
+
+        // Branch A: code as one leaf (split flag = 0).
+        let mut st_leaf = base_state.clone();
+        let mut flag_cost = BitCounter::new();
+        flag_cost.bit(&mut st_leaf.ctxs.split, false);
+        let (leaf, leaf_cost) = self.decide_leaf(x0, y0, size, &mut st_leaf);
+        let cost_leaf = leaf_cost + self.lambda * flag_cost.bits();
+        let leaf_region = self.recon.save_region(x0, y0, size);
+
+        // Branch B: split into four (split flag = 1).
+        self.recon.restore_region(x0, y0, size, &saved_region);
+        let mut st_split = base_state;
+        let mut flag_cost = BitCounter::new();
+        flag_cost.bit(&mut st_split.ctxs.split, true);
+        let half = size / 2;
+        let mut children = Vec::with_capacity(4);
+        let mut cost_split = self.lambda * flag_cost.bits();
+        for (dx, dy) in [(0, 0), (half, 0), (0, half), (half, half)] {
+            let (node, c) = self.decide_cu(x0 + dx, y0 + dy, half, &mut st_split);
+            children.push(node);
+            cost_split += c;
+        }
+
+        if cost_leaf <= cost_split {
+            self.recon.restore_region(x0, y0, size, &leaf_region);
+            *state = st_leaf;
+            (CuNode::Leaf(leaf), cost_leaf)
+        } else {
+            *state = st_split;
+            (CuNode::Split(children), cost_split)
+        }
+    }
+
+    /// Emits a decided coding tree into the real CABAC coder.
+    fn emit_cu(
+        &self,
+        node: &CuNode,
+        size: usize,
+        enc: &mut CabacEncoder,
+        state: &mut CoderState,
+    ) {
+        let min = self.min_cu();
+        let adaptive = self.cfg.pipeline.adaptive_partition;
+        match node {
+            CuNode::Split(children) => {
+                if adaptive {
+                    debug_assert!(size > min);
+                    enc.bit(&mut state.ctxs.split, true);
+                }
+                for child in children {
+                    self.emit_cu(child, size / 2, enc, state);
+                }
+            }
+            CuNode::Leaf(leaf) => {
+                if adaptive && size > min {
+                    enc.bit(&mut state.ctxs.split, false);
+                }
+                self.code_leaf_syntax(enc, state, leaf, size);
+            }
+        }
+    }
+}
+
+/// Codes a signed value as zig-zag-mapped order-1 exp-Golomb bypass bits
+/// (used for motion vectors).
+pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
+    let mapped = if v >= 0 { (v as u32) << 1 } else { ((-v as u32) << 1) - 1 };
+    let mut m = 1u32;
+    let mut rem = mapped;
+    loop {
+        if m < 31 && rem >= (1 << m) {
+            sink.bypass(true);
+            rem -= 1 << m;
+            m += 1;
+        } else {
+            sink.bypass(false);
+            sink.bypass_bits(rem as u64, m);
+            return;
+        }
+    }
+}
+
+/// Encodes one frame (already padded to the CTU size). Returns the frame
+/// payload and its padded reconstruction.
+pub(crate) fn encode_frame(
+    orig: &Frame,
+    prev: Option<&Frame>,
+    cfg: &CodecConfig,
+    plans: &DctPlans,
+    frame_idx: usize,
+) -> (Vec<u8>, Frame) {
+    let frame_inter = cfg.pipeline.inter && frame_idx > 0 && prev.is_some();
+    let mut coder = FrameCoder::new(cfg, plans, orig, prev, frame_inter);
+    let ctu = cfg.profile.ctu();
+
+    // Phase 1: decide.
+    let mut state = CoderState::new();
+    let mut trees = Vec::new();
+    for cy in (0..orig.height()).step_by(ctu) {
+        for cx in (0..orig.width()).step_by(ctu) {
+            let (node, _cost) = coder.decide_cu(cx, cy, ctu, &mut state);
+            trees.push(node);
+        }
+    }
+
+    // Phase 2: emit.
+    let mut enc = CabacEncoder::new();
+    let mut state = CoderState::new();
+    for node in &trees {
+        coder.emit_cu(node, ctu, &mut enc, &mut state);
+    }
+    (enc.finish(), coder.recon)
+}
+
+/// Encodes a video (see [`crate::encode_video`]).
+pub(crate) fn encode_video(frames: &[Frame], cfg: &CodecConfig) -> EncodedVideo {
+    assert!(!frames.is_empty(), "cannot encode an empty video");
+    let (w, h) = (frames[0].width(), frames[0].height());
+    assert!(w > 0 && h > 0, "frames must be non-empty");
+    for f in frames {
+        assert_eq!(
+            (f.width(), f.height()),
+            (w, h),
+            "all frames must share one size"
+        );
+    }
+
+    let mut header = BitWriter::new();
+    header.write_bits(MAGIC as u64, 32);
+    header.write_bits(VERSION as u64, 8);
+    header.write_bits(cfg.profile.header_id() as u64, 8);
+    header.write_bits(cfg.pipeline.to_byte() as u64, 8);
+    // Snap QP to the header's 1/256 fixed-point grid and encode with the
+    // snapped value, so the decoder's quantizer matches bit-exactly.
+    let qp_fixed = (cfg.qp * 256.0).round().clamp(0.0, 65535.0) as u64;
+    let cfg = cfg.clone().with_qp(qp_fixed as f64 / 256.0);
+    let cfg = &cfg;
+    header.write_bits(qp_fixed, 16);
+    header.write_bits(w as u64, 32);
+    header.write_bits(h as u64, 32);
+    header.write_bits(frames.len() as u64, 32);
+    let mut bytes = header.finish();
+
+    if !cfg.pipeline.entropy {
+        // Stage-1 baseline: raw 8-bit storage of every frame.
+        let mut recon = Vec::with_capacity(frames.len());
+        for f in frames {
+            bytes.extend_from_slice(f.data());
+            recon.push(f.clone());
+        }
+        return EncodedVideo { bytes, recon };
+    }
+
+    let plans = DctPlans::new();
+    let ctu = cfg.profile.ctu();
+    let mut recon_frames = Vec::with_capacity(frames.len());
+    let mut prev_padded: Option<Frame> = None;
+    for (i, f) in frames.iter().enumerate() {
+        let padded = f.padded_to(ctu);
+        let (payload, recon_padded) =
+            encode_frame(&padded, prev_padded.as_ref(), cfg, &plans, i);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        recon_frames.push(recon_padded.cropped(w, h));
+        prev_padded = Some(recon_padded);
+    }
+    EncodedVideo {
+        bytes,
+        recon: recon_frames,
+    }
+}

@@ -1,0 +1,489 @@
+//! Intra-frame prediction.
+//!
+//! §3.1 of the paper observes that LLM weight matrices, viewed as images,
+//! contain the planar regions and channel-wise "edges" that intra
+//! prediction was designed for, and that the intra predictor captures the
+//! channel-wise scale structure with a handful of prediction states,
+//! leaving small residuals (Fig 4). This module implements the HEVC mode
+//! family — DC, Planar and 33 angular directions with 1/32-pel reference
+//! interpolation — plus the Paeth and Smooth predictors for the AV1-like
+//! profile.
+//!
+//! Prediction always reads *reconstructed* neighbour pixels, so encoder
+//! and decoder compute identical predictions.
+
+use crate::Frame;
+
+/// An intra prediction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredMode {
+    /// Mean of the reference samples.
+    Dc,
+    /// HEVC planar: bilinear blend of the reference edges.
+    Planar,
+    /// HEVC angular mode 2..=34 (10 = horizontal, 26 = vertical).
+    Angular(u8),
+    /// AV1 Paeth predictor (nearest of top/left/corner to their sum-diff).
+    Paeth,
+    /// AV1-like smooth blend of top and left edges.
+    Smooth,
+    /// AV1-like smooth blend, vertical only.
+    SmoothV,
+    /// AV1-like smooth blend, horizontal only.
+    SmoothH,
+}
+
+impl PredMode {
+    /// The H.265 mode set: Planar, DC and all 33 angular directions.
+    pub fn h265_set() -> Vec<PredMode> {
+        let mut v = vec![PredMode::Planar, PredMode::Dc];
+        v.extend((2..=34).map(PredMode::Angular));
+        v
+    }
+
+    /// The H.264-like 9-direction set (DC, V, H and six diagonals).
+    pub fn h264_set() -> Vec<PredMode> {
+        vec![
+            PredMode::Dc,
+            PredMode::Angular(26), // vertical
+            PredMode::Angular(10), // horizontal
+            PredMode::Angular(34), // down-left
+            PredMode::Angular(18), // down-right
+            PredMode::Angular(22),
+            PredMode::Angular(14),
+            PredMode::Angular(30),
+            PredMode::Angular(6),
+        ]
+    }
+
+    /// The AV1-like set: H.265 modes plus Paeth and the Smooth family.
+    pub fn av1_set() -> Vec<PredMode> {
+        let mut v = Self::h265_set();
+        v.extend([
+            PredMode::Paeth,
+            PredMode::Smooth,
+            PredMode::SmoothV,
+            PredMode::SmoothH,
+        ]);
+        v
+    }
+}
+
+/// HEVC `intraPredAngle` for modes 2..=34.
+const ANGLES: [i32; 33] = [
+    32, 26, 21, 17, 13, 9, 5, 2, 0, -2, -5, -9, -13, -17, -21, -26, -32, -26, -21, -17, -13, -9,
+    -5, -2, 0, 2, 5, 9, 13, 17, 21, 26, 32,
+];
+
+/// HEVC `invAngle` for negative angles (|angle| in {2,5,9,13,17,21,26,32}).
+fn inv_angle(a: i32) -> i32 {
+    match a.abs() {
+        2 => 4096,
+        5 => 1638,
+        9 => 910,
+        13 => 630,
+        17 => 482,
+        21 => 390,
+        26 => 315,
+        32 => 256,
+        _ => unreachable!("no inverse angle for {a}"),
+    }
+}
+
+/// Reference samples around an `n × n` block, prepared from the
+/// reconstructed frame with HEVC-style substitution for unavailable edges.
+#[derive(Debug, Clone)]
+pub struct RefSamples {
+    n: usize,
+    corner: i32,
+    /// `top[i]` = reconstructed pixel at `(x0 + i, y0 - 1)`, `i` in `0..2n`.
+    top: Vec<i32>,
+    /// `left[i]` = reconstructed pixel at `(x0 - 1, y0 + i)`, `i` in `0..2n`.
+    left: Vec<i32>,
+}
+
+impl RefSamples {
+    /// Gathers reference samples for the block at `(x0, y0)`.
+    ///
+    /// Samples right of / below the frame are edge-replicated; when a whole
+    /// side is unavailable (frame boundary) it is substituted from the
+    /// other side, or 128 if neither exists.
+    pub fn gather(recon: &Frame, x0: usize, y0: usize, n: usize) -> Self {
+        let have_top = y0 > 0;
+        let have_left = x0 > 0;
+        let (w, h) = (recon.width(), recon.height());
+
+        let mut top = vec![0i32; 2 * n];
+        let mut left = vec![0i32; 2 * n];
+        let corner;
+
+        match (have_top, have_left) {
+            (false, false) => {
+                top.fill(128);
+                left.fill(128);
+                corner = 128;
+            }
+            (true, false) => {
+                for (i, t) in top.iter_mut().enumerate() {
+                    *t = recon.get((x0 + i).min(w - 1), y0 - 1) as i32;
+                }
+                corner = top[0];
+                left.fill(corner);
+            }
+            (false, true) => {
+                for (i, l) in left.iter_mut().enumerate() {
+                    *l = recon.get(x0 - 1, (y0 + i).min(h - 1)) as i32;
+                }
+                corner = left[0];
+                top.fill(corner);
+            }
+            (true, true) => {
+                for (i, t) in top.iter_mut().enumerate() {
+                    *t = recon.get((x0 + i).min(w - 1), y0 - 1) as i32;
+                }
+                for (i, l) in left.iter_mut().enumerate() {
+                    *l = recon.get(x0 - 1, (y0 + i).min(h - 1)) as i32;
+                }
+                corner = recon.get(x0 - 1, y0 - 1) as i32;
+            }
+        }
+        RefSamples {
+            n,
+            corner,
+            top,
+            left,
+        }
+    }
+
+    /// Block size the references were gathered for.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Computes the prediction block (row-major `n × n`) for `mode`.
+    pub fn predict(&self, mode: PredMode) -> Vec<i32> {
+        match mode {
+            PredMode::Dc => self.predict_dc(),
+            PredMode::Planar => self.predict_planar(),
+            PredMode::Angular(m) => self.predict_angular(m),
+            PredMode::Paeth => self.predict_paeth(),
+            PredMode::Smooth => self.predict_smooth(true, true),
+            PredMode::SmoothV => self.predict_smooth(true, false),
+            PredMode::SmoothH => self.predict_smooth(false, true),
+        }
+    }
+
+    fn predict_dc(&self) -> Vec<i32> {
+        let n = self.n;
+        let sum: i32 = self.top[..n].iter().sum::<i32>() + self.left[..n].iter().sum::<i32>();
+        let dc = (sum + n as i32) / (2 * n as i32);
+        vec![dc; n * n]
+    }
+
+    fn predict_planar(&self) -> Vec<i32> {
+        let n = self.n as i32;
+        let shift = (n as u32).trailing_zeros() + 1;
+        let tr = self.top[self.n]; // first top-right sample
+        let bl = self.left[self.n]; // first bottom-left sample
+        let mut out = vec![0i32; self.n * self.n];
+        for y in 0..n {
+            for x in 0..n {
+                let h = (n - 1 - x) * self.left[y as usize] + (x + 1) * tr;
+                let v = (n - 1 - y) * self.top[x as usize] + (y + 1) * bl;
+                out[(y * n + x) as usize] = (h + v + n) >> shift;
+            }
+        }
+        out
+    }
+
+    fn predict_angular(&self, mode: u8) -> Vec<i32> {
+        assert!((2..=34).contains(&mode), "angular mode {mode} out of range");
+        let n = self.n;
+        let angle = ANGLES[mode as usize - 2];
+        let vertical = mode >= 18;
+
+        // Main reference runs along the prediction direction's source edge;
+        // the side reference extends it for negative angles.
+        let (main, side): (&[i32], &[i32]) = if vertical {
+            (&self.top, &self.left)
+        } else {
+            (&self.left, &self.top)
+        };
+
+        // ref_arr[i + n] corresponds to HEVC's ref[i - 1 + ...]; we build
+        // ref[x] for x in -n..=2n with ref[0] = corner, ref[k] = main[k-1].
+        let mut ref_arr = vec![0i32; 3 * n + 1];
+        let off = n as i32; // ref_arr[(x + off)] = ref[x]
+        ref_arr[off as usize] = self.corner;
+        for k in 1..=2 * n {
+            ref_arr[off as usize + k] = main[k - 1];
+        }
+        if angle < 0 {
+            let inv = inv_angle(angle);
+            let lowest = (n as i32 * angle) >> 5; // most negative index used
+            for x in (lowest..0).rev() {
+                // Project onto the side reference.
+                let idx = ((x * inv + 128) >> 8) - 1; // index into side[], -1 = corner
+                let s = if idx < 0 {
+                    self.corner
+                } else {
+                    side[(idx as usize).min(2 * n - 1)]
+                };
+                ref_arr[(x + off) as usize] = s;
+            }
+        }
+
+        let mut out = vec![0i32; n * n];
+        for j in 0..n {
+            // j indexes rows for vertical modes, columns for horizontal.
+            let pos = (j as i32 + 1) * angle;
+            let int_part = pos >> 5;
+            let frac = pos & 31;
+            for i in 0..n {
+                let base = (i as i32 + int_part + 1 + off) as usize;
+                let a = ref_arr[base.min(ref_arr.len() - 1)];
+                let b = ref_arr[(base + 1).min(ref_arr.len() - 1)];
+                let v = ((32 - frac) * a + frac * b + 16) >> 5;
+                let (x, y) = if vertical { (i, j) } else { (j, i) };
+                out[y * n + x] = v;
+            }
+        }
+        out
+    }
+
+    fn predict_paeth(&self) -> Vec<i32> {
+        let n = self.n;
+        let mut out = vec![0i32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let t = self.top[x];
+                let l = self.left[y];
+                let c = self.corner;
+                let base = t + l - c;
+                let (dt, dl, dc) = ((base - t).abs(), (base - l).abs(), (base - c).abs());
+                out[y * n + x] = if dt <= dl && dt <= dc {
+                    t
+                } else if dl <= dc {
+                    l
+                } else {
+                    c
+                };
+            }
+        }
+        out
+    }
+
+    /// Linear-weight smooth predictor ("AV1-like"; AV1 proper uses a
+    /// quadratic weight table — the behaviour is equivalent for our
+    /// purposes and documented in DESIGN.md).
+    fn predict_smooth(&self, use_v: bool, use_h: bool) -> Vec<i32> {
+        let n = self.n;
+        let bl = self.left[n]; // bottom-left anchor
+        let tr = self.top[n]; // top-right anchor
+        let w = |i: usize| -> i32 {
+            // 256 at i = 0 decaying linearly to 64 at i = n-1.
+            (256 - (192 * i as i32) / n.max(1) as i32).max(64)
+        };
+        let mut out = vec![0i32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let mut acc = 0i32;
+                let mut den = 0i32;
+                if use_v {
+                    acc += w(y) * self.top[x] + (256 - w(y)) * bl;
+                    den += 256;
+                }
+                if use_h {
+                    acc += w(x) * self.left[y] + (256 - w(x)) * tr;
+                    den += 256;
+                }
+                out[y * n + x] = (acc + den / 2) / den;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_frame(v: u8) -> Frame {
+        Frame::from_fn(32, 32, |_, _| v)
+    }
+
+    fn all_modes() -> Vec<PredMode> {
+        PredMode::av1_set()
+    }
+
+    #[test]
+    fn mode_sets_sizes() {
+        assert_eq!(PredMode::h265_set().len(), 35);
+        assert_eq!(PredMode::h264_set().len(), 9);
+        assert_eq!(PredMode::av1_set().len(), 39);
+    }
+
+    #[test]
+    fn flat_references_predict_flat_block() {
+        let f = flat_frame(77);
+        let refs = RefSamples::gather(&f, 8, 8, 8);
+        for mode in all_modes() {
+            let pred = refs.predict(mode);
+            assert!(
+                pred.iter().all(|&p| (p - 77).abs() <= 1),
+                "mode {mode:?} broke flatness: {:?}",
+                &pred[..4]
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_stay_in_pixel_range() {
+        // Extreme checkerboard references must not overflow 0..=255.
+        let f = Frame::from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
+        let refs = RefSamples::gather(&f, 16, 16, 8);
+        for mode in all_modes() {
+            let pred = refs.predict(mode);
+            assert!(
+                pred.iter().all(|&p| (0..=255).contains(&p)),
+                "mode {mode:?} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn vertical_mode_copies_top_row() {
+        let f = Frame::from_fn(32, 32, |x, _| (x * 7 % 256) as u8);
+        let refs = RefSamples::gather(&f, 8, 8, 4);
+        let pred = refs.predict(PredMode::Angular(26)); // pure vertical
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(pred[y * 4 + x], f.get(8 + x, 7) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_mode_copies_left_column() {
+        let f = Frame::from_fn(32, 32, |_, y| (y * 11 % 256) as u8);
+        let refs = RefSamples::gather(&f, 8, 8, 4);
+        let pred = refs.predict(PredMode::Angular(10)); // pure horizontal
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(pred[y * 4 + x], f.get(7, 8 + y) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_is_mean_of_edges() {
+        let mut f = flat_frame(0);
+        // Top edge = 100, left edge = 50.
+        for i in 0..8 {
+            f.set(8 + i, 7, 100);
+            f.set(7, 8 + i, 50);
+        }
+        let refs = RefSamples::gather(&f, 8, 8, 8);
+        let pred = refs.predict(PredMode::Dc);
+        assert_eq!(pred[0], 75);
+    }
+
+    #[test]
+    fn planar_interpolates_gradient() {
+        // A gentle linear ramp should be predicted closely by planar. (The
+        // HEVC planar anchors at the first top-right / bottom-left
+        // reference samples, so steep gradients accrue corner error by
+        // design — hence a mild slope here.)
+        let f = Frame::from_fn(32, 32, |x, y| (x * 2 + y) as u8);
+        let refs = RefSamples::gather(&f, 8, 8, 8);
+        let pred = refs.predict(PredMode::Planar);
+        let mut max_err = 0;
+        for y in 0..8 {
+            for x in 0..8 {
+                let actual = f.get(8 + x, 8 + y) as i32;
+                max_err = max_err.max((pred[y * 8 + x] - actual).abs());
+            }
+        }
+        assert!(max_err <= 11, "planar max err {max_err}");
+    }
+
+    #[test]
+    fn frame_corner_block_predicts_mid_gray() {
+        let f = Frame::from_fn(32, 32, |x, y| ((x * y) % 256) as u8);
+        let refs = RefSamples::gather(&f, 0, 0, 8);
+        let pred = refs.predict(PredMode::Dc);
+        assert!(pred.iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn top_edge_block_substitutes_left() {
+        let f = Frame::from_fn(32, 32, |_, y| (y * 8).min(255) as u8);
+        // y0 = 0: no top refs; they substitute from the left column.
+        let refs = RefSamples::gather(&f, 8, 0, 4);
+        let pred = refs.predict(PredMode::Angular(26));
+        // Substituted top refs equal left[0] = pixel (7, 0) = 0.
+        assert!(pred.iter().all(|&p| p == f.get(7, 0) as i32));
+    }
+
+    #[test]
+    fn diagonal_mode_tracks_diagonal_edge() {
+        // Mode 34 predicts down-left at 45°: pred[x][y] = top[x+y+1].
+        let f = Frame::from_fn(32, 32, |x, _| (x * 9 % 256) as u8);
+        let refs = RefSamples::gather(&f, 8, 8, 4);
+        let pred = refs.predict(PredMode::Angular(34));
+        for y in 0..4usize {
+            for x in 0..4usize {
+                let expect = f.get(8 + x + y + 1, 7) as i32;
+                assert_eq!(pred[y * 4 + x], expect, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_angle_modes_use_both_edges() {
+        // Mode 18 is the -32 diagonal (down-right): needs left refs too.
+        let f = Frame::from_fn(32, 32, |x, y| ((x * 3 + y * 5) % 256) as u8);
+        let refs = RefSamples::gather(&f, 8, 8, 8);
+        let pred = refs.predict(PredMode::Angular(18));
+        // pred[0][0] should equal the corner-adjacent diagonal source.
+        assert_eq!(pred[0], refs.corner);
+        assert!(pred.iter().all(|&p| (0..=255).contains(&p)));
+    }
+
+    #[test]
+    fn all_angular_modes_produce_valid_output_at_all_sizes() {
+        let f = Frame::from_fn(64, 64, |x, y| ((x * 13 + y * 7) % 256) as u8);
+        for &n in &[4usize, 8, 16, 32] {
+            let refs = RefSamples::gather(&f, 32, 16, n);
+            for m in 2..=34u8 {
+                let pred = refs.predict(PredMode::Angular(m));
+                assert_eq!(pred.len(), n * n);
+                assert!(
+                    pred.iter().all(|&p| (0..=255).contains(&p)),
+                    "mode {m} size {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_structure_is_captured_by_directional_modes() {
+        // Column-banded "weights" (channel-wise scales): vertical mode
+        // should predict far better than DC — the paper's Fig 4 story.
+        let f = Frame::from_fn(64, 64, |x, _| (((x / 4) * 31) % 200 + 20) as u8);
+        let refs = RefSamples::gather(&f, 16, 16, 16);
+        let sad = |pred: &[i32]| -> i64 {
+            let mut s = 0i64;
+            for y in 0..16 {
+                for x in 0..16 {
+                    s += (pred[y * 16 + x] - f.get(16 + x, 16 + y) as i32).abs() as i64;
+                }
+            }
+            s
+        };
+        let vert = sad(&refs.predict(PredMode::Angular(26)));
+        let dc = sad(&refs.predict(PredMode::Dc));
+        assert!(vert * 4 < dc, "vertical {vert} vs dc {dc}");
+        assert_eq!(vert, 0, "pure column structure predicts exactly");
+    }
+}

@@ -1,0 +1,154 @@
+//! A from-scratch software video codec for the LLM.265 reproduction.
+//!
+//! The paper's central artifact is a video codec repurposed as a tensor
+//! codec. Since this reproduction has no NVENC/NVDEC hardware (see
+//! DESIGN.md), this crate implements the relevant pipeline in software, in
+//! the architecture of H.265 (§2.2 of the paper):
+//!
+//! 1. **CTU quad-tree partitioning** ([`encoder`]) — recursive
+//!    rate-distortion-optimised coding-unit splits;
+//! 2. **Intra-frame prediction** ([`intra`]) — DC, Planar and 33 angular
+//!    modes (plus Paeth/Smooth in the AV1-like profile);
+//! 3. **Inter-frame motion prediction** ([`inter`]) — full-pel motion
+//!    search against the previous reconstructed frame (the paper shows this
+//!    stage *hurts* tensor compression; it is off by default);
+//! 4. **Transform coding** ([`transform`]) — orthonormal 2-D DCT on
+//!    4×4…32×32 blocks;
+//! 5. **Quantization** ([`quant`]) — dead-zone scalar quantizer with the
+//!    H.265 QP→step mapping, continuous QP for fractional bitrates;
+//! 6. **Entropy coding** ([`syntax`]) — CABAC with adaptive contexts,
+//!    significance maps, greater1/greater2 flags and adaptive-Rice
+//!    remainders.
+//!
+//! Every stage can be toggled via [`PipelineConfig`] to reproduce the
+//! Fig 2(b) ablation, and three [`Profile`]s (H.264-, H.265- and AV1-like)
+//! reproduce the Fig 6 codec comparison. [`rate`] provides bitrate- and
+//! distortion-targeted encoding (bisection over continuous QP), the basis
+//! of the paper's fractional-bit-width feature.
+//!
+//! The encoder contains the decoder: prediction always uses *reconstructed*
+//! pixels, so `decode(encode(f))` is bit-exact with the encoder's internal
+//! reconstruction (property-tested in `tests/`).
+//!
+//! # Example
+//!
+//! ```
+//! use llm265_videocodec::{Frame, CodecConfig, encode_video, decode_video};
+//!
+//! // A gradient test frame.
+//! let frame = Frame::from_fn(64, 64, |x, y| ((x * 2 + y) % 256) as u8);
+//! let cfg = CodecConfig::default().with_qp(22.0);
+//! let enc = encode_video(&[frame.clone()], &cfg);
+//! let dec = decode_video(&enc.bytes).unwrap();
+//! assert_eq!(dec.len(), 1);
+//! assert_eq!(dec[0], enc.recon[0]); // bit-exact with encoder recon
+//! ```
+
+mod frame;
+pub mod ablation;
+pub mod decoder;
+pub mod encoder;
+pub mod inter;
+pub mod intra;
+pub mod profile;
+pub mod quant;
+pub mod rate;
+pub mod scan;
+pub mod syntax;
+pub mod transform;
+
+pub use frame::Frame;
+pub use llm265_bitstream::DecodeError;
+pub use profile::{PipelineConfig, Profile, ProfileKind};
+
+/// Encoder configuration: profile, pipeline switches and base QP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecConfig {
+    /// Block-structure / mode-set profile (H.264-, H.265- or AV1-like).
+    pub profile: Profile,
+    /// Per-stage pipeline switches (Fig 2b ablation).
+    pub pipeline: PipelineConfig,
+    /// Base quantization parameter. Continuous (fractional QPs are legal);
+    /// H.265 step mapping `qstep = 2^((qp-4)/6)`.
+    pub qp: f64,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            profile: Profile::h265(),
+            pipeline: PipelineConfig::default(),
+            qp: 28.0,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// Returns the config with a different base QP.
+    pub fn with_qp(mut self, qp: f64) -> Self {
+        self.qp = qp;
+        self
+    }
+
+    /// Returns the config with a different profile.
+    pub fn with_profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Returns the config with different pipeline switches.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+}
+
+/// Result of encoding a video: the bitstream plus the encoder's
+/// reconstruction (bit-exact with what the decoder will produce).
+#[derive(Debug, Clone)]
+pub struct EncodedVideo {
+    /// The compressed bitstream, self-describing (decode with
+    /// [`decode_video`]).
+    pub bytes: Vec<u8>,
+    /// Reconstructed frames as the decoder will see them.
+    pub recon: Vec<Frame>,
+}
+
+impl EncodedVideo {
+    /// Compressed size in bits.
+    pub fn bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    /// Average compressed bits per pixel.
+    pub fn bits_per_pixel(&self) -> f64 {
+        let pixels: usize = self.recon.iter().map(|f| f.width() * f.height()).sum();
+        if pixels == 0 {
+            0.0
+        } else {
+            self.bits() as f64 / pixels as f64
+        }
+    }
+}
+
+/// Encodes a sequence of frames.
+///
+/// The first frame is always intra; later frames may use inter prediction
+/// when `cfg.pipeline.inter` is set (the paper's default for tensors is
+/// intra-only).
+///
+/// # Panics
+///
+/// Panics if `frames` is empty or frames disagree in size.
+pub fn encode_video(frames: &[Frame], cfg: &CodecConfig) -> EncodedVideo {
+    encoder::encode_video(frames, cfg)
+}
+
+/// Decodes a bitstream produced by [`encode_video`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or corrupt input.
+pub fn decode_video(bytes: &[u8]) -> Result<Vec<Frame>, DecodeError> {
+    decoder::decode_video(bytes)
+}

@@ -1,0 +1,470 @@
+//! Bitstream syntax: context models, residual coding, and bit-cost
+//! estimation.
+//!
+//! Syntax functions are generic over a [`BinSink`] so the same code path
+//! serves three backends: the real CABAC encoder, and a [`BitCounter`]
+//! that accumulates fractional bit costs for the encoder's RD decisions
+//! without emitting anything. The decoder mirrors the structure through
+//! [`CabacDecoder`] directly.
+//!
+//! Residual coding follows H.265's scheme: coded-block flag, last
+//! significant scan position, per-position significance flags, then
+//! greater-1 / greater-2 flags with adaptive-Rice coded remainders and
+//! bypass signs.
+
+use llm265_bitstream::cabac::{CabacDecoder, CabacEncoder, Prob};
+
+use crate::scan;
+
+/// Maximum truncated-Rice prefix before escaping to exp-Golomb.
+const RICE_MAX_PREFIX: u32 = 4;
+/// Cap on the adaptive Rice parameter.
+const RICE_MAX_K: u32 = 8;
+
+/// A destination for binary symbols: either the real arithmetic coder or a
+/// cost counter used during RD search.
+pub trait BinSink {
+    /// Codes one bit under an adaptive context.
+    fn bit(&mut self, ctx: &mut Prob, b: bool);
+    /// Codes one equiprobable bit.
+    fn bypass(&mut self, b: bool);
+
+    /// Codes `n` bypass bits, MSB first.
+    fn bypass_bits(&mut self, v: u64, n: u32) {
+        for i in (0..n).rev() {
+            self.bypass((v >> i) & 1 == 1);
+        }
+    }
+}
+
+impl BinSink for CabacEncoder {
+    fn bit(&mut self, ctx: &mut Prob, b: bool) {
+        self.encode_bit(ctx, b);
+    }
+
+    fn bypass(&mut self, b: bool) {
+        self.encode_bypass(b);
+    }
+}
+
+/// Accumulates the fractional bit cost of a syntax sequence, updating the
+/// context models exactly like the real encoder would.
+#[derive(Debug, Clone, Default)]
+pub struct BitCounter {
+    bits: f64,
+}
+
+impl BitCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits accumulated.
+    pub fn bits(&self) -> f64 {
+        self.bits
+    }
+}
+
+impl BinSink for BitCounter {
+    fn bit(&mut self, ctx: &mut Prob, b: bool) {
+        self.bits += ctx.cost_bits(b);
+        // Evolve the context exactly as the arithmetic coder would, so RD
+        // estimates and real encoding see the same probabilities.
+        ctx.update(b);
+    }
+
+    fn bypass(&mut self, _b: bool) {
+        self.bits += 1.0;
+    }
+}
+
+/// The adaptive context models used by the frame coder.
+#[derive(Debug, Clone, Default)]
+pub struct Contexts {
+    /// Quad-tree split flag.
+    pub split: Prob,
+    /// Intra/inter selector for P-frames.
+    pub inter_flag: Prob,
+    /// Most-probable-mode flag.
+    pub mpm: Prob,
+    /// Coded-block flags, indexed by "is spatial residual".
+    pub cbf: [Prob; 2],
+    /// Last-significant-position prefix bins.
+    pub last_prefix: [Prob; 12],
+    /// Significance flags by region (DC / low / high frequency).
+    pub sig: [Prob; 3],
+    /// Level greater-than-1 flags.
+    pub gt1: [Prob; 2],
+    /// Level greater-than-2 flag.
+    pub gt2: Prob,
+}
+
+
+impl Contexts {
+    /// Fresh contexts (used at every frame start so frames decode
+    /// independently).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn sig_ctx_index(scan_pos: usize, n: usize) -> usize {
+    if scan_pos == 0 {
+        0
+    } else if scan_pos < n {
+        1
+    } else {
+        2
+    }
+}
+
+/// Codes the quantized level block of one TU (size `n`, row-major levels in
+/// raster order).
+pub fn code_residual<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, levels: &[i32], n: usize, spatial: bool) {
+    let scan_order = scan::diagonal(n);
+    debug_assert_eq!(levels.len(), n * n);
+
+    // Last significant position in scan order.
+    let mut last = None;
+    for (p, &(x, y)) in scan_order.iter().enumerate() {
+        if levels[y as usize * n + x as usize] != 0 {
+            last = Some(p);
+        }
+    }
+
+    let cbf_ctx = spatial as usize;
+    match last {
+        None => {
+            sink.bit(&mut ctxs.cbf[cbf_ctx], false);
+        }
+        Some(last) => {
+            sink.bit(&mut ctxs.cbf[cbf_ctx], true);
+            code_last_pos(sink, ctxs, last as u32);
+
+            // Rice parameter adapts within the TU.
+            let mut rice_k: u32 = if spatial { 3 } else { 0 };
+            for (p, &(x, y)) in scan_order.iter().enumerate().take(last + 1) {
+                let v = levels[y as usize * n + x as usize];
+                if p < last {
+                    let sig = v != 0;
+                    let ci = sig_ctx_index(p, n);
+                    sink.bit(&mut ctxs.sig[ci], sig);
+                    if !sig {
+                        continue;
+                    }
+                }
+                // Level magnitude (>= 1 here).
+                let mag = v.unsigned_abs();
+                let g1 = mag > 1;
+                sink.bit(&mut ctxs.gt1[(p == 0) as usize], g1);
+                if g1 {
+                    let g2 = mag > 2;
+                    sink.bit(&mut ctxs.gt2, g2);
+                    if g2 {
+                        code_remainder(sink, mag - 3, rice_k);
+                    }
+                }
+                if mag > (3 << rice_k) && rice_k < RICE_MAX_K {
+                    rice_k += 1;
+                }
+                sink.bypass(v < 0);
+            }
+        }
+    }
+}
+
+/// Parses one TU's levels (inverse of [`code_residual`]).
+pub fn parse_residual(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts, n: usize, spatial: bool) -> Vec<i32> {
+    let scan_order = scan::diagonal(n);
+    let mut levels = vec![0i32; n * n];
+
+    let cbf_ctx = spatial as usize;
+    if !dec.decode_bit(&mut ctxs.cbf[cbf_ctx]) {
+        return levels;
+    }
+    let last = parse_last_pos(dec, ctxs) as usize;
+    let last = last.min(n * n - 1);
+
+    let mut rice_k: u32 = if spatial { 3 } else { 0 };
+    for (p, &(x, y)) in scan_order.iter().enumerate().take(last + 1) {
+        let sig = if p < last {
+            dec.decode_bit(&mut ctxs.sig[sig_ctx_index(p, n)])
+        } else {
+            true
+        };
+        if !sig {
+            continue;
+        }
+        let mut mag = 1u32;
+        if dec.decode_bit(&mut ctxs.gt1[(p == 0) as usize]) {
+            mag = 2;
+            if dec.decode_bit(&mut ctxs.gt2) {
+                mag = 3 + parse_remainder(dec, rice_k);
+            }
+        }
+        if mag > (3 << rice_k) && rice_k < RICE_MAX_K {
+            rice_k += 1;
+        }
+        let neg = dec.decode_bypass();
+        levels[y as usize * n + x as usize] = if neg { -(mag as i32) } else { mag as i32 };
+    }
+    levels
+}
+
+/// Codes the last significant scan position: the bit-length of `pos + 1`
+/// unary with contexts, then the trailing bits in bypass.
+fn code_last_pos<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, pos: u32) {
+    let v = pos + 1;
+    let len = 32 - v.leading_zeros(); // >= 1
+    for i in 0..len - 1 {
+        sink.bit(&mut ctxs.last_prefix[(i as usize).min(11)], true);
+    }
+    sink.bit(&mut ctxs.last_prefix[((len - 1) as usize).min(11)], false);
+    if len > 1 {
+        sink.bypass_bits((v & !(1 << (len - 1))) as u64, len - 1);
+    }
+}
+
+fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> u32 {
+    let mut len = 1u32;
+    while dec.decode_bit(&mut ctxs.last_prefix[((len - 1) as usize).min(11)]) {
+        len += 1;
+        if len > 20 {
+            // Corrupt stream: saturate rather than loop.
+            break;
+        }
+    }
+    let suffix = if len > 1 {
+        dec.decode_bypass_bits(len - 1) as u32
+    } else {
+        0
+    };
+    ((1u32 << (len - 1)) | suffix) - 1
+}
+
+/// Codes a level remainder with truncated-Rice + exp-Golomb escape
+/// (H.265's `coeff_abs_level_remaining` binarization).
+pub fn code_remainder<S: BinSink>(sink: &mut S, r: u32, k: u32) {
+    let q = r >> k;
+    if q < RICE_MAX_PREFIX {
+        for _ in 0..q {
+            sink.bypass(true);
+        }
+        sink.bypass(false);
+        sink.bypass_bits((r & ((1 << k) - 1)) as u64, k);
+    } else {
+        for _ in 0..RICE_MAX_PREFIX {
+            sink.bypass(true);
+        }
+        code_eg(sink, r - (RICE_MAX_PREFIX << k), k + 1);
+    }
+}
+
+/// Parses a truncated-Rice remainder.
+pub fn parse_remainder(dec: &mut CabacDecoder<'_>, k: u32) -> u32 {
+    let mut q = 0u32;
+    while q < RICE_MAX_PREFIX && dec.decode_bypass() {
+        q += 1;
+    }
+    if q < RICE_MAX_PREFIX {
+        let low = dec.decode_bypass_bits(k) as u32;
+        (q << k) | low
+    } else {
+        (RICE_MAX_PREFIX << k) + parse_eg(dec, k + 1)
+    }
+}
+
+/// k-th order exp-Golomb in bypass bits.
+fn code_eg<S: BinSink>(sink: &mut S, mut v: u32, mut m: u32) {
+    loop {
+        if m < 31 && v >= (1 << m) {
+            sink.bypass(true);
+            v -= 1 << m;
+            m += 1;
+        } else {
+            sink.bypass(false);
+            sink.bypass_bits(v as u64, m);
+            return;
+        }
+    }
+}
+
+fn parse_eg(dec: &mut CabacDecoder<'_>, mut m: u32) -> u32 {
+    let mut base = 0u32;
+    while m < 31 && dec.decode_bypass() {
+        base += 1 << m;
+        m += 1;
+    }
+    base + dec.decode_bypass_bits(m) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::rng::Pcg32;
+
+    fn roundtrip_levels(levels: &[i32], n: usize, spatial: bool) -> f64 {
+        let mut enc = CabacEncoder::new();
+        let mut ctxs = Contexts::new();
+        code_residual(&mut enc, &mut ctxs, levels, n, spatial);
+        let bytes = enc.finish();
+        let mut dec = CabacDecoder::new(&bytes);
+        let mut ctxs = Contexts::new();
+        let parsed = parse_residual(&mut dec, &mut ctxs, n, spatial);
+        assert_eq!(parsed, levels);
+        bytes.len() as f64 * 8.0 / (n * n) as f64
+    }
+
+    #[test]
+    fn zero_block_costs_almost_nothing() {
+        // Amortized over many TUs (a single stream carries ~5 bytes of
+        // arithmetic-coder flush padding regardless of content).
+        let mut enc = CabacEncoder::new();
+        let mut ctxs = Contexts::new();
+        let levels = vec![0i32; 64];
+        let blocks = 64;
+        for _ in 0..blocks {
+            code_residual(&mut enc, &mut ctxs, &levels, 8, false);
+        }
+        let bytes = enc.finish();
+        let bpp = bytes.len() as f64 * 8.0 / (blocks * 64) as f64;
+        assert!(bpp < 0.05, "bits/coeff {bpp}");
+        let mut dec = CabacDecoder::new(&bytes);
+        let mut ctxs = Contexts::new();
+        for _ in 0..blocks {
+            assert_eq!(parse_residual(&mut dec, &mut ctxs, 8, false), levels);
+        }
+    }
+
+    #[test]
+    fn single_dc_level() {
+        let mut levels = vec![0i32; 64];
+        levels[0] = 5;
+        roundtrip_levels(&levels, 8, false);
+        levels[0] = -1;
+        roundtrip_levels(&levels, 8, false);
+    }
+
+    #[test]
+    fn dense_random_levels_roundtrip_all_sizes() {
+        let mut rng = Pcg32::seed_from(42);
+        for &n in &[4usize, 8, 16, 32] {
+            let levels: Vec<i32> = (0..n * n)
+                .map(|_| {
+                    if rng.chance(0.3) {
+                        rng.below(41) as i32 - 20
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            roundtrip_levels(&levels, n, false);
+            roundtrip_levels(&levels, n, true);
+        }
+    }
+
+    #[test]
+    fn huge_levels_roundtrip() {
+        let mut levels = vec![0i32; 16];
+        levels[0] = 100_000;
+        levels[5] = -65_000;
+        levels[15] = 1;
+        roundtrip_levels(&levels, 4, false);
+    }
+
+    #[test]
+    fn sparse_blocks_cheaper_than_dense() {
+        let mut rng = Pcg32::seed_from(7);
+        let sparse: Vec<i32> = (0..256)
+            .map(|_| if rng.chance(0.05) { rng.below(5) as i32 + 1 } else { 0 })
+            .collect();
+        let dense: Vec<i32> = (0..256)
+            .map(|_| if rng.chance(0.6) { rng.below(9) as i32 - 4 } else { 1 })
+            .collect();
+        let b_sparse = roundtrip_levels(&sparse, 16, false);
+        let b_dense = roundtrip_levels(&dense, 16, false);
+        assert!(b_sparse < b_dense, "{b_sparse} vs {b_dense}");
+    }
+
+    #[test]
+    fn remainder_roundtrip_wide_range() {
+        for k in 0..=RICE_MAX_K {
+            let mut enc = CabacEncoder::new();
+            let values = [0u32, 1, 2, 3, 15, 16, 100, 4095, 1 << 20];
+            for &v in &values {
+                code_remainder(&mut enc, v, k);
+            }
+            let bytes = enc.finish();
+            let mut dec = CabacDecoder::new(&bytes);
+            for &v in &values {
+                assert_eq!(parse_remainder(&mut dec, k), v, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_pos_roundtrip() {
+        let mut enc = CabacEncoder::new();
+        let mut ctxs = Contexts::new();
+        let values = [0u32, 1, 2, 7, 8, 63, 255, 1023];
+        for &v in &values {
+            code_last_pos(&mut enc, &mut ctxs, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = CabacDecoder::new(&bytes);
+        let mut ctxs = Contexts::new();
+        for &v in &values {
+            assert_eq!(parse_last_pos(&mut dec, &mut ctxs), v);
+        }
+    }
+
+    #[test]
+    fn counter_matches_encoder() {
+        // BitCounter's context evolution must track the real encoder's so
+        // RD estimates stay honest.
+        let mut rng = Pcg32::seed_from(3);
+        let levels: Vec<i32> = (0..256)
+            .map(|_| {
+                if rng.chance(0.2) {
+                    rng.below(11) as i32 - 5
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut counter = BitCounter::new();
+        let mut ctxs_a = Contexts::new();
+        code_residual(&mut counter, &mut ctxs_a, &levels, 16, false);
+
+        let mut enc = CabacEncoder::new();
+        let mut ctxs_b = Contexts::new();
+        code_residual(&mut enc, &mut ctxs_b, &levels, 16, false);
+        let actual = enc.finish().len() as f64 * 8.0;
+
+        assert!(
+            (counter.bits() - actual).abs() < actual * 0.15 + 16.0,
+            "estimate {} vs actual {actual}",
+            counter.bits()
+        );
+        // Contexts must have evolved identically.
+        assert!((ctxs_a.sig[1].p0() - ctxs_b.sig[1].p0()).abs() < 1e-9);
+        assert!((ctxs_a.gt1[0].p0() - ctxs_b.gt1[0].p0()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eg_roundtrip() {
+        for m in 1..6 {
+            let mut enc = CabacEncoder::new();
+            let values = [0u32, 1, 5, 100, 10_000, 1 << 22];
+            for &v in &values {
+                code_eg(&mut enc, v, m);
+            }
+            let bytes = enc.finish();
+            let mut dec = CabacDecoder::new(&bytes);
+            for &v in &values {
+                assert_eq!(parse_eg(&mut dec, m), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Orthonormal 2-D DCT transform coding.
+//!
+//! §3.1 of the paper attributes transform coding's effectiveness on
+//! tensors not to perceptual frequency weighting but to **outlier
+//! mitigation**: the DCT spreads a single huge value across all
+//! coefficients of its block (Fig 3), so a uniform quantizer no longer has
+//! to choose between resolving the body and covering the outlier. The
+//! transforms here are orthonormal (Parseval holds exactly up to f64
+//! rounding), so squared error in the coefficient domain equals squared
+//! error in the pixel domain — which is what makes RD optimisation in the
+//! coefficient domain legitimate.
+
+/// Supported transform sizes.
+pub const SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Precomputed orthonormal DCT-II basis for one size.
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    // basis[k*n + i] = alpha_k * cos(pi/n * (i + 0.5) * k)
+    basis: Vec<f64>,
+}
+
+impl DctPlan {
+    /// Builds a plan for transform size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not one of [`SIZES`].
+    pub fn new(n: usize) -> Self {
+        assert!(SIZES.contains(&n), "unsupported transform size {n}");
+        let mut basis = vec![0.0; n * n];
+        for k in 0..n {
+            let alpha = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            for i in 0..n {
+                basis[k * n + i] =
+                    alpha * (std::f64::consts::PI / n as f64 * (i as f64 + 0.5) * k as f64).cos();
+            }
+        }
+        DctPlan { n, basis }
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Forward 2-D DCT of an `n × n` spatial block (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != n * n`.
+    pub fn forward(&self, block: &[i32]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(block.len(), n * n);
+        // Rows then columns; O(n^3), fine at n <= 32.
+        let mut tmp = vec![0.0f64; n * n];
+        for y in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += block[y * n + i] as f64 * self.basis[k * n + i];
+                }
+                tmp[y * n + k] = acc;
+            }
+        }
+        let mut out = vec![0.0f64; n * n];
+        for x in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += tmp[i * n + x] * self.basis[k * n + i];
+                }
+                out[k * n + x] = acc;
+            }
+        }
+        out
+    }
+
+    /// Inverse 2-D DCT, rounding to the nearest integer residual.
+    ///
+    /// Deterministic: both encoder reconstruction and decoder run exactly
+    /// this code on the same dequantized coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n * n`.
+    pub fn inverse(&self, coeffs: &[f64]) -> Vec<i32> {
+        let n = self.n;
+        assert_eq!(coeffs.len(), n * n);
+        let mut tmp = vec![0.0f64; n * n];
+        for x in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += coeffs[k * n + x] * self.basis[k * n + i];
+                }
+                tmp[i * n + x] = acc;
+            }
+        }
+        let mut out = vec![0i32; n * n];
+        for y in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += tmp[y * n + k] * self.basis[k * n + i];
+                }
+                out[y * n + i] = acc.round() as i32;
+            }
+        }
+        out
+    }
+}
+
+/// A cache of DCT plans for all supported sizes.
+#[derive(Debug, Clone)]
+pub struct DctPlans {
+    plans: [DctPlan; 4],
+}
+
+impl DctPlans {
+    /// Builds plans for every supported size.
+    pub fn new() -> Self {
+        DctPlans {
+            plans: [
+                DctPlan::new(4),
+                DctPlan::new(8),
+                DctPlan::new(16),
+                DctPlan::new(32),
+            ],
+        }
+    }
+
+    /// The plan for size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is unsupported.
+    pub fn get(&self, n: usize) -> &DctPlan {
+        match n {
+            4 => &self.plans[0],
+            8 => &self.plans[1],
+            16 => &self.plans[2],
+            32 => &self.plans[3],
+            _ => panic!("unsupported transform size {n}"),
+        }
+    }
+}
+
+impl Default for DctPlans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm265_tensor::rng::Pcg32;
+
+    #[test]
+    fn forward_inverse_identity() {
+        let mut rng = Pcg32::seed_from(1);
+        for &n in &SIZES {
+            let plan = DctPlan::new(n);
+            let block: Vec<i32> = (0..n * n).map(|_| rng.below(256) as i32 - 128).collect();
+            let coeffs = plan.forward(&block);
+            let back = plan.inverse(&coeffs);
+            assert_eq!(back, block, "size {n}");
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let n = 8;
+        let plan = DctPlan::new(n);
+        let block = vec![100i32; n * n];
+        let coeffs = plan.forward(&block);
+        // Orthonormal 2-D DCT: DC = n * mean.
+        assert!((coeffs[0] - 100.0 * n as f64).abs() < 1e-9);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "AC coeff {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = Pcg32::seed_from(2);
+        let n = 16;
+        let plan = DctPlan::new(n);
+        let block: Vec<i32> = (0..n * n).map(|_| rng.below(256) as i32 - 128).collect();
+        let coeffs = plan.forward(&block);
+        let e_spatial: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+        let e_coeff: f64 = coeffs.iter().map(|&c| c * c).sum();
+        assert!(
+            (e_spatial - e_coeff).abs() / e_spatial < 1e-12,
+            "parseval violated: {e_spatial} vs {e_coeff}"
+        );
+    }
+
+    #[test]
+    fn outlier_energy_is_spread_by_dct() {
+        // Fig 3 of the paper: one outlier of 128 among small values; after
+        // the DCT no coefficient should dwarf the rest the way the outlier
+        // dwarfed its block.
+        let n = 8;
+        let plan = DctPlan::new(n);
+        let mut block = vec![1i32; n * n];
+        block[27] = 128;
+        let peak_in = 128.0;
+        let coeffs = plan.forward(&block);
+        let peak_out = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        // Outlier amplitude is amortized: peak drops by > 4x.
+        assert!(peak_out < peak_in / 4.0, "peak after dct {peak_out}");
+    }
+
+    #[test]
+    fn smooth_blocks_compact_into_few_coeffs() {
+        let n = 8;
+        let plan = DctPlan::new(n);
+        let block: Vec<i32> = (0..n * n).map(|i| (i % n) as i32 * 4).collect(); // ramp
+        let coeffs = plan.forward(&block);
+        let total: f64 = coeffs.iter().map(|&c| c * c).sum();
+        let mut sorted: Vec<f64> = coeffs.iter().map(|&c| c * c).collect();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let top4: f64 = sorted.iter().take(4).sum();
+        assert!(top4 / total > 0.95, "energy compaction {}", top4 / total);
+    }
+
+    #[test]
+    fn plans_cache_covers_all_sizes() {
+        let plans = DctPlans::new();
+        for &n in &SIZES {
+            assert_eq!(plans.get(n).size(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn unsupported_size_panics() {
+        let _ = DctPlan::new(5);
+    }
+}

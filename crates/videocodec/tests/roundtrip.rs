@@ -1,0 +1,145 @@
+//! End-to-end codec invariants: decode(encode(x)) is bit-exact with the
+//! encoder's reconstruction, for every profile, pipeline configuration and
+//! frame shape.
+
+use llm265_tensor::rng::Pcg32;
+use llm265_videocodec::{
+    decode_video, encode_video, CodecConfig, Frame, PipelineConfig, Profile,
+};
+use proptest::prelude::*;
+
+fn textured_frame(seed: u64, w: usize, h: usize) -> Frame {
+    let mut rng = Pcg32::seed_from(seed);
+    let bands: Vec<i32> = (0..w).map(|x| ((x / 5) as i32 * 37) % 120).collect();
+    Frame::from_fn(w, h, |x, y| {
+        let v = 70 + bands[x] + ((y / 7) as i32 * 11) % 60 + (rng.below(21) as i32 - 10);
+        v.clamp(0, 255) as u8
+    })
+}
+
+fn assert_roundtrip(frames: &[Frame], cfg: &CodecConfig) {
+    let enc = encode_video(frames, cfg);
+    let dec = decode_video(&enc.bytes).expect("decode failed");
+    assert_eq!(dec.len(), frames.len());
+    for (i, (d, r)) in dec.iter().zip(&enc.recon).enumerate() {
+        assert_eq!(d, r, "frame {i} decoder/encoder recon mismatch");
+    }
+}
+
+#[test]
+fn roundtrip_all_profiles() {
+    let frames = [textured_frame(1, 64, 64)];
+    for profile in [Profile::h264(), Profile::h265(), Profile::av1()] {
+        let cfg = CodecConfig::default().with_profile(profile).with_qp(26.0);
+        assert_roundtrip(&frames, &cfg);
+    }
+}
+
+#[test]
+fn roundtrip_all_pipeline_configs() {
+    let frames = [textured_frame(2, 48, 48), textured_frame(3, 48, 48)];
+    for byte in 0..32u8 {
+        let pipeline = PipelineConfig::from_byte(byte);
+        let cfg = CodecConfig::default().with_pipeline(pipeline).with_qp(30.0);
+        assert_roundtrip(&frames, &cfg);
+    }
+}
+
+#[test]
+fn roundtrip_non_aligned_sizes() {
+    for &(w, h) in &[(1usize, 1usize), (7, 5), (33, 17), (65, 31), (100, 3)] {
+        let frames = [textured_frame(w as u64 * 1000 + h as u64, w, h)];
+        assert_roundtrip(&frames, &CodecConfig::default().with_qp(24.0));
+    }
+}
+
+#[test]
+fn roundtrip_extreme_qps() {
+    let frames = [textured_frame(4, 40, 40)];
+    for qp in [0.0, 4.0, 17.3, 51.0] {
+        assert_roundtrip(&frames, &CodecConfig::default().with_qp(qp));
+    }
+}
+
+#[test]
+fn quality_improves_with_lower_qp() {
+    let frames = [textured_frame(5, 64, 64)];
+    let mse_at = |qp: f64| {
+        let enc = encode_video(&frames, &CodecConfig::default().with_qp(qp));
+        frames[0].mse(&enc.recon[0])
+    };
+    let fine = mse_at(12.0);
+    let coarse = mse_at(42.0);
+    assert!(fine < coarse, "fine {fine} coarse {coarse}");
+    assert!(fine < 6.0, "qp 12 should be near-transparent: mse {fine}");
+}
+
+#[test]
+fn lossless_at_qstep_one_with_transform_skip() {
+    // qp = 4 gives qstep 1; transform-skip then reproduces pixels exactly.
+    let frames = [textured_frame(6, 32, 32)];
+    let pipeline = PipelineConfig {
+        transform: false,
+        ..PipelineConfig::default()
+    };
+    let cfg = CodecConfig::default().with_pipeline(pipeline).with_qp(4.0);
+    let enc = encode_video(&frames, &cfg);
+    assert_eq!(enc.recon[0], frames[0], "qstep=1 transform-skip must be lossless");
+}
+
+#[test]
+fn corrupt_streams_error_gracefully() {
+    let frames = [textured_frame(7, 32, 32)];
+    let enc = encode_video(&frames, &CodecConfig::default());
+    assert!(decode_video(&[]).is_err());
+    assert!(decode_video(&enc.bytes[..10]).is_err());
+    let mut bad_magic = enc.bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(decode_video(&bad_magic).is_err());
+    // Truncating the payload must error, not panic.
+    assert!(decode_video(&enc.bytes[..enc.bytes.len() - 4]).is_err());
+}
+
+#[test]
+fn structured_content_beats_noise() {
+    // The codec must exploit structure: banded frames cost fewer bits than
+    // pure noise at the same QP.
+    let structured = [textured_frame(8, 64, 64)];
+    let mut rng = Pcg32::seed_from(9);
+    let noise = [Frame::from_fn(64, 64, |_, _| rng.below(256) as u8)];
+    let cfg = CodecConfig::default().with_qp(28.0);
+    let bits_structured = encode_video(&structured, &cfg).bits();
+    let bits_noise = encode_video(&noise, &cfg).bits();
+    assert!(
+        (bits_structured as f64) < 0.8 * bits_noise as f64,
+        "structured {bits_structured} vs noise {bits_noise}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_roundtrip_random_frames(seed in 0u64..1_000_000, w in 4usize..70, h in 4usize..70, qp in 0u32..52) {
+        let frames = [textured_frame(seed, w, h)];
+        let cfg = CodecConfig::default().with_qp(qp as f64);
+        let enc = encode_video(&frames, &cfg);
+        let dec = decode_video(&enc.bytes).unwrap();
+        prop_assert_eq!(&dec[0], &enc.recon[0]);
+        prop_assert_eq!(dec[0].width(), w);
+        prop_assert_eq!(dec[0].height(), h);
+    }
+
+    #[test]
+    fn prop_recon_error_bounded_by_qstep(seed in 0u64..1_000_000, qp in 4u32..45) {
+        // Per-pixel reconstruction error should be loosely bounded by the
+        // quantization step (transform spreads error but MSE tracks step²).
+        let frames = [textured_frame(seed, 32, 32)];
+        let cfg = CodecConfig::default().with_qp(qp as f64);
+        let enc = encode_video(&frames, &cfg);
+        let mse = frames[0].mse(&enc.recon[0]);
+        let step = llm265_videocodec::quant::qstep(qp as f64);
+        // Dead-zone quantizer MSE is at most ~step²; allow 1.2x headroom.
+        prop_assert!(mse <= 1.2 * step * step + 1.0, "mse {} step {}", mse, step);
+    }
+}

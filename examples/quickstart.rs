@@ -1,0 +1,51 @@
+//! Quickstart: compress a tensor with LLM.265 and inspect the trade-offs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llm265::core::{Llm265Codec, RateTarget, TensorCodec};
+use llm265::tensor::rng::Pcg32;
+use llm265::tensor::synthetic::{llm_weight, WeightProfile};
+use llm265::tensor::stats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic LLM weight matrix: bell-shaped body, channel structure,
+    // rare outliers — the statistics that make video codecs work on
+    // tensors (paper §3.1).
+    let mut rng = Pcg32::seed_from(42);
+    let weights = llm_weight(256, 256, &WeightProfile::default(), &mut rng);
+    println!(
+        "tensor: {}x{}, std {:.4}, peak/sigma {:.1}",
+        weights.rows(),
+        weights.cols(),
+        stats::std_dev(weights.data()),
+        stats::peak_to_sigma(weights.data())
+    );
+
+    let codec = Llm265Codec::new();
+
+    // Sweep fractional bits/value budgets — the codec's headline feature.
+    println!("\n{:>10}  {:>12}  {:>10}  {:>8}", "target", "measured b/v", "NMSE", "ratio");
+    for budget in [1.5, 2.0, 2.5, 2.9, 3.5, 4.5] {
+        let encoded = codec.encode(&weights, RateTarget::BitsPerValue(budget))?;
+        let decoded = codec.decode(&encoded)?;
+        let nmse =
+            stats::tensor_mse(&weights, &decoded) / stats::variance(weights.data());
+        println!(
+            "{:>10.1}  {:>12.2}  {:>10.5}  {:>7.1}x",
+            budget,
+            encoded.bits_per_value(),
+            nmse,
+            16.0 / encoded.bits_per_value()
+        );
+    }
+
+    // Or target a quality level and let the codec find the rate.
+    let encoded = codec.encode(&weights, RateTarget::MaxNormalizedMse(0.01))?;
+    println!(
+        "\nquality-targeted encode (NMSE <= 0.01): {:.2} bits/value",
+        encoded.bits_per_value()
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # LLM.265 — Video Codecs are Secretly Tensor Codecs
+//!
+//! Facade crate for the LLM.265 reproduction. It re-exports the public API
+//! of every workspace crate so examples and downstream users can depend on
+//! a single crate:
+//!
+//! - [`tensor`] — tensor substrate, synthetic LLM-tensor generators, metrics
+//! - [`bitstream`] — bit I/O and entropy coders (CABAC, Huffman, LZ, Deflate)
+//! - [`videocodec`] — the intra-only software video codec (H.264/H.265/AV1
+//!   profiles), including the per-stage ablation pipeline
+//! - [`core`] — the LLM.265 tensor codec built on the video codec
+//! - [`quant`] — baseline compressors (RTN, GPTQ-/AWQ-/rotation-style, MXFP,
+//!   1-bit Adam/LAMB, chained codec pipelines)
+//! - [`model`] — small transformer substrate with hand-written backprop
+//! - [`distrib`] — pipeline-/data-parallel training simulator
+//! - [`hardware`] — analytical silicon and cluster cost models
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llm265::core::{TensorCodec, Llm265Codec, RateTarget};
+//! use llm265::tensor::{synthetic, rng::Pcg32, stats};
+//!
+//! let mut rng = Pcg32::seed_from(42);
+//! let w = synthetic::llm_weight(64, 64, &synthetic::WeightProfile::default(), &mut rng);
+//!
+//! let codec = Llm265Codec::new();
+//! let encoded = codec.encode(&w, RateTarget::BitsPerValue(3.0)).unwrap();
+//! let decoded = codec.decode(&encoded).unwrap();
+//!
+//! assert!(encoded.bits_per_value() <= 3.2);
+//! let scale = stats::std_dev(w.data()).max(1e-9);
+//! let nmse = stats::tensor_mse(&w, &decoded) / (scale * scale);
+//! assert!(nmse < 0.1);
+//! ```
+
+pub use llm265_bitstream as bitstream;
+pub use llm265_core as core;
+pub use llm265_distrib as distrib;
+pub use llm265_hardware as hardware;
+pub use llm265_model as model;
+pub use llm265_quant as quant;
+pub use llm265_tensor as tensor;
+pub use llm265_videocodec as videocodec;

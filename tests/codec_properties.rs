@@ -1,0 +1,124 @@
+//! Property-based tests on the LLM.265 tensor codec's public contract.
+
+use llm265::core::{Llm265Codec, Llm265Config, RateTarget, TensorCodec};
+use llm265::tensor::rng::Pcg32;
+use llm265::tensor::stats;
+use llm265::tensor::synthetic::{llm_weight, WeightProfile};
+use llm265::tensor::Tensor;
+use proptest::prelude::*;
+
+fn random_tensor(seed: u64, rows: usize, cols: usize, scale: f32) -> Tensor {
+    let mut rng = Pcg32::seed_from(seed);
+    Tensor::from_fn(rows, cols, |_, _| (rng.normal() as f32) * scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_roundtrip_preserves_shape_and_bounds_error(
+        seed in 0u64..1_000_000,
+        rows in 8usize..96,
+        cols in 8usize..96,
+        qp in 8u32..46,
+    ) {
+        let t = random_tensor(seed, rows, cols, 0.1);
+        let codec = Llm265Codec::new();
+        let enc = codec.encode(&t, RateTarget::Qp(qp as f64)).unwrap();
+        let dec = codec.decode(&enc).unwrap();
+        prop_assert_eq!(dec.shape(), (rows, cols));
+        // Parseval bounds the *MSE* by the quantizer step (the DCT may
+        // concentrate error on individual pixels, so only a loose
+        // per-pixel bound holds).
+        let (lo, hi) = t.min_max();
+        let chunk_step = ((hi - lo).max(1e-9) / 255.0) as f64;
+        let qstep = 2f64.powf((qp as f64 - 4.0) / 6.0);
+        let mse = stats::tensor_mse(&t, &dec);
+        // Dead-zone quantizer: per-coefficient error ≤ (2/3)·qstep, plus
+        // the 8-bit chunk quantization floor; 1.5x slack for rounding.
+        let mse_bound = chunk_step * chunk_step * (0.45 * qstep * qstep + 0.1) * 1.5 + 1e-12;
+        prop_assert!(mse <= mse_bound, "mse {mse} bound {mse_bound}");
+        let pixel_bound = chunk_step * (4.0 * qstep + 2.0) + 1e-6;
+        for (a, b) in t.data().iter().zip(dec.data()) {
+            prop_assert!(((a - b).abs() as f64) <= pixel_bound,
+                "err {} bound {pixel_bound}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn prop_bits_target_respected_for_feasible_budgets(
+        seed in 0u64..1_000_000,
+        budget_tenths in 15u32..60,
+    ) {
+        let budget = budget_tenths as f64 / 10.0;
+        let t = random_tensor(seed, 64, 64, 0.05);
+        let codec = Llm265Codec::new();
+        let enc = codec.encode(&t, RateTarget::BitsPerValue(budget)).unwrap();
+        prop_assert!(enc.bits_per_value() <= budget * 1.02 + 0.02,
+            "target {budget} got {}", enc.bits_per_value());
+    }
+
+    #[test]
+    fn prop_encoding_is_deterministic(seed in 0u64..1_000_000) {
+        let t = random_tensor(seed, 48, 48, 0.2);
+        let codec = Llm265Codec::new();
+        let a = codec.encode(&t, RateTarget::Qp(26.0)).unwrap();
+        let b = codec.encode(&t, RateTarget::Qp(26.0)).unwrap();
+        prop_assert_eq!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn prop_chunked_equals_shape_for_any_chunk_limit(
+        seed in 0u64..1_000_000,
+        rows in 16usize..80,
+        chunk_rows in 4usize..32,
+    ) {
+        let t = random_tensor(seed, rows, 40, 0.1);
+        let codec = Llm265Codec::with_config(Llm265Config {
+            max_chunk_pixels: 40 * chunk_rows,
+            ..Llm265Config::default()
+        });
+        let enc = codec.encode(&t, RateTarget::Qp(22.0)).unwrap();
+        let dec = codec.decode(&enc).unwrap();
+        prop_assert_eq!(dec.shape(), t.shape());
+        let nmse = stats::tensor_mse(&t, &dec) / stats::variance(t.data()).max(1e-30);
+        prop_assert!(nmse < 0.05, "nmse {nmse}");
+    }
+}
+
+#[test]
+fn structured_weights_compress_better_than_iid() {
+    // The codec must exploit exactly the structure §3.1 describes.
+    let mut rng = Pcg32::seed_from(77);
+    let structured = llm_weight(96, 96, &WeightProfile::default(), &mut rng);
+    let iid = llm_weight(96, 96, &WeightProfile::iid(), &mut rng);
+    let codec = Llm265Codec::new();
+    let nmse_at = |t: &Tensor, bits: f64| {
+        let enc = codec.encode(t, RateTarget::BitsPerValue(bits)).unwrap();
+        let dec = codec.decode(&enc).unwrap();
+        stats::tensor_mse(t, &dec) / stats::variance(t.data())
+    };
+    let e_structured = nmse_at(&structured, 2.5);
+    let e_iid = nmse_at(&iid, 2.5);
+    assert!(
+        e_structured < e_iid * 0.8,
+        "structured {e_structured} vs iid {e_iid}"
+    );
+}
+
+#[test]
+fn stream_is_self_describing() {
+    // Decoding requires nothing but the bytes: shape and chunk map travel
+    // in-band.
+    let t = random_tensor(5, 40, 72, 0.3);
+    let codec = Llm265Codec::new();
+    let enc = codec.encode(&t, RateTarget::BitsPerValue(3.0)).unwrap();
+    // A fresh codec instance (different config defaults do not matter for
+    // decode) recovers the tensor.
+    let other = Llm265Codec::with_config(Llm265Config {
+        max_chunk_pixels: 1 << 12,
+        ..Llm265Config::default()
+    });
+    let dec = other.decode(&enc).unwrap();
+    assert_eq!(dec.shape(), (40, 72));
+}

@@ -1,0 +1,98 @@
+//! Cross-crate consistency tests for the distributed-training simulator:
+//! the parallelism machinery must be a *refactoring* of plain training
+//! when compression is off, and its accounting must be exact.
+
+use llm265::distrib::data_parallel::DataParallelTrainer;
+use llm265::distrib::pipeline::PipelineTrainer;
+use llm265::model::data::{LangConfig, SyntheticLang};
+use llm265::model::optimizer::Adam;
+use llm265::model::transformer::{Batch, TransformerConfig, TransformerLm};
+use llm265::tensor::rng::Pcg32;
+
+#[test]
+fn pp_and_dp_uncompressed_match_plain_training_exactly() {
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut rng = Pcg32::seed_from(1);
+    let batches: Vec<Batch> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+    let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(2));
+
+    let mut plain = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
+    let mut opt = Adam::new(1e-3);
+    for b in &batches {
+        plain.train_step(b, &mut opt);
+    }
+    let ppl_plain = plain.eval_perplexity(&eval);
+
+    let mut pp_model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
+    {
+        let mut opt = Adam::new(1e-3);
+        let mut pp = PipelineTrainer::new(&mut pp_model, 2);
+        for b in &batches {
+            pp.train_step(b, &mut opt);
+        }
+    }
+    assert!((pp_model.eval_perplexity(&eval) - ppl_plain).abs() < 1e-6);
+
+    let mut dp_model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
+    {
+        let mut opt = Adam::new(1e-3);
+        let mut dp = DataParallelTrainer::new(&mut dp_model, 1);
+        for b in &batches {
+            dp.train_step(std::slice::from_ref(b), &mut opt);
+        }
+    }
+    assert!((dp_model.eval_perplexity(&eval) - ppl_plain).abs() < 1e-6);
+}
+
+#[test]
+fn wire_accounting_matches_tensor_sizes_exactly() {
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(3));
+    let dim = model.config().dim;
+    let mut opt = Adam::new(1e-3);
+    let seq_len = 24usize;
+    let batch = lang.sample_batch(3, seq_len, &mut Pcg32::seed_from(4));
+    let mut pp = PipelineTrainer::new(&mut model, 2);
+    pp.train_step(&batch, &mut opt);
+    // One boundary, 3 sequences, (seq_len - 1) tokens × dim values, both
+    // directions, at 16 bits uncompressed.
+    let expected_values = 3 * (seq_len - 1) * dim;
+    assert_eq!(pp.act_stats().values as usize, expected_values);
+    assert_eq!(pp.grad_stats().values as usize, expected_values);
+    assert_eq!(pp.act_stats().compressed_bits as usize, expected_values * 16);
+}
+
+#[test]
+fn dp_with_lossless_compressor_is_equivalent_to_uncompressed() {
+    use llm265::tensor::channel::LossyCompressor;
+    use llm265::tensor::Tensor;
+    struct Lossless;
+    impl LossyCompressor for Lossless {
+        fn name(&self) -> String {
+            "lossless".into()
+        }
+        fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
+            (t.clone(), t.len() as u64 * 16)
+        }
+    }
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut rng = Pcg32::seed_from(5);
+    let shards: Vec<Vec<Batch>> = (0..3)
+        .map(|_| (0..2).map(|_| lang.sample_batch(1, 20, &mut rng)).collect())
+        .collect();
+    let eval = lang.sample_batch(4, 20, &mut Pcg32::seed_from(6));
+
+    let run = |lossless: bool| -> f64 {
+        let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(8));
+        let mut opt = Adam::new(1e-3);
+        let mut dp = DataParallelTrainer::new(&mut model, 2);
+        if lossless {
+            dp = dp.with_compressors(vec![Box::new(Lossless), Box::new(Lossless)]);
+        }
+        for step in &shards {
+            dp.train_step(step, &mut opt);
+        }
+        dp.model().eval_perplexity(&eval)
+    };
+    assert!((run(false) - run(true)).abs() < 1e-6);
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the full LLM.265 story exercised end to
+//! end through the facade crate.
+
+use llm265::core::{Llm265Channel, Llm265Codec, RateTarget, TensorCodec};
+use llm265::model::data::{LangConfig, SyntheticLang};
+use llm265::model::optimizer::Adam;
+use llm265::model::tasks::{probe_suite, suite_accuracy};
+use llm265::model::transformer::{EvalHooks, TransformerConfig, TransformerLm};
+use llm265::quant::rtn::{GroupScheme, RtnQuantizer};
+use llm265::tensor::channel::LossyCompressor;
+use llm265::tensor::rng::Pcg32;
+use llm265::tensor::stats;
+use llm265::tensor::synthetic::{llm_weight, WeightProfile};
+
+fn trained_model(seed: u64, steps: usize) -> (TransformerLm, SyntheticLang) {
+    let lang = SyntheticLang::new(&LangConfig::tiny());
+    let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(seed));
+    let mut opt = Adam::new(3e-3);
+    let mut rng = Pcg32::seed_from(seed ^ 0xA);
+    for _ in 0..steps {
+        let batch = lang.sample_batch(4, 40, &mut rng);
+        model.train_step(&batch, &mut opt);
+    }
+    (model, lang)
+}
+
+#[test]
+fn codec_is_general_purpose_across_tensor_classes() {
+    // The paper's core claim: one codec object, no calibration, works on
+    // weights, activations, gradients and KV slabs.
+    use llm265::tensor::synthetic::{
+        kv_cache_slab, llm_activation, llm_gradient, ActivationProfile, GradientProfile,
+    };
+    let mut rng = Pcg32::seed_from(1);
+    let codec = Llm265Codec::new();
+    let tensors = vec![
+        ("weight", llm_weight(96, 96, &WeightProfile::default(), &mut rng)),
+        (
+            "activation",
+            llm_activation(96, 96, &ActivationProfile::default(), &mut rng),
+        ),
+        (
+            "gradient",
+            llm_gradient(96, 96, &GradientProfile::default(), &mut rng),
+        ),
+        ("kv", kv_cache_slab(96, 96, &mut rng)),
+    ];
+    for (name, t) in tensors {
+        let enc = codec
+            .encode(&t, RateTarget::BitsPerValue(3.5))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(enc.bits_per_value() <= 3.55, "{name}: {}", enc.bits_per_value());
+        let dec = codec.decode(&enc).unwrap();
+        let nmse = stats::tensor_mse(&t, &dec) / stats::variance(t.data()).max(1e-30);
+        assert!(nmse < 0.12, "{name}: nmse {nmse}");
+    }
+}
+
+#[test]
+fn fractional_bitrates_are_monotone_in_quality() {
+    let mut rng = Pcg32::seed_from(2);
+    let w = llm_weight(128, 128, &WeightProfile::default(), &mut rng);
+    let codec = Llm265Codec::new();
+    let mut last_err = f64::INFINITY;
+    for budget in [1.6, 2.1, 2.6, 3.1, 3.6, 4.1] {
+        let enc = codec.encode(&w, RateTarget::BitsPerValue(budget)).unwrap();
+        let dec = codec.decode(&enc).unwrap();
+        let err = stats::tensor_mse(&w, &dec);
+        assert!(
+            err <= last_err * 1.02,
+            "error must fall as bits grow: {err} after {last_err}"
+        );
+        last_err = err;
+    }
+}
+
+#[test]
+fn weight_compression_preserves_model_quality_at_3_bits() {
+    let (model, lang) = trained_model(3, 250);
+    let tasks = probe_suite(&lang, 20, 5);
+    let clean = suite_accuracy(&model, &tasks);
+
+    let mut compressed = model.clone();
+    let (bits, values) = compressed.compress_weights(&mut Llm265Channel::at_bits(4.0));
+    let acc = suite_accuracy(&compressed, &tasks);
+    assert!(bits as f64 / values as f64 <= 4.2);
+    assert!(
+        acc >= clean - 0.1,
+        "4-bit weights lost too much: {acc} vs {clean}"
+    );
+
+    // A destructive rate must actually hurt — the probes are sensitive.
+    let mut destroyed = model.clone();
+    destroyed.compress_weights(&mut Llm265Channel::at_bits(0.6));
+    let acc_destroyed = suite_accuracy(&destroyed, &tasks);
+    assert!(
+        acc_destroyed < clean - 0.1,
+        "0.6-bit weights should visibly hurt: {acc_destroyed} vs {clean}"
+    );
+}
+
+#[test]
+fn kv_and_activation_hooks_account_bits() {
+    let (model, lang) = trained_model(4, 120);
+    let eval = lang.sample_batch(4, 32, &mut Pcg32::seed_from(6));
+    let boundaries = [0usize];
+    let mut kv = Llm265Channel::at_bits(2.9);
+    let mut act = Llm265Channel::at_bits(3.5);
+    let mut hooks = EvalHooks {
+        kv: Some(&mut kv),
+        hidden: Some((&mut act, &boundaries)),
+    };
+    let res = model.eval_with_hooks(&eval, &mut hooks);
+    assert!(res.perplexity.is_finite() && res.perplexity > 1.0);
+    let kv_bpv = res.kv_bits as f64 / res.kv_values as f64;
+    let act_bpv = res.hidden_bits as f64 / res.hidden_values as f64;
+    assert!(kv_bpv <= 3.2, "kv {kv_bpv}");
+    assert!(act_bpv <= 3.8, "act {act_bpv}");
+}
+
+#[test]
+fn codec_beats_rtn_at_equal_measured_bits_on_structured_weights() {
+    // The Fig 5 headline reduced to a single assertion: on structured
+    // weights, LLM.265 at RTN's measured rate has lower error.
+    let mut rng = Pcg32::seed_from(7);
+    let w = llm_weight(128, 128, &WeightProfile::default(), &mut rng);
+    let mut rtn = RtnQuantizer::symmetric(3, GroupScheme::PerRow);
+    let (rtn_out, rtn_bits) = rtn.transcode(&w);
+    let rtn_bpv = rtn_bits as f64 / w.len() as f64;
+
+    let codec = Llm265Codec::new();
+    let enc = codec
+        .encode(&w, RateTarget::BitsPerValue(rtn_bpv))
+        .unwrap();
+    let dec = codec.decode(&enc).unwrap();
+    let e_codec = stats::tensor_mse(&w, &dec);
+    let e_rtn = stats::mse(w.data(), rtn_out.data());
+    assert!(
+        e_codec < e_rtn,
+        "codec {e_codec} should beat rtn {e_rtn} at {rtn_bpv:.2} bits"
+    );
+}
+
+#[test]
+fn gradient_residual_compensation_outperforms_direct_at_same_total_bits() {
+    use llm265::core::gradient::ResidualCompensator;
+    use llm265::tensor::synthetic::{llm_gradient, GradientProfile};
+    let mut rng = Pcg32::seed_from(8);
+    let g = llm_gradient(96, 96, &GradientProfile::at_progress(0.5), &mut rng);
+
+    let comp = ResidualCompensator::new();
+    let (two_stage, bits2) = comp.compress(&g);
+
+    let codec = Llm265Codec::new();
+    let budget = bits2 as f64 / g.len() as f64;
+    let enc = codec.encode(&g, RateTarget::BitsPerValue(budget)).unwrap();
+    let one_stage = codec.decode(&enc).unwrap();
+
+    let e2 = stats::tensor_mse(&g, &two_stage);
+    let e1 = stats::tensor_mse(&g, &one_stage);
+    // Two-stage must at least be competitive (within 10%) at equal bits —
+    // its value is robustness late in training, not raw RD.
+    assert!(e2 <= e1 * 1.1, "two-stage {e2} vs one-stage {e1}");
+}
+
+#[test]
+fn hardware_model_is_consistent_with_measured_compressors() {
+    // The §7.3 energy formula evaluated with the ratio our actual codec
+    // achieves on gradients must land in the paper's 3-5x gain band.
+    use llm265::hardware::energy::end_to_end_gain;
+    use llm265::tensor::synthetic::{llm_gradient, GradientProfile};
+    let mut rng = Pcg32::seed_from(9);
+    let g = llm_gradient(128, 128, &GradientProfile::default(), &mut rng);
+    let mut ch = Llm265Channel::at_bits(3.5);
+    let (_, bits) = ch.transcode(&g);
+    let ratio = g.len() as f64 * 16.0 / bits as f64;
+    assert!(ratio > 4.0, "ratio {ratio}");
+    let gain = end_to_end_gain(ratio, 97.8, 63.5);
+    assert!(gain > 3.0 && gain < 6.0, "gain {gain}");
+}
