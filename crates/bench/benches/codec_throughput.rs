@@ -5,8 +5,10 @@
 //! reference implementation, not silicon); these benches put an exact
 //! number on it, and the `hardware::engine` model carries the calibrated
 //! NVENC/NVDEC envelope for the system-level results.
+//!
+//! Run with `cargo bench -p llm265-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llm265_bench::microbench::Group;
 use llm265_core::{Llm265Codec, RateTarget, TensorCodec};
 use llm265_tensor::rng::Pcg32;
 use llm265_tensor::synthetic::{llm_weight, WeightProfile};
@@ -17,56 +19,55 @@ fn weight_frame(n: usize, seed: u64) -> Frame {
     let w = llm_weight(n, n, &WeightProfile::default(), &mut rng);
     let (lo, hi) = w.min_max();
     let scale = (hi - lo).max(1e-9) / 255.0;
-    Frame::from_fn(n, n, |x, y| (((w[(y, x)] - lo) / scale) as i32).clamp(0, 255) as u8)
+    Frame::from_fn(n, n, |x, y| {
+        (((w[(y, x)] - lo) / scale) as i32).clamp(0, 255) as u8
+    })
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("videocodec_encode");
+fn main() {
+    let mut g = Group::new("videocodec_encode", 10);
     for &n in &[64usize, 128] {
         let frame = weight_frame(n, 1);
         let cfg = CodecConfig::default().with_qp(30.0);
-        g.throughput(Throughput::Bytes((n * n) as u64));
-        g.bench_function(format!("{n}x{n}_qp30"), |b| {
-            b.iter(|| encode_video(std::slice::from_ref(&frame), &cfg))
+        g.throughput_bytes((n * n) as u64);
+        g.bench(&format!("{n}x{n}_qp30"), || {
+            encode_video(std::slice::from_ref(&frame), &cfg)
         });
     }
     g.finish();
-}
 
-fn bench_decode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("videocodec_decode");
+    let mut g = Group::new("videocodec_decode", 10);
     for &n in &[64usize, 128] {
         let frame = weight_frame(n, 2);
         let cfg = CodecConfig::default().with_qp(30.0);
         let enc = encode_video(std::slice::from_ref(&frame), &cfg);
-        g.throughput(Throughput::Bytes((n * n) as u64));
-        g.bench_function(format!("{n}x{n}_qp30"), |b| {
-            b.iter(|| decode_video(&enc.bytes).unwrap())
+        g.throughput_bytes((n * n) as u64);
+        g.bench(&format!("{n}x{n}_qp30"), || {
+            decode_video(&enc.bytes).expect("bench stream decodes")
         });
     }
     g.finish();
-}
 
-fn bench_tensor_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("llm265_tensor_codec");
+    let mut g = Group::new("llm265_tensor_codec", 10);
     let mut rng = Pcg32::seed_from(3);
     let w = llm_weight(96, 96, &WeightProfile::default(), &mut rng);
     let codec = Llm265Codec::new();
-    g.throughput(Throughput::Bytes((w.len() * 4) as u64));
-    g.bench_function("encode_qp_fixed", |b| {
-        b.iter(|| codec.encode(&w, RateTarget::Qp(30.0)).unwrap())
+    g.throughput_bytes((w.len() * 4) as u64);
+    g.bench("encode_qp_fixed", || {
+        codec
+            .encode(&w, RateTarget::Qp(30.0))
+            .expect("bench encode succeeds")
     });
-    let enc = codec.encode(&w, RateTarget::Qp(30.0)).unwrap();
-    g.bench_function("decode", |b| b.iter(|| codec.decode(&enc).unwrap()));
-    g.bench_function("encode_bits_target", |b| {
-        b.iter(|| codec.encode(&w, RateTarget::BitsPerValue(3.0)).unwrap())
+    let enc = codec
+        .encode(&w, RateTarget::Qp(30.0))
+        .expect("bench encode succeeds");
+    g.bench("decode", || {
+        codec.decode(&enc).expect("bench stream decodes")
+    });
+    g.bench("encode_bits_target", || {
+        codec
+            .encode(&w, RateTarget::BitsPerValue(3.0))
+            .expect("bench encode succeeds")
     });
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_encode, bench_decode, bench_tensor_codec
-}
-criterion_main!(benches);

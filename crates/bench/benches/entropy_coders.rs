@@ -1,7 +1,9 @@
 //! Entropy-coder throughput benchmarks (the lossless stages of the Fig 14
 //! baseline grid plus our CABAC core).
+//!
+//! Run with `cargo bench -p llm265-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llm265_bench::microbench::Group;
 use llm265_bitstream::{deflate::Deflate, huffman::Huffman, lz4::Lz4, ByteCodec, CabacBytes};
 use llm265_tensor::rng::Pcg32;
 
@@ -13,7 +15,7 @@ fn symbol_stream(n: usize, seed: u64) -> Vec<u8> {
         .collect()
 }
 
-fn bench_compress(c: &mut Criterion) {
+fn main() {
     let data = symbol_stream(1 << 16, 1);
     let codecs: Vec<Box<dyn ByteCodec>> = vec![
         Box::new(Huffman),
@@ -21,25 +23,21 @@ fn bench_compress(c: &mut Criterion) {
         Box::new(Lz4),
         Box::new(CabacBytes),
     ];
-    let mut g = c.benchmark_group("lossless_compress");
-    g.throughput(Throughput::Bytes(data.len() as u64));
+
+    let mut g = Group::new("lossless_compress", 20);
+    g.throughput_bytes(data.len() as u64);
     for codec in &codecs {
-        g.bench_function(codec.name(), |b| b.iter(|| codec.compress(&data)));
+        g.bench(codec.name(), || codec.compress(&data));
     }
     g.finish();
 
-    let mut g = c.benchmark_group("lossless_decompress");
-    g.throughput(Throughput::Bytes(data.len() as u64));
+    let mut g = Group::new("lossless_decompress", 20);
+    g.throughput_bytes(data.len() as u64);
     for codec in &codecs {
         let packed = codec.compress(&data);
-        g.bench_function(codec.name(), |b| b.iter(|| codec.decompress(&packed).unwrap()));
+        g.bench(codec.name(), || {
+            codec.decompress(&packed).expect("bench stream decodes")
+        });
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_compress
-}
-criterion_main!(benches);

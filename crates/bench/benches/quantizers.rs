@@ -1,6 +1,8 @@
 //! Baseline quantizer throughput benchmarks.
+//!
+//! Run with `cargo bench -p llm265-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llm265_bench::microbench::Group;
 use llm265_quant::mxfp::{MxFormat, MxfpQuantizer};
 use llm265_quant::nf4::Nf4Quantizer;
 use llm265_quant::rotation::RotationQuantizer;
@@ -8,27 +10,20 @@ use llm265_quant::rtn::{GroupScheme, RtnQuantizer};
 use llm265_tensor::rng::Pcg32;
 use llm265_tensor::synthetic::{llm_weight, WeightProfile};
 
-fn bench_quantizers(c: &mut Criterion) {
+fn main() {
     let mut rng = Pcg32::seed_from(1);
     let w = llm_weight(256, 256, &WeightProfile::default(), &mut rng);
     let bytes = (w.len() * 4) as u64;
 
-    let mut g = c.benchmark_group("quantizers");
-    g.throughput(Throughput::Bytes(bytes));
+    let mut g = Group::new("quantizers", 20);
+    g.throughput_bytes(bytes);
     let rtn = RtnQuantizer::symmetric(4, GroupScheme::Groups(128));
-    g.bench_function("rtn4_128g", |b| b.iter(|| rtn.apply(&w)));
+    g.bench("rtn4_128g", || rtn.apply(&w));
     let mx = MxfpQuantizer::new(MxFormat::Mxfp6);
-    g.bench_function("mxfp6", |b| b.iter(|| mx.apply(&w)));
+    g.bench("mxfp6", || mx.apply(&w));
     let nf4 = Nf4Quantizer::new();
-    g.bench_function("nf4", |b| b.iter(|| nf4.apply(&w)));
+    g.bench("nf4", || nf4.apply(&w));
     let rot = RotationQuantizer::quarot(4, 128, 7);
-    g.bench_function("quarot4", |b| b.iter(|| rot.apply(&w)));
+    g.bench("quarot4", || rot.apply(&w));
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_quantizers
-}
-criterion_main!(benches);

@@ -36,7 +36,12 @@ fn main() {
     let stack = weight_stack(3, 128, 2024);
     let target = 0.02;
 
-    let mut table = Table::new(vec!["max chunk pixels", "chunks/tensor", "bits/value", "NMSE"]);
+    let mut table = Table::new(vec![
+        "max chunk pixels",
+        "chunks/tensor",
+        "bits/value",
+        "NMSE",
+    ]);
     for &pixels in &[128 * 8, 128 * 16, 128 * 32, 128 * 64, 128 * 128] {
         let codec = Llm265Codec::with_config(Llm265Config {
             max_chunk_pixels: pixels,

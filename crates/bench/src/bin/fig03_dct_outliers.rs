@@ -77,7 +77,11 @@ fn main() {
     t.row(vec![
         "values > 20".into(),
         block.iter().filter(|&&v| v.abs() > 20).count().to_string(),
-        coeffs.iter().filter(|&&c| c.abs() > 20.0).count().to_string(),
+        coeffs
+            .iter()
+            .filter(|&&c| c.abs() > 20.0)
+            .count()
+            .to_string(),
     ]);
     t.print("Fig 3(c,d) — one 128-valued outlier amortized across the block");
     println!("\nPaper shape: the DCT output contains no outliers; the 128 spike is spread out.");

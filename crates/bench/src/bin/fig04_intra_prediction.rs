@@ -70,11 +70,7 @@ fn main() {
     };
 
     let mut t = Table::new(vec!["quantity", "no prediction (a)", "after intra (b,c)"]);
-    t.row(vec![
-        "best mode".into(),
-        "-".into(),
-        format!("{mode:?}"),
-    ]);
+    t.row(vec!["best mode".into(), "-".into(), format!("{mode:?}")]);
     t.row(vec![
         "residual energy".into(),
         f(energy(&centered), 0),

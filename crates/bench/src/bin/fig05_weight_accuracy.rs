@@ -31,7 +31,10 @@ struct Point {
 }
 
 /// Mean NMSE between two models' weight matrices.
-fn weight_nmse(a: &llm265_model::transformer::TransformerLm, b: &llm265_model::transformer::TransformerLm) -> f64 {
+fn weight_nmse(
+    a: &llm265_model::transformer::TransformerLm,
+    b: &llm265_model::transformer::TransformerLm,
+) -> f64 {
     let mut wa = Vec::new();
     let mut wb = Vec::new();
     let mut ma = a.clone();
@@ -122,14 +125,28 @@ fn main() {
             &format!("RTN{b} per-row"),
             &mut RtnQuantizer::symmetric(b, GroupScheme::PerRow),
         ));
-        points.push(point(&lm, &format!("GPTQ{b}"), &mut GptqAdapter { bits: b }));
+        points.push(point(
+            &lm,
+            &format!("GPTQ{b}"),
+            &mut GptqAdapter { bits: b },
+        ));
         points.push(point(&lm, &format!("AWQ{b}"), &mut AwqAdapter { bits: b }));
     }
 
     points.sort_by(|a, b| a.bpv.total_cmp(&b.bpv));
-    let mut table = Table::new(vec!["method", "measured bits/value", "weight NMSE", "accuracy"]);
+    let mut table = Table::new(vec![
+        "method",
+        "measured bits/value",
+        "weight NMSE",
+        "accuracy",
+    ]);
     for p in &points {
-        table.row(vec![p.method.clone(), f(p.bpv, 2), f(p.nmse, 4), pct(p.acc)]);
+        table.row(vec![
+            p.method.clone(),
+            f(p.bpv, 2),
+            f(p.nmse, 4),
+            pct(p.acc),
+        ]);
     }
     table.print("Fig 5 — accuracy vs measured bits/value (weight compression)");
     println!("\nPaper shape: at equal measured bits LLM.265 sits on or above every baseline;");

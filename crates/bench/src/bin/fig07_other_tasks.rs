@@ -69,7 +69,12 @@ fn main() {
                 &format!("RTN{b} per-row"),
                 &mut RtnQuantizer::symmetric(b, GroupScheme::PerRow),
             ));
-            points.push(run_point(task, &model, &format!("AWQ{b}"), &mut AwqAdapter { bits: b }));
+            points.push(run_point(
+                task,
+                &model,
+                &format!("AWQ{b}"),
+                &mut AwqAdapter { bits: b },
+            ));
         }
         points.sort_by(|a, b| a.1.total_cmp(&b.1));
 

@@ -75,14 +75,21 @@ fn run(
 fn main() {
     let curves = vec![
         run("Uncompressed", None, None),
-        run("LLM.265(A)", Some(Box::new(Llm265Channel::at_bits(3.5))), None),
+        run(
+            "LLM.265(A)",
+            Some(Box::new(Llm265Channel::at_bits(3.5))),
+            None,
+        ),
         // Plain low-bit RTN on activation gradients: the failure mode. (At
         // our scale 8-bit RTN is still tolerated, so the failure surfaces
         // at 2 bits; the paper's larger models already fail at 8.)
         run(
             "LLM.265(A)+GQ (RTN2)",
             Some(Box::new(Llm265Channel::at_bits(3.5))),
-            Some(Box::new(RtnQuantizer::symmetric(2, GroupScheme::Groups(128)))),
+            Some(Box::new(RtnQuantizer::symmetric(
+                2,
+                GroupScheme::Groups(128),
+            ))),
         ),
         run(
             "LLM.265(A)+G direct 3.5b",
@@ -126,10 +133,15 @@ fn main() {
     }
     table.print("Fig 9 — pipeline-parallel training (4-way comparison)");
     println!("\nActivation compression 16 -> 3.5 bits = 78% volume reduction;");
-    println!("residual-compensated gradients average ~{:.1} bits (paper: 10.1).",
+    println!(
+        "residual-compensated gradients average ~{:.1} bits (paper: 10.1).",
         llm265_core::gradient::average_bits_per_value(
-            &ResidualCompensatorConfig { switch_step: STEPS * 5 / 16, ..Default::default() },
+            &ResidualCompensatorConfig {
+                switch_step: STEPS * 5 / 16,
+                ..Default::default()
+            },
             STEPS,
-        ));
+        )
+    );
     println!("Paper shape: (A) ≈ uncompressed; plain gradient RTN hurts; (A+G) recovers.");
 }

@@ -21,7 +21,10 @@ const STEPS: usize = 140;
 const REPLICAS: usize = 4;
 const REPORT_EVERY: usize = 35;
 
-fn run(name: &str, make: &dyn Fn() -> Option<Box<dyn LossyCompressor>>) -> (String, Vec<f64>, f64, f64) {
+fn run(
+    name: &str,
+    make: &dyn Fn() -> Option<Box<dyn LossyCompressor>>,
+) -> (String, Vec<f64>, f64, f64) {
     let lang = SyntheticLang::new(&LangConfig::tiny());
     let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(11));
     let mut opt = Adam::new(3e-3);
@@ -61,25 +64,31 @@ fn main() {
         run("1-bit LAMB", &|| {
             Some(Box::new(OneBitCompressor::new(OneBitFlavor::Lamb, warmup)))
         }),
-        run("LLM.265 (2.6b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(2.6)))),
-        run("LLM.265 (1.4b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(1.4)))),
-        run("LLM.265 (0.8b)", &|| Some(Box::new(Llm265TrackingChannel::at_bits(0.8)))),
+        run("LLM.265 (2.6b)", &|| {
+            Some(Box::new(Llm265TrackingChannel::at_bits(2.6)))
+        }),
+        run("LLM.265 (1.4b)", &|| {
+            Some(Box::new(Llm265TrackingChannel::at_bits(1.4)))
+        }),
+        run("LLM.265 (0.8b)", &|| {
+            Some(Box::new(Llm265TrackingChannel::at_bits(0.8)))
+        }),
         run("RTN4-128G", &|| {
-            Some(Box::new(RtnQuantizer::symmetric(4, GroupScheme::Groups(128))))
+            Some(Box::new(RtnQuantizer::symmetric(
+                4,
+                GroupScheme::Groups(128),
+            )))
         }),
         run("RTN2-128G", &|| {
-            Some(Box::new(RtnQuantizer::symmetric(2, GroupScheme::Groups(128))))
+            Some(Box::new(RtnQuantizer::symmetric(
+                2,
+                GroupScheme::Groups(128),
+            )))
         }),
     ];
 
     let mut table = Table::new(vec![
-        "config",
-        "avg bits",
-        "loss@35",
-        "loss@70",
-        "loss@105",
-        "loss@140",
-        "val ppl",
+        "config", "avg bits", "loss@35", "loss@70", "loss@105", "loss@140", "val ppl",
     ]);
     for (name, losses, bits, ppl) in &rows {
         table.row(vec![

@@ -49,11 +49,15 @@ fn main() {
         ("Uncompressed", Box::new(|| None)),
         (
             "LLM.265 (2.6b)",
-            Box::new(|| Some(Box::new(Llm265TrackingChannel::at_bits(2.6)) as Box<dyn LossyCompressor>)),
+            Box::new(|| {
+                Some(Box::new(Llm265TrackingChannel::at_bits(2.6)) as Box<dyn LossyCompressor>)
+            }),
         ),
         (
             "LLM.265 (1.4b)",
-            Box::new(|| Some(Box::new(Llm265TrackingChannel::at_bits(1.4)) as Box<dyn LossyCompressor>)),
+            Box::new(|| {
+                Some(Box::new(Llm265TrackingChannel::at_bits(1.4)) as Box<dyn LossyCompressor>)
+            }),
         ),
     ];
 

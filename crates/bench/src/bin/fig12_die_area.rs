@@ -3,8 +3,8 @@
 
 use llm265_bench::table::{f, Table};
 use llm265_hardware::area::{
-    cpu_server, gpu_rtx3090, h264_decoder, h264_encoder, h265_decoder, h265_encoder,
-    instances_for, nic_cx5, single_instance_4k60_gbps, Component,
+    cpu_server, gpu_rtx3090, h264_decoder, h264_encoder, h265_decoder, h265_encoder, instances_for,
+    nic_cx5, single_instance_4k60_gbps, Component,
 };
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
     dies.print("Fig 12 (1-3) — datacenter dies vs a 100 Gb/s H.264 codec pair");
 
     let inst = instances_for(100.0, single_instance_4k60_gbps());
-    println!("\n(100 Gb/s = {} aggregated 4K60 instances per codec)", inst);
+    println!(
+        "\n(100 Gb/s = {} aggregated 4K60 instances per codec)",
+        inst
+    );
 
     let mut blocks = Table::new(vec![
         "codec @100Gb/s",
@@ -45,13 +48,13 @@ fn main() {
         "entropy%",
         "tensor-only (mm^2)",
     ]);
-    for b in [h264_encoder(), h264_decoder(), h265_encoder(), h265_decoder()] {
-        let pc = |c: Component| {
-            format!(
-                "{:.0}",
-                b.component_area(c) / b.area_mm2 * 100.0
-            )
-        };
+    for b in [
+        h264_encoder(),
+        h264_decoder(),
+        h265_encoder(),
+        h265_decoder(),
+    ] {
+        let pc = |c: Component| format!("{:.0}", b.component_area(c) / b.area_mm2 * 100.0);
         blocks.row(vec![
             b.name.to_string(),
             f(b.area_mm2, 2),

@@ -21,7 +21,14 @@ fn main() {
     // --- (a) Gradient MAE vs bits/value.
     let mut rng = Pcg32::seed_from(50);
     let grads: Vec<_> = (0..3)
-        .map(|i| llm_gradient(128, 128, &GradientProfile::at_progress(0.2 * i as f64), &mut rng))
+        .map(|i| {
+            llm_gradient(
+                128,
+                128,
+                &GradientProfile::at_progress(0.2 * i as f64),
+                &mut rng,
+            )
+        })
         .collect();
 
     let mut contenders: Vec<Box<dyn LossyCompressor>> = Vec::new();
@@ -63,8 +70,14 @@ fn main() {
 
     // Dominance check: for each LLM.265 point, list baselines it beats on
     // both axes.
-    let ours: Vec<_> = points.iter().filter(|(n, _, _)| n.contains("LLM.265")).collect();
-    let theirs: Vec<_> = points.iter().filter(|(n, _, _)| !n.contains("LLM.265")).collect();
+    let ours: Vec<_> = points
+        .iter()
+        .filter(|(n, _, _)| n.contains("LLM.265"))
+        .collect();
+    let theirs: Vec<_> = points
+        .iter()
+        .filter(|(n, _, _)| !n.contains("LLM.265"))
+        .collect();
     let mut dominated = 0;
     for b in &theirs {
         if ours.iter().any(|o| o.1 <= b.1 && o.2 <= b.2) {

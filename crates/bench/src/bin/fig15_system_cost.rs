@@ -25,7 +25,12 @@ fn measure_ratio(c: &mut dyn LossyCompressor) -> f64 {
     let mut raw = 0u64;
     let mut packed = 0u64;
     for i in 0..3 {
-        let g = llm_gradient(128, 128, &GradientProfile::at_progress(0.3 * i as f64), &mut rng);
+        let g = llm_gradient(
+            128,
+            128,
+            &GradientProfile::at_progress(0.3 * i as f64),
+            &mut rng,
+        );
         let (_, bits) = c.transcode(&g);
         raw += g.len() as u64 * 16;
         packed += bits;

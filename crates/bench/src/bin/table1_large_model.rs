@@ -105,8 +105,22 @@ fn main() {
 
     run("GPTQ-32G", "3.25", &mut GptqAdapter { bits: 3, group: 32 });
     run("AWQ-32G", "3.25", &mut AwqAdapter { bits: 3, group: 32 });
-    run("GPTQ", "3.00", &mut GptqAdapter { bits: 3, group: 1 << 20 });
-    run("AWQ", "3.00", &mut AwqAdapter { bits: 3, group: 1 << 20 });
+    run(
+        "GPTQ",
+        "3.00",
+        &mut GptqAdapter {
+            bits: 3,
+            group: 1 << 20,
+        },
+    );
+    run(
+        "AWQ",
+        "3.00",
+        &mut AwqAdapter {
+            bits: 3,
+            group: 1 << 20,
+        },
+    );
     run("LLM.265 (ours)", "2.88", &mut Llm265Channel::at_bits(2.88));
 
     table.print("Table 1 — large-model accuracy at ~3-bit budgets (3 probe tasks)");

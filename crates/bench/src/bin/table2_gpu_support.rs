@@ -17,7 +17,11 @@ fn main() {
     println!();
     for gen in GpuGeneration::all() {
         let usable: Vec<&str> = tensor_codecs_for(gen).iter().map(|c| c.name()).collect();
-        println!("{:13} usable for LLM.265 (enc+dec in hardware): {}", gen.name(), usable.join(", "));
+        println!(
+            "{:13} usable for LLM.265 (enc+dec in hardware): {}",
+            gen.name(),
+            usable.join(", ")
+        );
     }
     println!("\nVP9 is decode-only everywhere, so it is excluded; H.265 is the only codec with");
     println!("8K encode+decode on every generation, which is why LLM.265 adopts it.");

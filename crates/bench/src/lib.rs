@@ -5,5 +5,8 @@
 //! what they share: an aligned table printer, standard workloads (weight
 //! stacks, trained models), and the compressed-model accuracy pipeline.
 
+#![forbid(unsafe_code)]
+
+pub mod microbench;
 pub mod table;
 pub mod workloads;

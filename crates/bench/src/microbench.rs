@@ -1,0 +1,139 @@
+//! Tiny std-only micro-benchmark harness.
+//!
+//! The workspace builds with no network access, so it cannot depend on
+//! `criterion`. This module provides the subset the benches need: warmup,
+//! a fixed sample count, median/min timing, and bytes-per-second
+//! throughput reporting. It is intentionally simple — wall-clock medians
+//! over a handful of samples — which is plenty for the "is the software
+//! codec 10x or 1000x slower than NVENC" questions these benches answer.
+
+use std::time::Instant;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label, e.g. `lossless_compress/huffman`.
+    pub name: String,
+    /// Median time per iteration, in seconds.
+    pub median_s: f64,
+    /// Fastest observed iteration, in seconds.
+    pub min_s: f64,
+    /// Bytes processed per iteration (0 = no throughput line).
+    pub bytes: u64,
+}
+
+impl Sample {
+    /// Median throughput in MB/s, if a byte count was attached.
+    pub fn mb_per_s(&self) -> Option<f64> {
+        (self.bytes > 0 && self.median_s > 0.0).then(|| self.bytes as f64 / self.median_s / 1e6)
+    }
+}
+
+/// A group of related benchmarks sharing a sample budget and a throughput
+/// denominator, mirroring criterion's `benchmark_group` shape so the bench
+/// files read the same as before.
+pub struct Group {
+    name: String,
+    samples: usize,
+    bytes: u64,
+    results: Vec<Sample>,
+}
+
+impl Group {
+    /// Creates a group that times each benchmark `samples` times.
+    #[must_use]
+    pub fn new(name: &str, samples: usize) -> Self {
+        Group {
+            name: name.to_string(),
+            samples: samples.max(3),
+            bytes: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the bytes-per-iteration denominator for throughput reporting.
+    pub fn throughput_bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Times `f`, discarding one warmup run, and records the summary.
+    ///
+    /// The closure's return value is consumed via a black-box sink so the
+    /// optimizer cannot delete the benchmarked work.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        sink(&f()); // warmup + forces at least one full run
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            sink(&f());
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let sample = Sample {
+            name: format!("{}/{name}", self.name),
+            median_s: times[times.len() / 2],
+            min_s: times[0],
+            bytes: self.bytes,
+        };
+        print_sample(&sample);
+        self.results.push(sample);
+    }
+
+    /// Finishes the group, returning all recorded samples.
+    pub fn finish(self) -> Vec<Sample> {
+        self.results
+    }
+}
+
+/// Opaque sink so the optimizer cannot delete the benchmarked work.
+fn sink<T>(value: &T) {
+    std::hint::black_box(value);
+}
+
+fn print_sample(s: &Sample) {
+    match s.mb_per_s() {
+        Some(tp) => println!(
+            "{:<44} median {:>10.3} ms   min {:>10.3} ms   {:>9.2} MB/s",
+            s.name,
+            s.median_s * 1e3,
+            s.min_s * 1e3,
+            tp
+        ),
+        None => println!(
+            "{:<44} median {:>10.3} ms   min {:>10.3} ms",
+            s.name,
+            s.median_s * 1e3,
+            s.min_s * 1e3
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_sample_per_call() {
+        let mut g = Group::new("unit", 3);
+        g.throughput_bytes(1_000_000);
+        g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "unit/spin");
+        assert!(results[0].median_s >= results[0].min_s);
+        assert!(results[0].mb_per_s().is_some());
+    }
+
+    #[test]
+    fn zero_bytes_means_no_throughput() {
+        let mut g = Group::new("unit", 3);
+        g.bench("noop", || 1u8);
+        assert!(g.finish()[0].mb_per_s().is_none());
+    }
+}

@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(3.21159, 2), "3.21");
         assert_eq!(pct(0.815), "81.5");
         assert!(!Table::new(vec!["x"]).len() > 0 || Table::new(vec!["x"]).is_empty());
     }

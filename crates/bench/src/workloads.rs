@@ -135,7 +135,10 @@ mod tests {
         let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 60, 2);
         let clean = lm.accuracy();
         let (acc, bpv) = lm.compressed_accuracy(&mut F16ish);
-        assert!((acc - clean).abs() < 1e-9, "lossless hook must not change accuracy");
+        assert!(
+            (acc - clean).abs() < 1e-9,
+            "lossless hook must not change accuracy"
+        );
         assert_eq!(bpv, 16.0);
     }
 

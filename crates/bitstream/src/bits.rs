@@ -122,7 +122,7 @@ impl<'a> BitReader<'a> {
             let byte = *self
                 .bytes
                 .get(self.pos)
-                .ok_or_else(|| DecodeError::new("bitstream exhausted"))?;
+                .ok_or(DecodeError::Truncated("bitstream exhausted"))?;
             self.pos += 1;
             self.acc = (self.acc << 8) | byte as u64;
             self.nbits += 8;
@@ -169,7 +169,7 @@ impl<'a> BitReader<'a> {
         while !self.read_bit()? {
             zeros += 1;
             if zeros > 32 {
-                return Err(DecodeError::new("exp-golomb prefix too long"));
+                return Err(DecodeError::Corrupt("exp-golomb prefix too long"));
             }
         }
         let suffix = self.read_bits(zeros)?;
@@ -196,7 +196,13 @@ mod tests {
     #[test]
     fn bits_roundtrip_mixed_widths() {
         let mut w = BitWriter::new();
-        let fields = [(0b1u64, 1u32), (0xABu64, 8), (0x3FFu64, 10), (0u64, 5), (0x1FFFFFu64, 21)];
+        let fields = [
+            (0b1u64, 1u32),
+            (0xABu64, 8),
+            (0x3FFu64, 10),
+            (0u64, 5),
+            (0x1FFFFFu64, 21),
+        ];
         for &(v, n) in &fields {
             w.write_bits(v, n);
         }

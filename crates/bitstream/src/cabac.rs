@@ -51,6 +51,7 @@ impl Default for Prob {
 impl Prob {
     /// Creates a context with an explicit initial probability of zero,
     /// expressed in 1/2048 units and clamped away from certainty.
+    #[must_use]
     pub fn with_p0(p0: u16) -> Self {
         Prob(p0.clamp(32, PROB_ONE - 32))
     }
@@ -64,11 +65,7 @@ impl Prob {
     /// used by the encoder's rate-distortion estimates without actually
     /// coding anything.
     pub fn cost_bits(&self, bit: bool) -> f64 {
-        let p = if bit {
-            1.0 - self.p0()
-        } else {
-            self.p0()
-        };
+        let p = if bit { 1.0 - self.p0() } else { self.p0() };
         -(p.max(1.0 / PROB_ONE as f64)).log2()
     }
 
@@ -453,7 +450,10 @@ mod tests {
             enc.encode_bit(&mut ctx, b);
         }
         let actual = enc.finish().len() as f64 * 8.0;
-        assert!((est - actual).abs() / actual < 0.1, "est {est} actual {actual}");
+        assert!(
+            (est - actual).abs() / actual < 0.1,
+            "est {est} actual {actual}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! framing, and typically within a few percent of zlib on tensor data.
 
 use crate::huffman::Huffman;
-use crate::{ByteCodec, DecodeError};
+use crate::{bytes, ByteCodec, DecodeError};
 
 /// Minimum match length worth emitting.
 const MIN_MATCH: usize = 3;
@@ -41,10 +41,10 @@ fn hash3(data: &[u8], i: usize) -> usize {
 }
 
 struct Parse {
-    kinds: Vec<u8>,   // 0 = literal, 1 = match
+    kinds: Vec<u8>, // 0 = literal, 1 = match
     literals: Vec<u8>,
-    lens: Vec<u8>,    // match length - MIN_MATCH
-    dists: Vec<u8>,   // little-endian u16 per match
+    lens: Vec<u8>,  // match length - MIN_MATCH
+    dists: Vec<u8>, // little-endian u16 per match
 }
 
 fn lz77_parse(data: &[u8]) -> Parse {
@@ -95,7 +95,9 @@ fn lz77_parse(data: &[u8]) -> Parse {
         if worthwhile {
             parse.kinds.push(1);
             parse.lens.push((best_len - MIN_MATCH) as u8);
-            parse.dists.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            parse
+                .dists
+                .extend_from_slice(&(best_dist as u16).to_le_bytes());
             // Register hash entries inside the match (sparsely, for speed).
             let end = pos + best_len;
             let mut p = pos + 1;
@@ -116,19 +118,17 @@ fn lz77_parse(data: &[u8]) -> Parse {
 }
 
 fn push_block(out: &mut Vec<u8>, block: &[u8]) {
-    out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+    bytes::write_le_u32(out, block.len() as u32);
     out.extend_from_slice(block);
 }
 
 fn pop_block<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], DecodeError> {
-    let hdr = data
-        .get(*pos..*pos + 4)
-        .ok_or_else(|| DecodeError::new("deflate: truncated block header"))?;
-    let len = u32::from_le_bytes(hdr.try_into().unwrap()) as usize;
-    *pos += 4;
+    let len = bytes::read_le_u32(data, pos)
+        .map_err(|_| DecodeError::Truncated("deflate block header"))? as usize;
     let block = data
-        .get(*pos..*pos + len)
-        .ok_or_else(|| DecodeError::new("deflate: truncated block"))?;
+        .get(*pos..)
+        .and_then(|rest| rest.get(..len))
+        .ok_or(DecodeError::Truncated("deflate block"))?;
     *pos += len;
     Ok(block)
 }
@@ -156,7 +156,7 @@ impl ByteCodec for Deflate {
         let huff = Huffman.compress(data);
 
         let mut out = Vec::new();
-        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        bytes::write_le_u64(&mut out, data.len() as u64);
         if lz.len() <= huff.len() && lz.len() < data.len() {
             out.push(MODE_LZ77);
             out.extend_from_slice(&lz);
@@ -171,28 +171,30 @@ impl ByteCodec for Deflate {
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
-        if data.len() < 9 {
-            return Err(DecodeError::new("deflate: missing header"));
-        }
-        let n = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
-        let mode = data[8];
-        let mut pos = 9usize;
+        let mut pos = 0usize;
+        let n = bytes::read_le_u64(data, &mut pos)
+            .map_err(|_| DecodeError::Truncated("deflate header"))? as usize;
+        let mode = *data
+            .get(pos)
+            .ok_or(DecodeError::Truncated("deflate mode byte"))?;
+        pos += 1;
         match mode {
             MODE_RAW => {
                 let body = data
-                    .get(pos..pos + n)
-                    .ok_or_else(|| DecodeError::new("deflate: truncated raw block"))?;
+                    .get(pos..)
+                    .and_then(|rest| rest.get(..n))
+                    .ok_or(DecodeError::Truncated("deflate raw block"))?;
                 return Ok(body.to_vec());
             }
             MODE_HUFFMAN => {
-                let out = Huffman.decompress(&data[pos..])?;
+                let out = Huffman.decompress(data.get(pos..).unwrap_or(&[]))?;
                 if out.len() != n {
-                    return Err(DecodeError::new("deflate: length mismatch"));
+                    return Err(DecodeError::Corrupt("deflate length mismatch"));
                 }
                 return Ok(out);
             }
             MODE_LZ77 => {}
-            _ => return Err(DecodeError::new("deflate: unknown block mode")),
+            _ => return Err(DecodeError::Corrupt("unknown deflate block mode")),
         }
         let kinds = Huffman.decompress(pop_block(data, &mut pos)?)?;
         let literals = Huffman.decompress(pop_block(data, &mut pos)?)?;
@@ -205,24 +207,25 @@ impl ByteCodec for Deflate {
             if kind == 0 {
                 let b = *literals
                     .get(li)
-                    .ok_or_else(|| DecodeError::new("deflate: literal stream short"))?;
+                    .ok_or(DecodeError::Truncated("deflate literal stream"))?;
                 li += 1;
                 out.push(b);
             } else {
                 let len = *lens
                     .get(mi)
-                    .ok_or_else(|| DecodeError::new("deflate: length stream short"))?
+                    .ok_or(DecodeError::Truncated("deflate length stream"))?
                     as usize
                     + MIN_MATCH;
-                let db = dists
-                    .get(mi * 2..mi * 2 + 2)
-                    .ok_or_else(|| DecodeError::new("deflate: distance stream short"))?;
-                let dist = u16::from_le_bytes(db.try_into().unwrap()) as usize;
+                let mut dpos = mi * 2;
+                let dist = bytes::read_le_u16(&dists, &mut dpos)
+                    .map_err(|_| DecodeError::Truncated("deflate distance stream"))?
+                    as usize;
                 mi += 1;
                 if dist == 0 || dist > out.len() {
-                    return Err(DecodeError::new("deflate: invalid distance"));
+                    return Err(DecodeError::Corrupt("deflate distance out of range"));
                 }
                 let start = out.len() - dist;
+                // Byte-at-a-time so overlapping matches (RLE) replicate.
                 for i in 0..len {
                     let b = out[start + i];
                     out.push(b);
@@ -230,7 +233,7 @@ impl ByteCodec for Deflate {
             }
         }
         if out.len() != n {
-            return Err(DecodeError::new("deflate: length mismatch"));
+            return Err(DecodeError::Corrupt("deflate length mismatch"));
         }
         Ok(out)
     }

@@ -151,7 +151,7 @@ impl CanonicalDecoder {
                 return Ok(self.syms[(self.base[len] + offset) as usize]);
             }
         }
-        Err(DecodeError::new("invalid huffman code"))
+        Err(DecodeError::Corrupt("invalid huffman code"))
     }
 }
 
@@ -193,7 +193,7 @@ impl ByteCodec for Huffman {
         let first = r.read_bits(8)? as usize;
         let last = r.read_bits(8)? as usize;
         if first > last {
-            return Err(DecodeError::new("invalid symbol range"));
+            return Err(DecodeError::Corrupt("invalid huffman symbol range"));
         }
         let mut lengths = [0u8; 256];
         for len in lengths[first..=last].iter_mut() {
@@ -203,7 +203,9 @@ impl ByteCodec for Huffman {
             return Ok(Vec::new());
         }
         if lengths.iter().all(|&l| l == 0) {
-            return Err(DecodeError::new("nonempty payload with empty code table"));
+            return Err(DecodeError::Corrupt(
+                "nonempty payload with empty code table",
+            ));
         }
         let dec = CanonicalDecoder::new(&lengths);
         let mut out = Vec::with_capacity(n.min(1 << 24));
@@ -304,7 +306,10 @@ mod tests {
                 -p * p.log2()
             })
             .sum();
-        assert!(avg_len < entropy + 0.2, "avg {avg_len} vs entropy {entropy}");
+        assert!(
+            avg_len < entropy + 0.2,
+            "avg {avg_len} vs entropy {entropy}"
+        );
     }
 
     #[test]

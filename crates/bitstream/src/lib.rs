@@ -29,37 +29,17 @@
 //! assert!(packed.len() < data.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
+pub mod bytes;
 pub mod cabac;
 pub mod deflate;
+mod error;
 pub mod huffman;
 pub mod lz4;
 
-use std::error::Error;
-use std::fmt;
-
-/// Error returned when a compressed stream cannot be decoded.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecodeError {
-    message: String,
-}
-
-impl DecodeError {
-    /// Creates a decode error with a human-readable reason.
-    pub fn new(message: impl Into<String>) -> Self {
-        DecodeError {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decode error: {}", self.message)
-    }
-}
-
-impl Error for DecodeError {}
+pub use error::{CodecError, DecodeError};
 
 /// A lossless byte-stream compressor.
 ///
@@ -106,17 +86,24 @@ impl ByteCodec for CabacBytes {
         }
         let payload = enc.finish();
         let mut out = Vec::with_capacity(payload.len() + 8);
-        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        bytes::write_le_u64(&mut out, data.len() as u64);
         out.extend_from_slice(&payload);
         out
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
-        if data.len() < 8 {
-            return Err(DecodeError::new("cabac stream too short"));
+        let mut pos = 0;
+        let len64 = bytes::read_le_u64(data, &mut pos)
+            .map_err(|_| CodecError::Truncated("cabac length header"))?;
+        // CABAC tops out around 360:1 on degenerate all-same-bit input (the
+        // probability floor costs ~0.022 bit/bin); a declared length far
+        // beyond that is a hostile header, not a compressed stream.
+        let payload_len = data.len() - pos;
+        if len64 > 4096 * (payload_len as u64).max(16) {
+            return Err(CodecError::LimitExceeded("cabac declared length"));
         }
-        let len = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
-        let mut dec = cabac::CabacDecoder::new(&data[8..]);
+        let len = len64 as usize;
+        let mut dec = cabac::CabacDecoder::new(data.get(pos..).unwrap_or(&[]));
         let mut ctx = vec![cabac::Prob::default(); 256];
         let mut out = Vec::with_capacity(len.min(1 << 24));
         for _ in 0..len {
@@ -150,9 +137,15 @@ mod tests {
 
     #[test]
     fn cabac_bytes_compresses_skewed_data() {
-        let data: Vec<u8> = (0..10_000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        let data: Vec<u8> = (0..10_000)
+            .map(|i| if i % 10 == 0 { 1 } else { 0 })
+            .collect();
         let packed = CabacBytes.compress(&data);
-        assert!(packed.len() < data.len() / 5, "packed {} bytes", packed.len());
+        assert!(
+            packed.len() < data.len() / 5,
+            "packed {} bytes",
+            packed.len()
+        );
         assert_eq!(CabacBytes.decompress(&packed).unwrap(), data);
     }
 

@@ -1,7 +1,8 @@
 //! Property tests: every ByteCodec must be lossless on arbitrary bytes.
 
 use llm265_bitstream::{deflate::Deflate, huffman::Huffman, lz4::Lz4, ByteCodec, CabacBytes};
-use proptest::prelude::*;
+use llm265_tensor::check::Checker;
+use llm265_tensor::prop_ensure;
 
 fn codecs() -> Vec<Box<dyn ByteCodec>> {
     vec![
@@ -12,50 +13,57 @@ fn codecs() -> Vec<Box<dyn ByteCodec>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prop_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn prop_roundtrip_arbitrary_bytes() {
+    Checker::new(24).run("roundtrip arbitrary bytes", |rng| {
+        let len = rng.below_usize(4096);
+        let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         for codec in codecs() {
             let packed = codec.compress(&data);
-            let unpacked = codec.decompress(&packed)
-                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
-            prop_assert_eq!(&unpacked, &data, "{} roundtrip", codec.name());
+            let unpacked = codec
+                .decompress(&packed)
+                .map_err(|e| format!("{}: {e}", codec.name()))?;
+            prop_ensure!(unpacked == data, "{} roundtrip mismatch", codec.name());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_roundtrip_skewed_bytes(
-        seed in any::<u64>(),
-        len in 0usize..8192,
-        spread in 1u32..64,
-    ) {
+#[test]
+fn prop_roundtrip_skewed_bytes() {
+    Checker::new(24).run("roundtrip skewed bytes", |rng| {
         // Bell-shaped symbol streams (what quantized tensors look like).
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as u32
-        };
+        let len = rng.below_usize(8192);
+        let spread = 1 + rng.below(63);
         let data: Vec<u8> = (0..len)
             .map(|_| {
-                let centered = (next() % spread) as i64 - (next() % spread) as i64;
+                let centered = rng.below(spread) as i64 - rng.below(spread) as i64;
                 (128i64 + centered).clamp(0, 255) as u8
             })
             .collect();
         for codec in codecs() {
             let packed = codec.compress(&data);
-            prop_assert_eq!(&codec.decompress(&packed).unwrap(), &data, "{}", codec.name());
+            let unpacked = codec
+                .decompress(&packed)
+                .map_err(|e| format!("{}: {e}", codec.name()))?;
+            prop_ensure!(unpacked == data, "{} roundtrip mismatch", codec.name());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 1..512), cut in 1usize..64) {
+#[test]
+fn prop_truncation_never_panics() {
+    Checker::new(24).run("truncation never panics", |rng| {
+        let len = 1 + rng.below_usize(511);
+        let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let cut = 1 + rng.below_usize(63);
         for codec in codecs() {
             let packed = codec.compress(&data);
             let cut = cut.min(packed.len());
             // Truncated streams must error or return wrong data — never panic.
             let _ = codec.decompress(&packed[..packed.len() - cut]);
         }
-    }
+        Ok(())
+    });
 }

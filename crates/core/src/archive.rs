@@ -5,6 +5,7 @@
 //! per-tensor LLM.265 streams) is the natural container — this is what a
 //! checkpoint saved "in LLM.265 format" looks like.
 
+use llm265_bitstream::bytes;
 use llm265_tensor::Tensor;
 
 use crate::{CodecError, EncodedTensor, RateTarget, TensorCodec};
@@ -30,22 +31,28 @@ impl TensorArchive {
         tensors: &[(String, Tensor)],
         target: RateTarget,
     ) -> Result<Self, CodecError> {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC.to_le_bytes());
-        bytes.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+        let mut out = Vec::new();
+        bytes::write_le_u32(&mut out, MAGIC);
+        bytes::write_le_u32(&mut out, tensors.len() as u32);
         let mut entries = Vec::with_capacity(tensors.len());
         for (name, t) in tensors {
             if name.len() > u16::MAX as usize {
-                return Err(CodecError::new("tensor name too long"));
+                return Err(CodecError::InvalidInput(format!(
+                    "tensor name too long ({} bytes)",
+                    name.len()
+                )));
             }
             let enc = codec.encode(t, target)?;
-            bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
-            bytes.extend_from_slice(name.as_bytes());
-            bytes.extend_from_slice(&(enc.bytes().len() as u32).to_le_bytes());
-            bytes.extend_from_slice(enc.bytes());
+            bytes::write_le_u16(&mut out, name.len() as u16);
+            out.extend_from_slice(name.as_bytes());
+            bytes::write_le_u32(&mut out, enc.bytes().len() as u32);
+            out.extend_from_slice(enc.bytes());
             entries.push((name.clone(), t.rows(), t.cols()));
         }
-        Ok(TensorArchive { bytes, entries })
+        Ok(TensorArchive {
+            bytes: out,
+            entries,
+        })
     }
 
     /// The serialized archive.
@@ -78,29 +85,34 @@ impl TensorArchive {
     /// # Errors
     ///
     /// Returns [`CodecError`] on corrupt or truncated streams.
-    pub fn decode(codec: &dyn TensorCodec, bytes: &[u8]) -> Result<Vec<(String, Tensor)>, CodecError> {
+    pub fn decode(
+        codec: &dyn TensorCodec,
+        data: &[u8],
+    ) -> Result<Vec<(String, Tensor)>, CodecError> {
         let mut pos = 0usize;
-        let magic = read_u32(bytes, &mut pos)?;
+        let magic = bytes::read_le_u32(data, &mut pos)?;
         if magic != MAGIC {
-            return Err(CodecError::new("bad archive magic"));
+            return Err(CodecError::Corrupt("bad archive magic"));
         }
-        let count = read_u32(bytes, &mut pos)? as usize;
+        let count = bytes::read_le_u32(data, &mut pos)? as usize;
         if count > 1 << 20 {
-            return Err(CodecError::new("implausible archive entry count"));
+            return Err(CodecError::LimitExceeded("archive entry count"));
         }
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            let name_len = read_u16(bytes, &mut pos)? as usize;
-            let name_bytes = bytes
-                .get(pos..pos + name_len)
-                .ok_or_else(|| CodecError::new("truncated tensor name"))?;
+            let name_len = bytes::read_le_u16(data, &mut pos)? as usize;
+            let name_bytes = data
+                .get(pos..)
+                .and_then(|rest| rest.get(..name_len))
+                .ok_or(CodecError::Truncated("tensor name"))?;
             pos += name_len;
             let name = String::from_utf8(name_bytes.to_vec())
-                .map_err(|_| CodecError::new("tensor name is not UTF-8"))?;
-            let len = read_u32(bytes, &mut pos)? as usize;
-            let payload = bytes
-                .get(pos..pos + len)
-                .ok_or_else(|| CodecError::new("truncated tensor payload"))?;
+                .map_err(|_| CodecError::Corrupt("tensor name is not UTF-8"))?;
+            let len = bytes::read_le_u32(data, &mut pos)? as usize;
+            let payload = data
+                .get(pos..)
+                .and_then(|rest| rest.get(..len))
+                .ok_or(CodecError::Truncated("tensor payload"))?;
             pos += len;
             // Reconstruct an EncodedTensor wrapper around the payload; the
             // inner stream is itself self-describing, so shape comes from
@@ -115,22 +127,6 @@ impl TensorArchive {
         }
         Ok(out)
     }
-}
-
-fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
-    let b = bytes
-        .get(*pos..*pos + 4)
-        .ok_or_else(|| CodecError::new("truncated archive"))?;
-    *pos += 4;
-    Ok(u32::from_le_bytes(b.try_into().unwrap()))
-}
-
-fn read_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, CodecError> {
-    let b = bytes
-        .get(*pos..*pos + 2)
-        .ok_or_else(|| CodecError::new("truncated archive"))?;
-    *pos += 2;
-    Ok(u16::from_le_bytes(b.try_into().unwrap()))
 }
 
 #[cfg(test)]
@@ -197,6 +193,8 @@ mod tests {
         let codec = Llm265Codec::new();
         let ar = TensorArchive::encode(&codec, &[], RateTarget::Qp(20.0)).unwrap();
         assert_eq!(ar.bits_per_value(), 0.0);
-        assert!(TensorArchive::decode(&codec, ar.bytes()).unwrap().is_empty());
+        assert!(TensorArchive::decode(&codec, ar.bytes())
+            .unwrap()
+            .is_empty());
     }
 }

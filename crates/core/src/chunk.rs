@@ -68,6 +68,8 @@ fn quantize_band(t: &Tensor, row0: usize, rows: usize) -> Chunk {
     let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
     let frame = Frame::from_fn(cols, rows, |x, y| {
         let v = t[(row0 + y, x)];
+        // lint:allow(float-cmp): `scale` is assigned exactly 0.0 for flat
+        // chunks two lines up; this guards the division below.
         if scale == 0.0 || !v.is_finite() {
             0
         } else {

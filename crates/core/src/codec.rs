@@ -1,5 +1,6 @@
 //! The LLM.265 codec object.
 
+use llm265_bitstream::bytes;
 use llm265_tensor::channel::LossyCompressor;
 use llm265_tensor::{stats, Tensor};
 use llm265_videocodec::{decode_video, encode_video, CodecConfig, PipelineConfig, Profile};
@@ -49,6 +50,7 @@ impl Llm265Codec {
     }
 
     /// Creates a codec with an explicit configuration.
+    #[must_use]
     pub fn with_config(config: Llm265Config) -> Self {
         Llm265Codec { config }
     }
@@ -65,22 +67,22 @@ impl Llm265Codec {
             pipeline: self.config.pipeline,
             qp,
         };
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC.to_le_bytes());
-        bytes.extend_from_slice(&(t.rows() as u32).to_le_bytes());
-        bytes.extend_from_slice(&(t.cols() as u32).to_le_bytes());
-        bytes.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+        let mut out = Vec::new();
+        bytes::write_le_u32(&mut out, MAGIC);
+        bytes::write_le_u32(&mut out, t.rows() as u32);
+        bytes::write_le_u32(&mut out, t.cols() as u32);
+        bytes::write_le_u32(&mut out, chunks.len() as u32);
         for c in chunks {
             let enc = encode_video(std::slice::from_ref(&c.frame), &cfg);
-            bytes.extend_from_slice(&(c.row0 as u32).to_le_bytes());
-            bytes.extend_from_slice(&(c.rows as u32).to_le_bytes());
-            bytes.extend_from_slice(&c.lo.to_bits().to_le_bytes());
-            bytes.extend_from_slice(&c.scale.to_bits().to_le_bytes());
-            bytes.extend_from_slice(&(enc.bytes.len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&enc.bytes);
+            bytes::write_le_u32(&mut out, c.row0 as u32);
+            bytes::write_le_u32(&mut out, c.rows as u32);
+            bytes::write_le_u32(&mut out, c.lo.to_bits());
+            bytes::write_le_u32(&mut out, c.scale.to_bits());
+            bytes::write_le_u32(&mut out, enc.bytes.len() as u32);
+            out.extend_from_slice(&enc.bytes);
         }
         EncodedTensor {
-            bytes,
+            bytes: out,
             rows: t.rows(),
             cols: t.cols(),
         }
@@ -165,10 +167,12 @@ impl TensorCodec for Llm265Codec {
 
     fn encode(&self, t: &Tensor, target: RateTarget) -> Result<EncodedTensor, CodecError> {
         if t.is_empty() {
-            return Err(CodecError::new("cannot encode an empty tensor"));
+            return Err(CodecError::InvalidInput(
+                "cannot encode an empty tensor".into(),
+            ));
         }
         if t.cols() > self.config.max_chunk_pixels {
-            return Err(CodecError::new(format!(
+            return Err(CodecError::InvalidInput(format!(
                 "tensor width {} exceeds max chunk pixels {}",
                 t.cols(),
                 self.config.max_chunk_pixels
@@ -178,19 +182,23 @@ impl TensorCodec for Llm265Codec {
         let enc = match target {
             RateTarget::Qp(qp) => {
                 if !(0.0..=51.0).contains(&qp) {
-                    return Err(CodecError::new(format!("qp {qp} out of range")));
+                    return Err(CodecError::InvalidInput(format!("qp {qp} out of range")));
                 }
                 self.encode_at_qp(t, &chunks, qp)
             }
             RateTarget::BitsPerValue(b) => {
                 if b <= 0.0 {
-                    return Err(CodecError::new("bits/value target must be positive"));
+                    return Err(CodecError::InvalidInput(
+                        "bits/value target must be positive".into(),
+                    ));
                 }
                 self.search_qp(t, &chunks, |e| e.bits_per_value() <= b, true)
             }
             RateTarget::MaxNormalizedMse(m) => {
                 if m < 0.0 {
-                    return Err(CodecError::new("MSE target must be non-negative"));
+                    return Err(CodecError::InvalidInput(
+                        "MSE target must be non-negative".into(),
+                    ));
                 }
                 let var = stats::variance(t.data()).max(1e-30);
                 let target_mse = m * var;
@@ -199,6 +207,7 @@ impl TensorCodec for Llm265Codec {
                     t,
                     &chunks,
                     move |e| {
+                        // lint:allow(panic): stream produced by encode_at_qp
                         let dec = decode_tensor(e).expect("self-produced stream decodes");
                         stats::tensor_mse(&src, &dec) <= target_mse
                     },
@@ -214,56 +223,46 @@ impl TensorCodec for Llm265Codec {
     }
 }
 
-fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
-    let b = bytes
-        .get(*pos..*pos + 4)
-        .ok_or_else(|| CodecError::new("truncated stream"))?;
-    *pos += 4;
-    Ok(u32::from_le_bytes(b.try_into().unwrap()))
-}
-
 fn decode_tensor(e: &EncodedTensor) -> Result<Tensor, CodecError> {
-    let bytes = &e.bytes;
+    let data = &e.bytes;
     let mut pos = 0usize;
-    if read_u32(bytes, &mut pos)? != MAGIC {
-        return Err(CodecError::new("bad tensor-stream magic"));
+    if bytes::read_le_u32(data, &mut pos)? != MAGIC {
+        return Err(CodecError::Corrupt("bad tensor-stream magic"));
     }
-    let rows = read_u32(bytes, &mut pos)? as usize;
-    let cols = read_u32(bytes, &mut pos)? as usize;
-    let n_chunks = read_u32(bytes, &mut pos)? as usize;
-    if rows
-        .checked_mul(cols)
-        .is_none_or(|n| n > (1 << 31))
-    {
-        return Err(CodecError::new("implausible tensor shape"));
+    let rows = bytes::read_le_u32(data, &mut pos)? as usize;
+    let cols = bytes::read_le_u32(data, &mut pos)? as usize;
+    let n_chunks = bytes::read_le_u32(data, &mut pos)? as usize;
+    if rows.checked_mul(cols).is_none_or(|n| n > (1 << 31)) {
+        return Err(CodecError::LimitExceeded("tensor shape"));
     }
     let mut out = Tensor::zeros(rows, cols);
     let mut covered = 0usize;
     for _ in 0..n_chunks {
-        let row0 = read_u32(bytes, &mut pos)? as usize;
-        let c_rows = read_u32(bytes, &mut pos)? as usize;
-        let lo = f32::from_bits(read_u32(bytes, &mut pos)?);
-        let scale = f32::from_bits(read_u32(bytes, &mut pos)?);
-        let len = read_u32(bytes, &mut pos)? as usize;
-        let payload = bytes
-            .get(pos..pos + len)
-            .ok_or_else(|| CodecError::new("truncated chunk payload"))?;
+        let row0 = bytes::read_le_u32(data, &mut pos)? as usize;
+        let c_rows = bytes::read_le_u32(data, &mut pos)? as usize;
+        let lo = f32::from_bits(bytes::read_le_u32(data, &mut pos)?);
+        let scale = f32::from_bits(bytes::read_le_u32(data, &mut pos)?);
+        let len = bytes::read_le_u32(data, &mut pos)? as usize;
+        let payload = data
+            .get(pos..)
+            .and_then(|rest| rest.get(..len))
+            .ok_or(CodecError::Truncated("chunk payload"))?;
         pos += len;
         if row0 + c_rows > rows {
-            return Err(CodecError::new("chunk exceeds tensor rows"));
+            return Err(CodecError::Corrupt("chunk exceeds tensor rows"));
         }
         let frames = decode_video(payload)?;
         let frame = frames
             .first()
-            .ok_or_else(|| CodecError::new("chunk decoded to zero frames"))?;
+            .ok_or(CodecError::Corrupt("chunk decoded to zero frames"))?;
         if frame.width() != cols || frame.height() != c_rows {
-            return Err(CodecError::new("chunk frame size mismatch"));
+            return Err(CodecError::Corrupt("chunk frame size mismatch"));
         }
         chunk::dequantize_into(&mut out, frame, row0, lo, scale);
         covered += c_rows;
     }
     if covered != rows {
-        return Err(CodecError::new("chunks do not cover the tensor"));
+        return Err(CodecError::Corrupt("chunks do not cover the tensor"));
     }
     Ok(out)
 }
@@ -301,8 +300,13 @@ impl LossyCompressor for Llm265Channel {
         let enc = self
             .codec
             .encode(t, self.target)
+            // lint:allow(panic): channel contract — callers feed non-empty tensors
             .expect("transcode of non-empty tensor");
-        let out = self.codec.decode(&enc).expect("self-produced stream decodes");
+        let out = self
+            .codec
+            .decode(&enc)
+            // lint:allow(panic): decoding a stream produced two lines up
+            .expect("self-produced stream decodes");
         (out, enc.bits())
     }
 
@@ -395,7 +399,11 @@ impl LossyCompressor for Llm265TrackingChannel {
                 }
             }
         });
-        let out = self.codec.decode(&enc).expect("self-produced stream decodes");
+        let out = self
+            .codec
+            .decode(&enc)
+            // lint:allow(panic): decoding a stream produced by encode_at_qp above
+            .expect("self-produced stream decodes");
         (out, enc.bits())
     }
 

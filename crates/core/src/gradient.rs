@@ -59,6 +59,7 @@ impl ResidualCompensator {
     }
 
     /// Creates a compensator with an explicit configuration.
+    #[must_use]
     pub fn with_config(config: ResidualCompensatorConfig) -> Self {
         ResidualCompensator {
             codec: Llm265Codec::new(),
@@ -84,7 +85,8 @@ impl ResidualCompensator {
         let enc1 = self
             .codec
             .encode(g, RateTarget::BitsPerValue(self.config.primary_bits))
-            .expect("primary gradient encode");
+            .expect("primary gradient encode"); // lint:allow(panic): non-empty by contract
+                                                // lint:allow(panic): decoding a stream produced two lines up
         let comp = self.codec.decode(&enc1).expect("primary decode");
 
         // Stage 2: compress the residual.
@@ -98,7 +100,8 @@ impl ResidualCompensator {
                     &residual,
                     RateTarget::BitsPerValue(self.config.early_residual_bits),
                 )
-                .expect("residual encode");
+                .expect("residual encode"); // lint:allow(panic): same shape as g
+                                            // lint:allow(panic): decoding a stream produced two lines up
             let dec = self.codec.decode(&enc2).expect("residual decode");
             (dec, enc2.bits())
         };
@@ -145,6 +148,8 @@ pub fn rtn8(t: &Tensor) -> (Tensor, u64) {
         let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
         let out_row = out.row_mut(r);
         for (o, &v) in out_row.iter_mut().zip(row) {
+            // lint:allow(float-cmp): `scale` is assigned exactly 0.0 for
+            // flat rows above; this guards the division below.
             if scale == 0.0 {
                 *o = lo;
             } else {
@@ -190,9 +195,7 @@ mod tests {
         let (two_stage, _) = comp.compress(&g);
 
         let codec = Llm265Codec::new();
-        let enc = codec
-            .encode(&g, RateTarget::BitsPerValue(3.5))
-            .unwrap();
+        let enc = codec.encode(&g, RateTarget::BitsPerValue(3.5)).unwrap();
         let one_stage = codec.decode(&enc).unwrap();
 
         let e2 = stats::tensor_mse(&g, &two_stage);
@@ -217,7 +220,10 @@ mod tests {
         // Late-phase steps carry the 8-bit residual: strictly more bits.
         assert!(bits_per_step[4] > bits_per_step[0]);
         let late_bpv = bits_per_step[4] as f64 / g.len() as f64;
-        assert!(late_bpv > 8.0, "late phase must include 8-bit residual: {late_bpv}");
+        assert!(
+            late_bpv > 8.0,
+            "late phase must include 8-bit residual: {late_bpv}"
+        );
     }
 
     #[test]

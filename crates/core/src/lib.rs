@@ -38,6 +38,8 @@
 //! # Ok::<(), llm265_core::CodecError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 mod chunk;
 mod codec;
@@ -48,36 +50,13 @@ pub use codec::{Llm265Channel, Llm265Codec, Llm265Config, Llm265TrackingChannel}
 pub use llm265_videocodec::{PipelineConfig, Profile, ProfileKind};
 
 use llm265_tensor::Tensor;
-use std::error::Error;
-use std::fmt;
 
 /// Error produced when encoding or decoding a tensor fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CodecError {
-    message: String,
-}
-
-impl CodecError {
-    pub(crate) fn new(message: impl Into<String>) -> Self {
-        CodecError {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tensor codec error: {}", self.message)
-    }
-}
-
-impl Error for CodecError {}
-
-impl From<llm265_bitstream::DecodeError> for CodecError {
-    fn from(e: llm265_bitstream::DecodeError) -> Self {
-        CodecError::new(e.to_string())
-    }
-}
+///
+/// This is the same [`llm265_bitstream::CodecError`] taxonomy used by every
+/// decode path in the workspace, so errors propagate from the entropy coders
+/// through the video codec up to the tensor codec without translation.
+pub use llm265_bitstream::CodecError;
 
 /// How the encoder should choose its rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +80,17 @@ pub struct EncodedTensor {
 }
 
 impl EncodedTensor {
+    /// Reassembles an encoded tensor from its transported parts (the byte
+    /// stream plus the shape it was encoded from) — the receiving side of
+    /// any transport that moves [`EncodedTensor::bytes`] across a wire.
+    ///
+    /// The stream is *validated at decode time*, not here: feeding a
+    /// corrupt or truncated stream to [`TensorCodec::decode`] returns a
+    /// [`CodecError`], it never panics.
+    pub fn from_parts(bytes: Vec<u8>, rows: usize, cols: usize) -> Self {
+        EncodedTensor { bytes, rows, cols }
+    }
+
     /// The compressed byte stream.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes

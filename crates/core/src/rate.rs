@@ -51,6 +51,8 @@ impl Allocation {
 /// value-weighted average equals `avg_bits`, clamping at a small positive floor.
 pub fn layer_budgets(layer_sizes: &[usize], avg_bits: f64, k: f64) -> Vec<f64> {
     let total: f64 = layer_sizes.iter().map(|&n| n as f64).sum();
+    // lint:allow(float-cmp): a sum of usize casts is exactly 0.0 iff every
+    // layer is empty — the degenerate stack this early-out covers.
     if total == 0.0 {
         return Vec::new();
     }
@@ -101,19 +103,20 @@ pub fn allocate_fixed(
 ///
 /// # Errors
 ///
-/// Propagates per-layer encode/decode failures.
-///
-/// # Panics
-///
-/// Panics if `layers` is empty or `k_grid` is empty.
+/// Rejects an empty layer stack or slope grid and propagates per-layer
+/// encode/decode failures.
 pub fn allocate_variable(
     codec: &dyn TensorCodec,
     layers: &[Tensor],
     avg_bits: f64,
     k_grid: &[f64],
 ) -> Result<Allocation, CodecError> {
-    assert!(!layers.is_empty(), "no layers to allocate");
-    assert!(!k_grid.is_empty(), "empty slope grid");
+    if layers.is_empty() {
+        return Err(CodecError::InvalidInput("no layers to allocate".into()));
+    }
+    if k_grid.is_empty() {
+        return Err(CodecError::InvalidInput("empty slope grid".into()));
+    }
     let sizes: Vec<usize> = layers.iter().map(Tensor::len).collect();
 
     let mut best: Option<(f64, Allocation)> = None;
@@ -136,6 +139,8 @@ pub fn allocate_variable(
             best = Some((err, alloc));
         }
     }
+    // lint:allow(panic): `k_grid` was checked non-empty above, so the loop
+    // ran at least once and `best` is always populated.
     Ok(best.expect("grid was non-empty").1)
 }
 
@@ -191,7 +196,11 @@ mod tests {
         let var = allocate_variable(&codec, &layers, avg, &[0.0, 0.05, 0.1]).unwrap();
 
         assert!(fixed.bits_per_value() <= avg + 0.05);
-        assert!(var.bits_per_value() <= avg + 0.25, "avg {}", var.bits_per_value());
+        assert!(
+            var.bits_per_value() <= avg + 0.25,
+            "avg {}",
+            var.bits_per_value()
+        );
 
         let err = |alloc: &Allocation| -> f64 {
             alloc

@@ -1,0 +1,149 @@
+//! Adversarial tensor-stream tests: corrupt or truncated streams handed to
+//! the tensor codec and the archive must produce [`CodecError`]s, never
+//! panics.
+
+use llm265_core::archive::TensorArchive;
+use llm265_core::{CodecError, EncodedTensor, Llm265Codec, RateTarget, TensorCodec};
+use llm265_tensor::rng::Pcg32;
+use llm265_tensor::synthetic::{llm_weight, WeightProfile};
+use llm265_tensor::Tensor;
+
+fn sample_tensor() -> Tensor {
+    let mut rng = Pcg32::seed_from(7);
+    llm_weight(40, 40, &WeightProfile::default(), &mut rng)
+}
+
+fn sample_encoded() -> EncodedTensor {
+    Llm265Codec::new()
+        .encode(&sample_tensor(), RateTarget::Qp(32.0))
+        .expect("sample encode")
+}
+
+#[test]
+fn empty_stream_errors() {
+    let codec = Llm265Codec::new();
+    let empty = EncodedTensor::from_parts(Vec::new(), 40, 40);
+    assert!(codec.decode(&empty).is_err());
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let codec = Llm265Codec::new();
+    let enc = sample_encoded();
+    let mut bytes = enc.bytes().to_vec();
+    bytes[0] ^= 0xff;
+    let (rows, cols) = enc.shape();
+    match codec.decode(&EncodedTensor::from_parts(bytes, rows, cols)) {
+        Err(CodecError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt, got {:?}", other.map(|t| t.shape())),
+    }
+}
+
+#[test]
+fn every_truncation_point_errors_never_panics() {
+    let codec = Llm265Codec::new();
+    let enc = sample_encoded();
+    let (rows, cols) = enc.shape();
+    for cut in 0..enc.bytes().len() {
+        let trimmed = EncodedTensor::from_parts(enc.bytes()[..cut].to_vec(), rows, cols);
+        assert!(
+            codec.decode(&trimmed).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            enc.bytes().len()
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_never_panics() {
+    let codec = Llm265Codec::new();
+    let enc = sample_encoded();
+    let (rows, cols) = enc.shape();
+    for pos in 0..enc.bytes().len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut bytes = enc.bytes().to_vec();
+            bytes[pos] ^= flip;
+            // Entropy-coded payloads carry no checksum, so a flip may
+            // still decode (to a distorted tensor) — but never panic, and
+            // never to the wrong shape.
+            if let Ok(t) = codec.decode(&EncodedTensor::from_parts(bytes, rows, cols)) {
+                assert_eq!(t.shape(), (rows, cols));
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_declared_shape_is_limited() {
+    // Stream layout starts: magic u32, rows u32, cols u32 (all LE).
+    let codec = Llm265Codec::new();
+    let enc = sample_encoded();
+    let mut bytes = enc.bytes().to_vec();
+    bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    match codec.decode(&EncodedTensor::from_parts(bytes, 40, 40)) {
+        Err(CodecError::LimitExceeded(_)) => {}
+        other => panic!("expected LimitExceeded, got {:?}", other.map(|t| t.shape())),
+    }
+}
+
+#[test]
+fn chunk_coverage_mismatch_is_detected() {
+    // Shrinking the declared row count leaves the chunks covering more
+    // rows than the tensor has; growing it leaves rows uncovered. Both
+    // directions must be caught by the coverage checks, not trusted.
+    let codec = Llm265Codec::new();
+    let enc = sample_encoded();
+    for declared_rows in [8u32, 160] {
+        let mut bytes = enc.bytes().to_vec();
+        bytes[4..8].copy_from_slice(&declared_rows.to_le_bytes());
+        assert!(
+            codec
+                .decode(&EncodedTensor::from_parts(bytes, 40, 40))
+                .is_err(),
+            "declared rows {declared_rows} decoded"
+        );
+    }
+}
+
+#[test]
+fn archive_rejects_garbage_and_truncations() {
+    let codec = Llm265Codec::new();
+    assert!(TensorArchive::decode(&codec, &[]).is_err());
+    assert!(TensorArchive::decode(&codec, b"not an archive").is_err());
+
+    let t = sample_tensor();
+    let archive =
+        TensorArchive::encode(&codec, &[("layer.0".to_string(), t)], RateTarget::Qp(32.0))
+            .expect("archive encode");
+    let bytes = archive.bytes();
+    assert!(!TensorArchive::decode(&codec, bytes)
+        .expect("clean archive decodes")
+        .is_empty());
+    for cut in 0..bytes.len() {
+        assert!(
+            TensorArchive::decode(&codec, &bytes[..cut]).is_err(),
+            "archive truncated to {cut}/{} bytes decoded",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn archive_hostile_entry_count_is_limited() {
+    let mut evil = Vec::new();
+    // Real archive magic, then an absurd entry count.
+    let codec = Llm265Codec::new();
+    let archive = TensorArchive::encode(
+        &codec,
+        &[("w".to_string(), sample_tensor())],
+        RateTarget::Qp(32.0),
+    )
+    .expect("archive encode");
+    evil.extend_from_slice(&archive.bytes()[..4]);
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    match TensorArchive::decode(&codec, &evil) {
+        Err(CodecError::LimitExceeded(_)) => {}
+        other => panic!("expected LimitExceeded, got {:?}", other.map(|v| v.len())),
+    }
+}

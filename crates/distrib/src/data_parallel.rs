@@ -43,8 +43,13 @@ impl<'a> DataParallelTrainer<'a> {
     /// # Panics
     ///
     /// Panics if the count differs from the replica count.
+    #[must_use]
     pub fn with_compressors(mut self, cs: Vec<Box<dyn LossyCompressor>>) -> Self {
-        assert_eq!(cs.len(), self.compressors.len(), "one compressor per replica");
+        assert_eq!(
+            cs.len(),
+            self.compressors.len(),
+            "one compressor per replica"
+        );
         self.compressors = cs.into_iter().map(Some).collect();
         self
     }
@@ -179,11 +184,13 @@ mod tests {
         let steps = 12;
         let mut dp = DataParallelTrainer::new(&mut model, 4);
         for _ in 0..steps {
-            let shards: Vec<Batch> =
-                (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+            let shards: Vec<Batch> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
             dp.train_step(&shards, &mut opt);
         }
-        assert_eq!(dp.stats().transfers as usize, steps * 4 * count_params(dp.model()));
+        assert_eq!(
+            dp.stats().transfers as usize,
+            steps * 4 * count_params(dp.model())
+        );
         let model = dp.model();
         let after = model.eval_perplexity(&eval);
         assert!(after < before * 0.9, "before {before} after {after}");

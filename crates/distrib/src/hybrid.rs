@@ -52,12 +52,14 @@ impl<'a> HybridTrainer<'a> {
     }
 
     /// Installs per-replica activation compressors for the PP boundaries.
+    #[must_use]
     pub fn with_act_compressors(mut self, make: CompressorFactory) -> Self {
         self.act_compressors = (0..self.replicas).map(|_| Some(make())).collect();
         self
     }
 
     /// Installs per-replica activation-gradient compressors.
+    #[must_use]
     pub fn with_actgrad_compressors(mut self, make: CompressorFactory) -> Self {
         self.actgrad_compressors = (0..self.replicas).map(|_| Some(make())).collect();
         self
@@ -65,6 +67,7 @@ impl<'a> HybridTrainer<'a> {
 
     /// Installs per-replica weight-gradient compressors for the DP
     /// exchange.
+    #[must_use]
     pub fn with_grad_compressors(mut self, make: CompressorFactory) -> Self {
         self.grad_compressors = (0..self.replicas).map(|_| Some(make())).collect();
         self

@@ -16,6 +16,8 @@
 //!   are averaged before the optimizer step.
 //! - [`comm`] — wire-volume accounting shared by both.
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod data_parallel;
 pub mod hybrid;

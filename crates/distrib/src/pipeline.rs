@@ -60,12 +60,14 @@ impl<'a> PipelineTrainer<'a> {
     }
 
     /// Sets the activation compressor (builder style).
+    #[must_use]
     pub fn with_act_compressor(mut self, c: Box<dyn LossyCompressor>) -> Self {
         self.act_compressor = Some(c);
         self
     }
 
     /// Sets the activation-gradient compressor (builder style).
+    #[must_use]
     pub fn with_grad_compressor(mut self, c: Box<dyn LossyCompressor>) -> Self {
         self.grad_compressor = Some(c);
         self

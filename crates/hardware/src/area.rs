@@ -244,7 +244,10 @@ pub fn cpu_server() -> ReferenceDie {
 /// Instances needed to reach a target throughput given per-instance
 /// throughput (the paper's "multiple instances combined for 100 Gb/s").
 pub fn instances_for(target_gbps: f64, per_instance_gbps: f64) -> u32 {
-    assert!(per_instance_gbps > 0.0, "instance throughput must be positive");
+    assert!(
+        per_instance_gbps > 0.0,
+        "instance throughput must be positive"
+    );
     (target_gbps / per_instance_gbps).ceil().max(1.0) as u32
 }
 
@@ -267,7 +270,12 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        for block in [h264_encoder(), h264_decoder(), h265_encoder(), h265_decoder()] {
+        for block in [
+            h264_encoder(),
+            h264_decoder(),
+            h265_encoder(),
+            h265_decoder(),
+        ] {
             let sum: f64 = block.fractions.iter().map(|(_, f)| f).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", block.name);
         }
@@ -301,7 +309,12 @@ mod tests {
 
     #[test]
     fn tensor_only_area_saves_meaningfully() {
-        for block in [h264_encoder(), h264_decoder(), h265_encoder(), h265_decoder()] {
+        for block in [
+            h264_encoder(),
+            h264_decoder(),
+            h265_encoder(),
+            h265_decoder(),
+        ] {
             let stripped = block.tensor_only_area();
             assert!(stripped < 0.6 * block.area_mm2, "{}", block.name);
             assert!(stripped > 0.2 * block.area_mm2, "{}", block.name);

@@ -160,7 +160,10 @@ pub fn evaluate(
     comp: &Compression,
     cfg: &ClusterConfig,
 ) -> Evaluation {
-    assert!(cfg.gpus > 0 && cfg.dp > 0 && cfg.pp > 0, "zero-sized cluster");
+    assert!(
+        cfg.gpus > 0 && cfg.dp > 0 && cfg.pp > 0,
+        "zero-sized cluster"
+    );
     assert_eq!(cfg.dp * cfg.pp, cfg.gpus, "dp*pp must equal gpus");
 
     // --- Compute time: 6 FLOPs per parameter per token, split over GPUs,
@@ -231,7 +234,11 @@ pub fn evaluate(
 
 /// Sweeps cluster configurations (GPU counts, dp×pp splits, NIC counts,
 /// codec areas) and returns every evaluated `(config, evaluation)`.
-pub fn sweep(model: &ModelSpec, gpu: &GpuSpec, comp: &Compression) -> Vec<(ClusterConfig, Evaluation)> {
+pub fn sweep(
+    model: &ModelSpec,
+    gpu: &GpuSpec,
+    comp: &Compression,
+) -> Vec<(ClusterConfig, Evaluation)> {
     let mut out = Vec::new();
     for &gpus in &[4usize, 8, 16, 32, 64, 128] {
         // Memory feasibility: the model shard must fit (weights + optimizer
@@ -330,7 +337,11 @@ mod tests {
         let cfg = base_cfg(64, 64, 1);
         let raw = evaluate(&m, &g, &Compression::none(), &cfg);
         let t31 = evaluate(&m, &g, &Compression::three_in_one(), &cfg);
-        assert!(raw.comm_fraction > 0.2, "baseline should be comm-bound: {}", raw.comm_fraction);
+        assert!(
+            raw.comm_fraction > 0.2,
+            "baseline should be comm-bound: {}",
+            raw.comm_fraction
+        );
         assert!(
             t31.tokens_per_second > 1.2 * raw.tokens_per_second,
             "three-in-one {} vs raw {}",
@@ -409,7 +420,10 @@ mod tests {
             gains.push(t31.tokens_per_joule / raw.tokens_per_joule);
         }
         assert!(gains[0] > 1.0, "gains {gains:?}");
-        assert!(gains[2] > gains[1] && gains[1] > gains[0], "gains {gains:?}");
+        assert!(
+            gains[2] > gains[1] && gains[1] > gains[0],
+            "gains {gains:?}"
+        );
     }
 
     #[test]

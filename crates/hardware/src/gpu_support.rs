@@ -141,8 +141,14 @@ mod tests {
     #[test]
     fn av1_only_on_ada() {
         assert!(support(GpuGeneration::AdaLovelace, CodecStandard::Av1).usable_for_tensors());
-        assert_eq!(support(GpuGeneration::Ampere, CodecStandard::Av1), Support::None);
-        assert_eq!(support(GpuGeneration::Volta, CodecStandard::Av1), Support::None);
+        assert_eq!(
+            support(GpuGeneration::Ampere, CodecStandard::Av1),
+            Support::None
+        );
+        assert_eq!(
+            support(GpuGeneration::Volta, CodecStandard::Av1),
+            Support::None
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! - [`cluster`] — the distributed-training performance and energy model
 //!   behind Fig 16.
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod cluster;
 pub mod energy;

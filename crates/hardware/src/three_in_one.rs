@@ -289,7 +289,11 @@ mod schedule_tests {
         assert_eq!(idle.tensor_gbps(100.0), 100.0);
         let busy = SharedPipelineSchedule::for_video_streams(1, 100.0);
         // One 8K60 stream ≈ 8 Gb/s of the 100 Gb/s pipeline.
-        assert!((busy.video_share() - 0.0796).abs() < 1e-3, "{}", busy.video_share());
+        assert!(
+            (busy.video_share() - 0.0796).abs() < 1e-3,
+            "{}",
+            busy.video_share()
+        );
         assert!((busy.tensor_gbps(100.0) - 92.04).abs() < 0.1);
     }
 

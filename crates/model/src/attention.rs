@@ -39,7 +39,12 @@ impl MultiHeadAttention {
     /// # Panics
     ///
     /// Panics if `dim` is not divisible by `n_heads`.
-    pub fn new(name: &str, dim: usize, n_heads: usize, rng: &mut llm265_tensor::rng::Pcg32) -> Self {
+    pub fn new(
+        name: &str,
+        dim: usize,
+        n_heads: usize,
+        rng: &mut llm265_tensor::rng::Pcg32,
+    ) -> Self {
         assert_eq!(dim % n_heads, 0, "dim must divide into heads");
         MultiHeadAttention {
             n_heads,
@@ -137,7 +142,12 @@ impl MultiHeadAttention {
     /// # Panics
     ///
     /// Panics if `x_last` is not a single row or cache widths mismatch.
-    pub fn forward_cached(&self, x_last: &Tensor, cache_k: &mut Tensor, cache_v: &mut Tensor) -> Tensor {
+    pub fn forward_cached(
+        &self,
+        x_last: &Tensor,
+        cache_k: &mut Tensor,
+        cache_v: &mut Tensor,
+    ) -> Tensor {
         let dim = self.n_heads * self.head_dim;
         assert_eq!(x_last.shape(), (1, dim), "x_last must be 1 × dim");
         assert_eq!(cache_k.cols(), dim, "cache width mismatch");
@@ -194,7 +204,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let saved = self.saved.take().expect("attention backward before forward");
+        let saved = self
+            .saved
+            .take()
+            .expect("attention backward before forward");
         let t_len = dy.rows();
         let dim = self.n_heads * self.head_dim;
         let scale = 1.0 / (self.head_dim as f32).sqrt();

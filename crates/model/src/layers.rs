@@ -62,7 +62,10 @@ impl Linear {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self.saved_x.take().expect("Linear::backward before forward");
+        let x = self
+            .saved_x
+            .take()
+            .expect("Linear::backward before forward");
         // dW += dyᵀ x ; db += Σrows dy ; dx = dy W.
         let dw = dy.transposed().matmul(&x);
         self.w.grad.add_assign(&dw);
@@ -144,8 +147,10 @@ impl LayerNorm {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let (xhat, _means, inv_stds) =
-            self.saved.take().expect("LayerNorm::backward before forward");
+        let (xhat, _means, inv_stds) = self
+            .saved
+            .take()
+            .expect("LayerNorm::backward before forward");
         let d = dy.cols();
         let mut dx = Tensor::zeros(dy.rows(), d);
         for r in 0..dy.rows() {
@@ -225,7 +230,10 @@ impl Embedding {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) {
-        let ids = self.saved_ids.take().expect("Embedding::backward before forward");
+        let ids = self
+            .saved_ids
+            .take()
+            .expect("Embedding::backward before forward");
         for (r, &id) in ids.iter().enumerate() {
             let grow = self.table.grad.row_mut(id);
             for (g, &d) in grow.iter_mut().zip(dy.row(r)) {
@@ -345,7 +353,12 @@ mod tests {
         let y = ln.forward(&x);
         for r in 0..3 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }

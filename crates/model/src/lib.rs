@@ -44,6 +44,8 @@
 //! assert!(after < before, "training must reduce perplexity");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod data;
 pub mod layers;

@@ -73,9 +73,13 @@ impl MlpClassifier {
 
         let (p1, p2) = self.saved.take().expect("saved activations");
         let dh2 = self.fc3.backward(&dlogits);
-        let dp2 = Tensor::from_fn(dh2.rows(), dh2.cols(), |r, c| dh2[(r, c)] * gelu_grad(p2[(r, c)]));
+        let dp2 = Tensor::from_fn(dh2.rows(), dh2.cols(), |r, c| {
+            dh2[(r, c)] * gelu_grad(p2[(r, c)])
+        });
         let dh1 = self.fc2.backward(&dp2);
-        let dp1 = Tensor::from_fn(dh1.rows(), dh1.cols(), |r, c| dh1[(r, c)] * gelu_grad(p1[(r, c)]));
+        let dp1 = Tensor::from_fn(dh1.rows(), dh1.cols(), |r, c| {
+            dh1[(r, c)] * gelu_grad(p1[(r, c)])
+        });
         let _ = self.fc1.backward(&dp1);
         opt.step(self);
         loss / labels.len() as f64
@@ -178,7 +182,9 @@ mod tests {
     fn loss_decreases() {
         let mut rng = Pcg32::seed_from(2);
         let mut model = MlpClassifier::new(6, 12, 3, &mut rng);
-        let x = Tensor::from_fn(48, 6, |r, c| ((r % 3) as f32 - 1.0) * (c as f32 + 1.0) * 0.3);
+        let x = Tensor::from_fn(48, 6, |r, c| {
+            ((r % 3) as f32 - 1.0) * (c as f32 + 1.0) * 0.3
+        });
         let y: Vec<usize> = (0..48).map(|r| r % 3).collect();
         let mut opt = Adam::new(5e-3);
         let first = model.train_step(&x, &y, &mut opt);

@@ -53,7 +53,6 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f64) {
         self.lr = lr;
     }
-
 }
 
 /// Ensures the moment buffers for parameter `idx` exist and match `len`.
@@ -85,7 +84,12 @@ fn adam_direction(
     let (b1, b2) = (beta1 as f32, beta2 as f32);
     u.clear();
     u.reserve(p.value.len());
-    for (&g, (m, v)) in p.grad.data().iter().zip(st.m.iter_mut().zip(st.v.iter_mut())) {
+    for (&g, (m, v)) in p
+        .grad
+        .data()
+        .iter()
+        .zip(st.m.iter_mut().zip(st.v.iter_mut()))
+    {
         *m = b1 * *m + (1.0 - b1) * g;
         *v = b2 * *v + (1.0 - b2) * g * g;
         let mhat = *m as f64 / bc1;
@@ -146,7 +150,11 @@ impl Optimizer for Lamb {
             adam_direction(p, st, beta1, beta2, eps, t, &mut u);
             // Trust ratio: scale the Adam direction by ‖w‖/‖u‖.
             let w_norm = p.value.sq_norm().sqrt();
-            let u_norm = u.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            let u_norm = u
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt();
             let trust = if w_norm > 0.0 && u_norm > 0.0 {
                 (w_norm / u_norm).clamp(0.01, 10.0)
             } else {

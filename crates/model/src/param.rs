@@ -17,7 +17,13 @@ pub struct Param {
 
 impl Param {
     /// A parameter initialized from `N(0, std²)`.
-    pub fn randn(name: impl Into<String>, rows: usize, cols: usize, std: f64, rng: &mut Pcg32) -> Self {
+    pub fn randn(
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        std: f64,
+        rng: &mut Pcg32,
+    ) -> Self {
         let value = Tensor::from_fn(rows, cols, |_, _| (std * rng.normal()) as f32);
         Param {
             name: name.into(),

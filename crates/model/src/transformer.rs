@@ -137,7 +137,10 @@ impl Block {
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         // Residual 2: dy flows both into the MLP branch and straight
         // through.
-        let pre = self.saved_mlp_pre.take().expect("block backward before forward");
+        let pre = self
+            .saved_mlp_pre
+            .take()
+            .expect("block backward before forward");
         let dact = self.fc2.backward(dy);
         let dpre = Tensor::from_fn(dact.rows(), dact.cols(), |r, c| {
             dact[(r, c)] * gelu_grad(pre[(r, c)])
@@ -910,6 +913,6 @@ mod kv_cache_decode_tests {
     #[should_panic(expected = "exceed max_seq")]
     fn cached_generation_respects_max_seq() {
         let model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(35));
-        let _ = model.generate_cached(&vec![1u16; 60], 10);
+        let _ = model.generate_cached(&[1u16; 60], 10);
     }
 }

@@ -42,6 +42,7 @@ impl AwqQuantizer {
 
     /// Creates a quantizer with synthetic calibration activations that
     /// carry outlier channels (the structure AWQ exists to exploit).
+    #[must_use]
     pub fn with_synthetic_calibration(
         bits: u32,
         group: usize,

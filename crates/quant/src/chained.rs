@@ -75,7 +75,13 @@ fn symbols_from_groups(orig: &Tensor, recon: &Tensor, bits: u32, group: usize) -
             .fold(0.0f32, |m, &v| m.max(v.abs()));
         let delta = if max_abs > 0.0 { max_abs / half } else { 0.0 };
         for &r in &data_r[start..end] {
-            let level = if delta == 0.0 { 0 } else { (r / delta).round() as i32 };
+            // lint:allow(float-cmp): `delta` is assigned exactly 0.0 for
+            // all-zero groups one line up; this guards the division.
+            let level = if delta == 0.0 {
+                0
+            } else {
+                (r / delta).round() as i32
+            };
             out.push((level + half as i32).clamp(0, 255) as u8);
         }
         start = end;
@@ -209,7 +215,7 @@ mod tests {
     fn grid_has_eight_members_with_unique_names() {
         let grid = ChainedCodec::grid(4, MxFormat::Mxfp4);
         assert_eq!(grid.len(), 8);
-        let mut names: Vec<String> = grid.iter().map(|c| c.name()).collect();
+        let mut names: Vec<String> = grid.iter().map(LossyCompressor::name).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 8);

@@ -47,6 +47,7 @@ impl GptqQuantizer {
     /// are AR(1)-correlated with per-channel scales: GPTQ's Hessian
     /// compensation only has leverage when `H = XᵀX` is non-diagonal,
     /// which real LLM activations (and these) are.
+    #[must_use]
     pub fn with_synthetic_calibration(
         bits: u32,
         group: usize,
@@ -89,6 +90,8 @@ impl GptqQuantizer {
             let row = self.calib.row(s);
             for i in 0..n {
                 let xi = row[i] as f64;
+                // lint:allow(float-cmp): exact-zero skip is a pure perf
+                // shortcut — a true 0.0 adds nothing to the Gram matrix.
                 if xi == 0.0 {
                     continue;
                 }
@@ -117,8 +120,7 @@ impl GptqQuantizer {
             Some(l) => l,
             // Degenerate calibration: fall back to plain group-wise RTN.
             None => {
-                return RtnQuantizer::symmetric(self.bits, GroupScheme::Groups(self.group))
-                    .apply(w)
+                return RtnQuantizer::symmetric(self.bits, GroupScheme::Groups(self.group)).apply(w)
             }
         };
 
@@ -134,15 +136,14 @@ impl GptqQuantizer {
                 // Grid scale from the current group's *original* weights.
                 let g0 = (j / self.group) * self.group;
                 let g1 = (g0 + self.group).min(n);
-                let max_abs = w.row(r)[g0..g1]
-                    .iter()
-                    .fold(0.0f32, |m, &v| m.max(v.abs()));
+                let max_abs = w.row(r)[g0..g1].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
                 let delta = if max_abs > 0.0 { max_abs / half } else { 0.0 };
+                // lint:allow(float-cmp): `delta` is assigned exactly 0.0
+                // for all-zero groups one line up; this guards the division.
                 let q = if delta == 0.0 {
                     0.0
                 } else {
-                    ((work[j] / delta as f64).round())
-                        .clamp(-(half as f64), half as f64 - 1.0)
+                    ((work[j] / delta as f64).round()).clamp(-(half as f64), half as f64 - 1.0)
                         * delta as f64
                 };
                 let err = (work[j] - q) / l_factor[j * n + j].max(1e-12);
@@ -207,10 +208,8 @@ mod tests {
         let wq_gptq = q.apply(&w);
         let wq_rtn = RtnQuantizer::symmetric(3, GroupScheme::PerRow).apply(&w);
 
-        let mut rng = Pcg32::seed_from(99);
         // Probe batch drawn from the same correlated distribution as the
         // calibration set (same seed → same channel scales).
-        let _ = rng;
         let probe = GptqQuantizer::with_synthetic_calibration(3, 1 << 20, n, 128, 7).calib;
         let e_gptq = output_error(&w, &wq_gptq, &probe);
         let e_rtn = output_error(&w, &wq_rtn, &probe);

@@ -26,6 +26,8 @@
 //! distributed-training simulator and the benchmark harness can treat
 //! them interchangeably with LLM.265.
 
+#![forbid(unsafe_code)]
+
 pub mod awq;
 pub mod chained;
 pub mod gptq;

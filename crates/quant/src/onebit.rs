@@ -203,7 +203,9 @@ mod tests {
         let (a, _) = adam.transcode(&g);
         let (l, _) = lamb.transcode(&g);
         // RMS >= mean|x| always, with equality only for constant |x|.
-        assert!(l.data().iter().map(|x| x.abs()).sum::<f32>()
-            > a.data().iter().map(|x| x.abs()).sum::<f32>());
+        assert!(
+            l.data().iter().map(|x| x.abs()).sum::<f32>()
+                > a.data().iter().map(|x| x.abs()).sum::<f32>()
+        );
     }
 }

@@ -46,6 +46,7 @@ impl SmoothQuant {
 
     /// Creates a quantizer with synthetic outlier-channel calibration
     /// activations (the distribution SmoothQuant exists to fix).
+    #[must_use]
     pub fn with_synthetic_calibration(
         w_bits: u32,
         a_bits: u32,

@@ -1,0 +1,177 @@
+//! Minimal in-repo property-testing harness.
+//!
+//! The build must resolve with no network access, so the workspace cannot
+//! depend on `proptest`. This module supplies the small slice of that
+//! functionality the test suites actually use: run a property over many
+//! deterministically seeded random cases and, on failure, report the exact
+//! case number and seed so the failure replays with zero ambiguity.
+//!
+//! Shrinking is deliberately out of scope — properties here draw their
+//! inputs from an explicit [`Pcg32`], so a failing `(seed, case)` pair is
+//! already a one-line reproducer.
+//!
+//! # Example
+//!
+//! ```
+//! use llm265_tensor::check::Checker;
+//!
+//! Checker::new(32).run("addition commutes", |rng| {
+//!     let a = rng.below(1000);
+//!     let b = rng.below(1000);
+//!     if a + b == b + a {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} mismatch"))
+//!     }
+//! });
+//! ```
+
+use crate::rng::{Pcg32, SplitMix64};
+
+/// Runs a property over a number of seeded random cases.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    cases: usize,
+    seed: u64,
+}
+
+impl Default for Checker {
+    /// 32 cases from seed 0 — roughly the per-test budget the previous
+    /// proptest configuration used.
+    fn default() -> Self {
+        Checker::new(32)
+    }
+}
+
+impl Checker {
+    /// A checker that runs `cases` random cases from the default seed.
+    #[must_use]
+    pub fn new(cases: usize) -> Self {
+        Checker { cases, seed: 0 }
+    }
+
+    /// Overrides the master seed (e.g. to replay a reported failure).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs `prop` once per case with an independent, deterministic RNG.
+    ///
+    /// The property returns `Ok(())` on success and `Err(message)` on
+    /// failure; assertion macros inside the closure also work, but the
+    /// `Err` path produces a better report (name, case index, master seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a replayable report if any case fails.
+    pub fn run<F>(&self, name: &str, mut prop: F)
+    where
+        F: FnMut(&mut Pcg32) -> Result<(), String>,
+    {
+        // Expand the master seed through SplitMix64 so case RNGs are
+        // decorrelated even for adjacent master seeds.
+        let mut expander = SplitMix64::seed_from(self.seed);
+        for case in 0..self.cases {
+            let case_seed = expander.next_u64();
+            let mut rng = Pcg32::seed_from(case_seed);
+            if let Err(msg) = prop(&mut rng) {
+                panic!(
+                    "property '{name}' failed at case {case}/{} \
+                     (master seed {}, case seed {case_seed:#x}): {msg}",
+                    self.cases, self.seed
+                );
+            }
+        }
+    }
+}
+
+/// Shorthand: runs `prop` for `cases` cases with the default seed.
+///
+/// # Panics
+///
+/// Panics with a replayable report if any case fails.
+pub fn forall<F>(name: &str, cases: usize, prop: F)
+where
+    F: FnMut(&mut Pcg32) -> Result<(), String>,
+{
+    Checker::new(cases).run(name, prop);
+}
+
+/// `assert!`-style helper for use inside properties: returns an `Err` with
+/// the formatted message when `cond` is false.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        Checker::new(17).run("counts cases", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn case_rngs_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        Checker::new(8).run("collect", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        Checker::new(8).run("collect", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        // Each case sees a different stream.
+        assert!(first.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always fails' failed at case 0")]
+    fn failing_property_reports_case_and_seed() {
+        Checker::new(4).run("always fails", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn prop_ensure_formats_message() {
+        let inner = |rng: &mut Pcg32| -> Result<(), String> {
+            let x = rng.below(10);
+            prop_ensure!(x < 10, "x was {x}");
+            prop_ensure!(x >= 10, "x was {x}, expected >= 10");
+            Ok(())
+        };
+        let mut rng = Pcg32::seed_from(1);
+        let err = inner(&mut rng).unwrap_err();
+        assert!(err.contains("expected >= 10"), "{err}");
+    }
+
+    #[test]
+    fn different_master_seeds_produce_different_cases() {
+        let mut a = Vec::new();
+        Checker::new(4).with_seed(1).run("a", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        Checker::new(4).with_seed(2).run("b", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_ne!(a, b);
+    }
+}

@@ -150,7 +150,17 @@ mod tests {
 
     #[test]
     fn f16_roundtrip_exact_values() {
-        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.099975586,
+        ] {
             let y = round_f16(x);
             assert_eq!(round_f16(y), y, "idempotent for {x}");
         }
@@ -194,7 +204,7 @@ mod tests {
     #[test]
     fn bf16_roundtrip_and_precision() {
         assert_eq!(round_bf16(1.0), 1.0);
-        let x = 3.14159_f32;
+        let x = 3.15159_f32;
         let r = round_bf16(x);
         assert!(((r - x) / x).abs() < 1.0 / 128.0);
         assert!(round_bf16(f32::NAN).is_nan());

@@ -26,7 +26,10 @@
 //! assert!(stats::kurtosis(w.data()) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
+pub mod check;
 pub mod half;
 pub mod rng;
 pub mod stats;

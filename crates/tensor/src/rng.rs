@@ -2,8 +2,16 @@
 //!
 //! Every experiment in this repository takes an explicit seed and uses this
 //! module exclusively, so all tables and figures reproduce bit-for-bit
-//! across runs and machines. The generator is a PCG-XSH-RR 64/32 — small,
-//! fast, and statistically solid for simulation workloads.
+//! across runs and machines. Three std-only generators are provided:
+//!
+//! - [`Pcg32`] — PCG-XSH-RR 64/32, the workhorse for simulation workloads.
+//! - [`SplitMix64`] — a tiny stateless-feeling mixer, mainly used to expand
+//!   one user seed into the larger state of other generators.
+//! - [`Xoshiro256`] — xoshiro256**, a 64-bit generator with a 256-bit state
+//!   for bulk test-input generation in the [`crate::check`] harness.
+//!
+//! Nothing here links against an external registry crate: the build must
+//! resolve fully offline.
 
 /// A PCG-XSH-RR 64/32 pseudo-random number generator.
 ///
@@ -32,6 +40,7 @@ impl Pcg32 {
 
     /// Creates a generator with an explicit stream selector, letting callers
     /// derive independent generators from one logical seed.
+    #[must_use]
     pub fn with_stream(seed: u64, stream: u64) -> Self {
         let inc = (stream << 1) | 1;
         let mut rng = Pcg32 { state: 0, inc };
@@ -140,6 +149,70 @@ impl Pcg32 {
     }
 }
 
+/// SplitMix64: a 64-bit generator with a single word of state.
+///
+/// Weak on its own for simulation, but ideal as a *seed expander*: every
+/// output is a strong mix of the counter, so consecutive seeds (0, 1, 2…)
+/// produce uncorrelated streams. [`Xoshiro256`] seeds itself through it, as
+/// recommended by the xoshiro authors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: 64-bit output, 256-bit state, period `2^256 - 1`.
+///
+/// Used by the [`crate::check`] property-test harness to derive per-case
+/// input generators; the wide state makes seed collisions across thousands
+/// of generated cases a non-issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator by expanding `seed` through [`SplitMix64`].
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256 { s }
+    }
+
+    /// Next 64 uniformly random bits (the `**` scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,7 +231,10 @@ mod tests {
         let mut a = Pcg32::seed_from(1);
         let mut b = Pcg32::seed_from(2);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "streams should be nearly disjoint, got {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be nearly disjoint, got {same} collisions"
+        );
     }
 
     #[test]
@@ -220,6 +296,47 @@ mod tests {
     }
 
     #[test]
+    fn splitmix_reference_vector() {
+        // Known-answer outputs of the published SplitMix64 algorithm for
+        // seed 0 (Vigna's C reference implementation).
+        let mut sm = SplitMix64::seed_from(0);
+        assert_eq!(sm.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(sm.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(sm.next_u64(), 0x06c4_5d18_8009_454f);
+        // Consecutive seeds decorrelate (the whole point of the mixer).
+        let a = SplitMix64::seed_from(1).next_u64();
+        let b = SplitMix64::seed_from(2).next_u64();
+        assert!((a ^ b).count_ones() > 8, "consecutive seeds too correlated");
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_uniform_enough() {
+        let mut a = Xoshiro256::seed_from(99);
+        let mut b = Xoshiro256::seed_from(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Crude equidistribution check on the top bit.
+        let mut ones = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            ones += (a.next_u64() >> 63) as usize;
+        }
+        assert!(
+            (ones as i64 - (n / 2) as i64).abs() < 300,
+            "top-bit bias: {ones}/{n}"
+        );
+    }
+
+    #[test]
+    fn xoshiro_streams_from_different_seeds_are_disjoint() {
+        let mut a = Xoshiro256::seed_from(1);
+        let mut b = Xoshiro256::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
     fn shuffle_is_a_permutation() {
         let mut rng = Pcg32::seed_from(4);
         let mut v: Vec<u32> = (0..100).collect();
@@ -227,6 +344,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 }

@@ -369,7 +369,11 @@ mod tests {
         let late = llm_gradient(128, 128, &GradientProfile::at_progress(1.0), &mut rng);
         let spread = |t: &Tensor| {
             let stds: Vec<f64> = (0..t.rows()).map(|r| stats::std_dev(t.row(r))).collect();
-            let lo = stds.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+            let lo = stds
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-12);
             let hi = stds.iter().cloned().fold(0.0, f64::max);
             hi / lo
         };

@@ -104,7 +104,12 @@ pub struct StageResult {
 
 /// Measures the bits/value one stage configuration needs to meet
 /// `target_mse` (pixel² units) on `frames`.
-pub fn run_stage(frames: &[Frame], profile: &Profile, stage: &Stage, target_mse: f64) -> StageResult {
+pub fn run_stage(
+    frames: &[Frame],
+    profile: &Profile,
+    stage: &Stage,
+    target_mse: f64,
+) -> StageResult {
     let cfg = CodecConfig {
         profile: profile.clone(),
         pipeline: stage.pipeline,
@@ -204,8 +209,14 @@ mod tests {
         let results = run_all(&frames, &profile, 10.0);
         let bits: Vec<f64> = results.iter().map(|r| r.bits_per_value).collect();
         assert!(bits[1] < bits[0], "entropy coding must beat raw: {bits:?}");
-        assert!(bits[2] < bits[1], "transform must beat entropy-only: {bits:?}");
-        assert!(bits[4] < bits[2], "intra must beat transform-only: {bits:?}");
+        assert!(
+            bits[2] < bits[1],
+            "transform must beat entropy-only: {bits:?}"
+        );
+        assert!(
+            bits[4] < bits[2],
+            "intra must beat transform-only: {bits:?}"
+        );
         // Inter gives nothing on a single frame (and little on weight
         // stacks) — allow noise but no real win.
         assert!(bits[5] >= bits[4] * 0.95, "inter should not help: {bits:?}");

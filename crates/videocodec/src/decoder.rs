@@ -1,6 +1,7 @@
 //! The video decoder, mirroring [`crate::encoder`]'s syntax exactly.
 
 use llm265_bitstream::bits::BitReader;
+use llm265_bitstream::bytes;
 use llm265_bitstream::cabac::CabacDecoder;
 
 use crate::encoder::{FIXED_CU, MAGIC, VERSION};
@@ -76,7 +77,7 @@ impl<'a> FrameDecoder<'a> {
             };
             let prev = self
                 .prev
-                .ok_or_else(|| DecodeError::new("inter block without reference frame"))?;
+                .ok_or(DecodeError::Corrupt("inter block without reference frame"))?;
             compensate(prev, x0, y0, size, mv)
         } else if self.cfg.pipeline.intra {
             let n_modes = self.cfg.profile.modes().len();
@@ -86,7 +87,7 @@ impl<'a> FrameDecoder<'a> {
                 dec.decode_bypass_bits(self.mode_bits) as u8
             };
             if idx as usize >= n_modes {
-                return Err(DecodeError::new("intra mode index out of range"));
+                return Err(DecodeError::Corrupt("intra mode index out of range"));
             }
             self.prev_mode = idx;
             let refs = RefSamples::gather(&self.recon, x0, y0, size);
@@ -141,26 +142,38 @@ fn parse_signed_eg(dec: &mut CabacDecoder<'_>) -> i32 {
 }
 
 /// Decodes a bitstream produced by [`crate::encode_video`].
-pub(crate) fn decode_video(bytes: &[u8]) -> Result<Vec<Frame>, DecodeError> {
-    let mut r = BitReader::new(bytes);
+pub(crate) fn decode_video(data: &[u8]) -> Result<Vec<Frame>, DecodeError> {
+    let mut r = BitReader::new(data);
     if r.read_bits(32)? as u32 != MAGIC {
-        return Err(DecodeError::new("bad magic"));
+        return Err(DecodeError::Corrupt("bad magic"));
     }
     if r.read_bits(8)? as u8 != VERSION {
-        return Err(DecodeError::new("unsupported bitstream version"));
+        return Err(DecodeError::Unsupported("bitstream version"));
     }
     let profile = Profile::from_header_id(r.read_bits(8)? as u8)
-        .ok_or_else(|| DecodeError::new("unknown profile id"))?;
+        .ok_or(DecodeError::Unsupported("unknown profile id"))?;
     let pipeline = PipelineConfig::from_byte(r.read_bits(8)? as u8);
     let qp = r.read_bits(16)? as f64 / 256.0;
+    // The 16-bit field can carry up to ~256.0; a QP beyond the H.265 range
+    // never comes from our encoder and would violate the quantizer's
+    // contract downstream.
+    if !(crate::quant::QP_MIN..=crate::quant::QP_MAX).contains(&qp) {
+        return Err(DecodeError::Corrupt("qp out of range"));
+    }
     let w = r.read_bits(32)? as usize;
     let h = r.read_bits(32)? as usize;
     let n_frames = r.read_bits(32)? as usize;
     if w == 0 || h == 0 {
-        return Err(DecodeError::new("zero frame dimensions"));
+        return Err(DecodeError::Corrupt("zero frame dimensions"));
+    }
+    // A hostile header can declare absurd dimensions or frame counts that
+    // would make the allocations below unbounded; cap them well above any
+    // realistic tensor-frame workload.
+    if w.saturating_mul(h) > 1 << 28 {
+        return Err(DecodeError::LimitExceeded("frame dimensions"));
     }
     if n_frames > 1 << 20 {
-        return Err(DecodeError::new("implausible frame count"));
+        return Err(DecodeError::LimitExceeded("frame count"));
     }
     let mut pos = 21; // header is exactly 168 bits
 
@@ -174,55 +187,67 @@ pub(crate) fn decode_video(bytes: &[u8]) -> Result<Vec<Frame>, DecodeError> {
         // Raw 8-bit storage.
         let mut frames = Vec::with_capacity(n_frames);
         for _ in 0..n_frames {
-            let data = bytes
-                .get(pos..pos + w * h)
-                .ok_or_else(|| DecodeError::new("truncated raw frame"))?;
-            frames.push(Frame::from_vec(w, h, data.to_vec()));
+            let raw = data
+                .get(pos..)
+                .and_then(|rest| rest.get(..w * h))
+                .ok_or(DecodeError::Truncated("raw frame"))?;
+            frames.push(Frame::from_vec(w, h, raw.to_vec()));
             pos += w * h;
         }
         return Ok(frames);
     }
 
     let plans = DctPlans::new();
-    let ctu = cfg.profile.ctu();
-    let pw = w.div_ceil(ctu) * ctu;
-    let ph = h.div_ceil(ctu) * ctu;
-
     let mut frames = Vec::with_capacity(n_frames);
     let mut prev_padded: Option<Frame> = None;
     for i in 0..n_frames {
-        let len_bytes = bytes
-            .get(pos..pos + 4)
-            .ok_or_else(|| DecodeError::new("truncated frame length"))?;
-        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
-        pos += 4;
-        let payload = bytes
-            .get(pos..pos + len)
-            .ok_or_else(|| DecodeError::new("truncated frame payload"))?;
+        let len = bytes::read_le_u32(data, &mut pos)
+            .map_err(|_| DecodeError::Truncated("frame length"))? as usize;
+        let payload = data
+            .get(pos..)
+            .and_then(|rest| rest.get(..len))
+            .ok_or(DecodeError::Truncated("frame payload"))?;
         pos += len;
 
-        let frame_inter = cfg.pipeline.inter && i > 0 && prev_padded.is_some();
-        let mode_count = cfg.profile.modes().len() as u32;
-        let mut fd = FrameDecoder {
-            cfg: &cfg,
-            plans: &plans,
-            recon: Frame::new(pw, ph),
-            prev: prev_padded.as_ref(),
-            quant: Quantizer::from_qp(qp),
-            frame_inter,
-            mode_bits: 32 - (mode_count - 1).leading_zeros(),
-            prev_mode: 0,
-        };
-        let mut dec = CabacDecoder::new(payload);
-        let mut ctxs = Contexts::new();
-        for cy in (0..ph).step_by(ctu) {
-            for cx in (0..pw).step_by(ctu) {
-                fd.parse_cu(&mut dec, &mut ctxs, cx, cy, ctu)?;
-            }
-        }
-        let recon = fd.recon;
+        let recon = decode_frame(payload, prev_padded.as_ref(), &cfg, &plans, i, w, h)?;
         frames.push(recon.cropped(w, h));
         prev_padded = Some(recon);
     }
     Ok(frames)
+}
+
+/// Decodes one frame payload into its padded reconstruction; the exact
+/// mirror of [`crate::encoder::encode_frame`].
+pub(crate) fn decode_frame(
+    payload: &[u8],
+    prev: Option<&Frame>,
+    cfg: &CodecConfig,
+    plans: &DctPlans,
+    frame_idx: usize,
+    w: usize,
+    h: usize,
+) -> Result<Frame, DecodeError> {
+    let ctu = cfg.profile.ctu();
+    let pw = w.div_ceil(ctu) * ctu;
+    let ph = h.div_ceil(ctu) * ctu;
+    let frame_inter = cfg.pipeline.inter && frame_idx > 0 && prev.is_some();
+    let mode_count = cfg.profile.modes().len() as u32;
+    let mut fd = FrameDecoder {
+        cfg,
+        plans,
+        recon: Frame::new(pw, ph),
+        prev,
+        quant: Quantizer::from_qp(cfg.qp),
+        frame_inter,
+        mode_bits: 32 - (mode_count - 1).leading_zeros(),
+        prev_mode: 0,
+    };
+    let mut dec = CabacDecoder::new(payload);
+    let mut ctxs = Contexts::new();
+    for cy in (0..ph).step_by(ctu) {
+        for cx in (0..pw).step_by(ctu) {
+            fd.parse_cu(&mut dec, &mut ctxs, cx, cy, ctu)?;
+        }
+    }
+    Ok(fd.recon)
 }

@@ -120,7 +120,7 @@ impl<'a> FrameCoder<'a> {
 
     /// Transforms + quantizes one residual block, returning the levels and
     /// the reconstructed residual (what dequantization will recover).
-    fn code_tu(&self, residual: &[i32], n: usize) -> (Vec<i32>, Vec<i32>) {
+    fn quantize_tu(&self, residual: &[i32], n: usize) -> (Vec<i32>, Vec<i32>) {
         if self.cfg.pipeline.transform {
             let plan = self.plans.get(n);
             let coeffs = plan.forward(residual);
@@ -130,8 +130,10 @@ impl<'a> FrameCoder<'a> {
             (levels, recon)
         } else {
             // Transform skip: quantize the spatial residual directly.
-            let levels: Vec<i32> =
-                residual.iter().map(|&r| self.quant.quantize(r as f64)).collect();
+            let levels: Vec<i32> = residual
+                .iter()
+                .map(|&r| self.quant.quantize(r as f64))
+                .collect();
             let recon: Vec<i32> = levels
                 .iter()
                 .map(|&l| self.quant.dequantize(l).round() as i32)
@@ -143,7 +145,7 @@ impl<'a> FrameCoder<'a> {
     /// Runs the residual path for a whole CU (splitting into TUs as the
     /// profile requires). Returns levels per TU, the reconstructed block,
     /// and the SSD distortion against the original.
-    fn code_cu_residual(
+    fn quantize_cu_residual(
         &self,
         x0: usize,
         y0: usize,
@@ -166,7 +168,7 @@ impl<'a> FrameCoder<'a> {
                         residual[y * tu + x] = orig[idx] - pred[idx];
                     }
                 }
-                let (levels, rres) = self.code_tu(&residual, tu);
+                let (levels, rres) = self.quantize_tu(&residual, tu);
                 for y in 0..tu {
                     for x in 0..tu {
                         let idx = (ty * tu + y) * size + tx * tu + x;
@@ -185,7 +187,7 @@ impl<'a> FrameCoder<'a> {
     }
 
     /// Codes (or counts) the syntax of one leaf.
-    fn code_leaf_syntax<S: BinSink>(
+    fn code_leaf<S: BinSink>(
         &self,
         sink: &mut S,
         state: &mut CoderState,
@@ -213,13 +215,25 @@ impl<'a> FrameCoder<'a> {
         }
         let tu = size.min(self.cfg.profile.max_tu());
         for levels in &leaf.tus {
-            code_residual(sink, &mut state.ctxs, levels, tu, !self.cfg.pipeline.transform);
+            code_residual(
+                sink,
+                &mut state.ctxs,
+                levels,
+                tu,
+                !self.cfg.pipeline.transform,
+            );
         }
     }
 
     /// Evaluates and commits the best leaf for this CU. Updates `state`
     /// and the reconstruction; returns the decided leaf and its RD cost.
-    fn decide_leaf(&mut self, x0: usize, y0: usize, size: usize, state: &mut CoderState) -> (LeafData, f64) {
+    fn decide_leaf(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        size: usize,
+        state: &mut CoderState,
+    ) -> (LeafData, f64) {
         let mut orig = vec![0i32; size * size];
         self.orig.read_block(x0, y0, size, &mut orig);
 
@@ -259,27 +273,35 @@ impl<'a> FrameCoder<'a> {
 
         let mut best: Option<(LeafData, Vec<i32>, f64)> = None;
         for (kind, pred) in cands {
-            let (tus, recon, dist) = self.code_cu_residual(x0, y0, size, &pred);
+            let (tus, recon, dist) = self.quantize_cu_residual(x0, y0, size, &pred);
             let leaf = LeafData { kind, tus };
             let mut trial_state = state.clone();
             let mut counter = BitCounter::new();
-            self.code_leaf_syntax(&mut counter, &mut trial_state, &leaf, size);
+            self.code_leaf(&mut counter, &mut trial_state, &leaf, size);
             let cost = dist + self.lambda * counter.bits();
             if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
                 best = Some((leaf, recon, cost));
             }
         }
+        // lint:allow(panic): `cands` is never empty — the intra and flat
+        // branches above always push at least one candidate.
         let (leaf, recon, cost) = best.expect("at least one candidate");
 
         // Commit: context evolution + reconstruction.
         let mut counter = BitCounter::new();
-        self.code_leaf_syntax(&mut counter, state, &leaf, size);
+        self.code_leaf(&mut counter, state, &leaf, size);
         self.recon.write_block(x0, y0, size, &recon);
         (leaf, cost)
     }
 
     /// Recursively decides the coding tree for a CU.
-    fn decide_cu(&mut self, x0: usize, y0: usize, size: usize, state: &mut CoderState) -> (CuNode, f64) {
+    fn decide_cu(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        size: usize,
+        state: &mut CoderState,
+    ) -> (CuNode, f64) {
         let min = self.min_cu();
         if !self.cfg.pipeline.adaptive_partition {
             // Implied splits down to the fixed grid; no flags coded.
@@ -339,13 +361,7 @@ impl<'a> FrameCoder<'a> {
     }
 
     /// Emits a decided coding tree into the real CABAC coder.
-    fn emit_cu(
-        &self,
-        node: &CuNode,
-        size: usize,
-        enc: &mut CabacEncoder,
-        state: &mut CoderState,
-    ) {
+    fn code_cu(&self, node: &CuNode, size: usize, enc: &mut CabacEncoder, state: &mut CoderState) {
         let min = self.min_cu();
         let adaptive = self.cfg.pipeline.adaptive_partition;
         match node {
@@ -355,14 +371,14 @@ impl<'a> FrameCoder<'a> {
                     enc.bit(&mut state.ctxs.split, true);
                 }
                 for child in children {
-                    self.emit_cu(child, size / 2, enc, state);
+                    self.code_cu(child, size / 2, enc, state);
                 }
             }
             CuNode::Leaf(leaf) => {
                 if adaptive && size > min {
                     enc.bit(&mut state.ctxs.split, false);
                 }
-                self.code_leaf_syntax(enc, state, leaf, size);
+                self.code_leaf(enc, state, leaf, size);
             }
         }
     }
@@ -371,7 +387,11 @@ impl<'a> FrameCoder<'a> {
 /// Codes a signed value as zig-zag-mapped order-1 exp-Golomb bypass bits
 /// (used for motion vectors).
 pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
-    let mapped = if v >= 0 { (v as u32) << 1 } else { ((-v as u32) << 1) - 1 };
+    let mapped = if v >= 0 {
+        (v as u32) << 1
+    } else {
+        ((-v as u32) << 1) - 1
+    };
     let mut m = 1u32;
     let mut rem = mapped;
     loop {
@@ -414,7 +434,7 @@ pub(crate) fn encode_frame(
     let mut enc = CabacEncoder::new();
     let mut state = CoderState::new();
     for node in &trees {
-        coder.emit_cu(node, ctu, &mut enc, &mut state);
+        coder.code_cu(node, ctu, &mut enc, &mut state);
     }
     (enc.finish(), coder.recon)
 }
@@ -464,8 +484,7 @@ pub(crate) fn encode_video(frames: &[Frame], cfg: &CodecConfig) -> EncodedVideo 
     let mut prev_padded: Option<Frame> = None;
     for (i, f) in frames.iter().enumerate() {
         let padded = f.padded_to(ctu);
-        let (payload, recon_padded) =
-            encode_frame(&padded, prev_padded.as_ref(), cfg, &plans, i);
+        let (payload, recon_padded) = encode_frame(&padded, prev_padded.as_ref(), cfg, &plans, i);
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&payload);
         recon_frames.push(recon_padded.cropped(w, h));

@@ -121,7 +121,10 @@ impl Frame {
     ///
     /// Panics if the crop exceeds the frame.
     pub fn cropped(&self, width: usize, height: usize) -> Frame {
-        assert!(width <= self.width && height <= self.height, "crop too large");
+        assert!(
+            width <= self.width && height <= self.height,
+            "crop too large"
+        );
         Frame::from_fn(width, height, |x, y| self.get(x, y))
     }
 
@@ -169,8 +172,7 @@ impl Frame {
     pub(crate) fn restore_region(&mut self, x0: usize, y0: usize, size: usize, saved: &[u8]) {
         for y in 0..size {
             let row = (y0 + y) * self.width;
-            self.data[row + x0..row + x0 + size]
-                .copy_from_slice(&saved[y * size..(y + 1) * size]);
+            self.data[row + x0..row + x0 + size].copy_from_slice(&saved[y * size..(y + 1) * size]);
         }
     }
 

@@ -81,13 +81,7 @@ pub fn motion_search(
 }
 
 /// Builds the motion-compensated prediction block for `mv`.
-pub fn compensate(
-    reference: &Frame,
-    x0: usize,
-    y0: usize,
-    n: usize,
-    mv: MotionVector,
-) -> Vec<i32> {
+pub fn compensate(reference: &Frame, x0: usize, y0: usize, n: usize, mv: MotionVector) -> Vec<i32> {
     let mut out = vec![0i32; n * n];
     for y in 0..n {
         for x in 0..n {
@@ -146,13 +140,7 @@ mod tests {
     #[test]
     fn compensation_clamps_at_edges() {
         let reference = textured(32, 32);
-        let pred = compensate(
-            &reference,
-            0,
-            0,
-            8,
-            MotionVector { dx: -5, dy: -5 },
-        );
+        let pred = compensate(&reference, 0, 0, 8, MotionVector { dx: -5, dy: -5 });
         // All reads clamp to the frame's top-left region; first pixel is (0,0).
         assert_eq!(pred[0], reference.get(0, 0) as i32);
         assert_eq!(pred.len(), 64);

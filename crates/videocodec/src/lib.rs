@@ -44,10 +44,12 @@
 //! assert_eq!(dec[0], enc.recon[0]); // bit-exact with encoder recon
 //! ```
 
-mod frame;
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod decoder;
 pub mod encoder;
+mod frame;
 pub mod inter;
 pub mod intra;
 pub mod profile;
@@ -85,18 +87,21 @@ impl Default for CodecConfig {
 
 impl CodecConfig {
     /// Returns the config with a different base QP.
+    #[must_use]
     pub fn with_qp(mut self, qp: f64) -> Self {
         self.qp = qp;
         self
     }
 
     /// Returns the config with a different profile.
+    #[must_use]
     pub fn with_profile(mut self, profile: Profile) -> Self {
         self.profile = profile;
         self
     }
 
     /// Returns the config with different pipeline switches.
+    #[must_use]
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
         self

@@ -42,7 +42,7 @@ impl RateSearchResult {
 /// Panics if `frames` is empty or `target_bpp` is not positive.
 pub fn encode_to_bitrate(frames: &[Frame], cfg: &CodecConfig, target_bpp: f64) -> RateSearchResult {
     assert!(target_bpp > 0.0, "target bits/pixel must be positive");
-    search(frames, cfg, |enc| enc.bits_per_pixel(), target_bpp)
+    search(frames, cfg, super::EncodedVideo::bits_per_pixel, target_bpp)
 }
 
 /// Encodes `frames` at the largest QP (fewest bits) whose reconstruction

@@ -100,7 +100,6 @@ pub struct Contexts {
     pub gt2: Prob,
 }
 
-
 impl Contexts {
     /// Fresh contexts (used at every frame start so frames decode
     /// independently).
@@ -121,7 +120,13 @@ fn sig_ctx_index(scan_pos: usize, n: usize) -> usize {
 
 /// Codes the quantized level block of one TU (size `n`, row-major levels in
 /// raster order).
-pub fn code_residual<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, levels: &[i32], n: usize, spatial: bool) {
+pub fn code_residual<S: BinSink>(
+    sink: &mut S,
+    ctxs: &mut Contexts,
+    levels: &[i32],
+    n: usize,
+    spatial: bool,
+) {
     let scan_order = scan::diagonal(n);
     debug_assert_eq!(levels.len(), n * n);
 
@@ -175,7 +180,12 @@ pub fn code_residual<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, levels: &[i3
 }
 
 /// Parses one TU's levels (inverse of [`code_residual`]).
-pub fn parse_residual(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts, n: usize, spatial: bool) -> Vec<i32> {
+pub fn parse_residual(
+    dec: &mut CabacDecoder<'_>,
+    ctxs: &mut Contexts,
+    n: usize,
+    spatial: bool,
+) -> Vec<i32> {
     let scan_order = scan::diagonal(n);
     let mut levels = vec![0i32; n * n];
 
@@ -377,10 +387,22 @@ mod tests {
     fn sparse_blocks_cheaper_than_dense() {
         let mut rng = Pcg32::seed_from(7);
         let sparse: Vec<i32> = (0..256)
-            .map(|_| if rng.chance(0.05) { rng.below(5) as i32 + 1 } else { 0 })
+            .map(|_| {
+                if rng.chance(0.05) {
+                    rng.below(5) as i32 + 1
+                } else {
+                    0
+                }
+            })
             .collect();
         let dense: Vec<i32> = (0..256)
-            .map(|_| if rng.chance(0.6) { rng.below(9) as i32 - 4 } else { 1 })
+            .map(|_| {
+                if rng.chance(0.6) {
+                    rng.below(9) as i32 - 4
+                } else {
+                    1
+                }
+            })
             .collect();
         let b_sparse = roundtrip_levels(&sparse, 16, false);
         let b_dense = roundtrip_levels(&dense, 16, false);

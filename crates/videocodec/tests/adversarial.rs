@@ -1,0 +1,131 @@
+//! Adversarial decoder tests: hostile video bitstreams must produce
+//! [`DecodeError`]s, never panics and never unbounded allocations.
+
+use llm265_videocodec::{decode_video, encode_video, CodecConfig, DecodeError, Frame};
+
+/// A small two-frame clip with real detail (so the bitstream contains
+/// split flags, mode bits and residual syntax, not just trivial leaves).
+fn sample_stream() -> Vec<u8> {
+    let frames: Vec<Frame> = (0..2)
+        .map(|t| Frame::from_fn(48, 32, |x, y| ((x * 5 + y * 3 + t * 17) % 251) as u8))
+        .collect();
+    encode_video(&frames, &CodecConfig::default()).bytes
+}
+
+// The fixed header is 168 bits: magic(32) version(8) profile(8)
+// pipeline(8) qp(16) width(32) height(32) n_frames(32), MSB-first.
+const HEADER_BYTES: usize = 21;
+const WIDTH_OFFSET: usize = 9;
+const HEIGHT_OFFSET: usize = 13;
+const NFRAMES_OFFSET: usize = 17;
+
+fn patch_be_u32(stream: &mut [u8], offset: usize, value: u32) {
+    stream[offset..offset + 4].copy_from_slice(&value.to_be_bytes());
+}
+
+#[test]
+fn empty_and_tiny_inputs_error() {
+    assert!(decode_video(&[]).is_err());
+    for len in 1..HEADER_BYTES {
+        assert!(
+            decode_video(&vec![0u8; len]).is_err(),
+            "{len}-byte input must not decode"
+        );
+    }
+}
+
+#[test]
+fn sample_stream_roundtrips_before_corruption() {
+    // Sanity anchor: everything below corrupts *this* stream, so it must
+    // decode cleanly first.
+    let frames = decode_video(&sample_stream()).expect("clean stream decodes");
+    assert_eq!(frames.len(), 2);
+    assert_eq!((frames[0].width(), frames[0].height()), (48, 32));
+}
+
+#[test]
+fn bad_magic_and_version_are_rejected() {
+    let mut stream = sample_stream();
+    stream[0] ^= 0xff;
+    assert!(matches!(
+        decode_video(&stream),
+        Err(DecodeError::Corrupt("bad magic"))
+    ));
+
+    let mut stream = sample_stream();
+    stream[4] = stream[4].wrapping_add(1);
+    assert!(matches!(
+        decode_video(&stream),
+        Err(DecodeError::Unsupported("bitstream version"))
+    ));
+}
+
+#[test]
+fn hostile_dimensions_hit_the_limit_not_the_allocator() {
+    let mut stream = sample_stream();
+    patch_be_u32(&mut stream, WIDTH_OFFSET, u32::MAX);
+    patch_be_u32(&mut stream, HEIGHT_OFFSET, u32::MAX);
+    assert!(matches!(
+        decode_video(&stream),
+        Err(DecodeError::LimitExceeded("frame dimensions"))
+    ));
+
+    let mut stream = sample_stream();
+    patch_be_u32(&mut stream, WIDTH_OFFSET, 0);
+    assert!(matches!(
+        decode_video(&stream),
+        Err(DecodeError::Corrupt("zero frame dimensions"))
+    ));
+
+    let mut stream = sample_stream();
+    patch_be_u32(&mut stream, NFRAMES_OFFSET, u32::MAX);
+    assert!(matches!(
+        decode_video(&stream),
+        Err(DecodeError::LimitExceeded("frame count"))
+    ));
+}
+
+#[test]
+fn every_truncation_point_errors_or_decodes_without_panic() {
+    let stream = sample_stream();
+    for cut in 0..stream.len() {
+        // Short prefixes must error; a cut inside the last frame's CABAC
+        // payload may still "decode" (arithmetic decoders read past the
+        // end as zeros) but must never panic.
+        let _ = decode_video(&stream[..cut]);
+    }
+    // Cutting anywhere inside the header or frame-length framing must error.
+    for cut in 0..=HEADER_BYTES + 3 {
+        assert!(
+            decode_video(&stream[..cut]).is_err(),
+            "cut at {cut} decoded"
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_never_panics() {
+    let stream = sample_stream();
+    for pos in 0..stream.len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut evil = stream.clone();
+            evil[pos] ^= flip;
+            let _ = decode_video(&evil);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for len in [1usize, 20, 21, 22, 64, 1024] {
+        let garbage: Vec<u8> = (0..len).map(|_| (next() & 0xff) as u8).collect();
+        let _ = decode_video(&garbage);
+    }
+}

@@ -12,7 +12,11 @@ fn photo(seed: u64, n: usize) -> Frame {
     let mut rng = Pcg32::seed_from(seed);
     Frame::from_fn(n, n, |x, y| {
         let shade = 90.0 + 60.0 * ((x as f64 / n as f64) * std::f64::consts::PI).sin();
-        let edge = if (x / 20 + y / 28) % 2 == 0 { 35.0 } else { -25.0 };
+        let edge = if (x / 20 + y / 28) % 2 == 0 {
+            35.0
+        } else {
+            -25.0
+        };
         let texture = 6.0 * rng.normal();
         (shade + edge + texture).clamp(0.0, 255.0) as u8
     })

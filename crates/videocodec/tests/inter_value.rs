@@ -4,9 +4,7 @@
 //! These tests establish both halves.
 
 use llm265_tensor::rng::Pcg32;
-use llm265_videocodec::{
-    decode_video, encode_video, CodecConfig, Frame, PipelineConfig,
-};
+use llm265_videocodec::{decode_video, encode_video, CodecConfig, Frame, PipelineConfig};
 
 /// A textured scene that translates by (dx, dy) per frame — classic video.
 fn moving_scene(frames: usize, n: usize, dx: isize, dy: isize) -> Vec<Frame> {
@@ -49,12 +47,8 @@ fn bits_with(frames: &[Frame], inter: bool) -> (u64, f64) {
     let cfg = CodecConfig::default().with_pipeline(pipeline).with_qp(30.0);
     let enc = encode_video(frames, &cfg);
     let dec = decode_video(&enc.bytes).expect("decode");
-    let mse: f64 = frames
-        .iter()
-        .zip(&dec)
-        .map(|(a, b)| a.mse(b))
-        .sum::<f64>()
-        / frames.len() as f64;
+    let mse: f64 =
+        frames.iter().zip(&dec).map(|(a, b)| a.mse(b)).sum::<f64>() / frames.len() as f64;
     (enc.bits(), mse)
 }
 

@@ -2,11 +2,10 @@
 //! encoder's reconstruction, for every profile, pipeline configuration and
 //! frame shape.
 
+use llm265_tensor::check::Checker;
+use llm265_tensor::prop_ensure;
 use llm265_tensor::rng::Pcg32;
-use llm265_videocodec::{
-    decode_video, encode_video, CodecConfig, Frame, PipelineConfig, Profile,
-};
-use proptest::prelude::*;
+use llm265_videocodec::{decode_video, encode_video, CodecConfig, Frame, PipelineConfig, Profile};
 
 fn textured_frame(seed: u64, w: usize, h: usize) -> Frame {
     let mut rng = Pcg32::seed_from(seed);
@@ -84,7 +83,10 @@ fn lossless_at_qstep_one_with_transform_skip() {
     };
     let cfg = CodecConfig::default().with_pipeline(pipeline).with_qp(4.0);
     let enc = encode_video(&frames, &cfg);
-    assert_eq!(enc.recon[0], frames[0], "qstep=1 transform-skip must be lossless");
+    assert_eq!(
+        enc.recon[0], frames[0],
+        "qstep=1 transform-skip must be lossless"
+    );
 }
 
 #[test]
@@ -116,30 +118,40 @@ fn structured_content_beats_noise() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn prop_roundtrip_random_frames(seed in 0u64..1_000_000, w in 4usize..70, h in 4usize..70, qp in 0u32..52) {
+#[test]
+fn prop_roundtrip_random_frames() {
+    Checker::new(12).run("roundtrip random frames", |rng| {
+        let seed = rng.next_u64();
+        let w = 4 + rng.below_usize(66);
+        let h = 4 + rng.below_usize(66);
+        let qp = rng.below(52);
         let frames = [textured_frame(seed, w, h)];
         let cfg = CodecConfig::default().with_qp(qp as f64);
         let enc = encode_video(&frames, &cfg);
-        let dec = decode_video(&enc.bytes).unwrap();
-        prop_assert_eq!(&dec[0], &enc.recon[0]);
-        prop_assert_eq!(dec[0].width(), w);
-        prop_assert_eq!(dec[0].height(), h);
-    }
+        let dec = decode_video(&enc.bytes).map_err(|e| e.to_string())?;
+        prop_ensure!(dec[0] == enc.recon[0], "decoder/encoder recon mismatch");
+        prop_ensure!(
+            dec[0].width() == w && dec[0].height() == h,
+            "shape mismatch"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_recon_error_bounded_by_qstep(seed in 0u64..1_000_000, qp in 4u32..45) {
+#[test]
+fn prop_recon_error_bounded_by_qstep() {
+    Checker::new(12).run("recon error bounded by qstep", |rng| {
         // Per-pixel reconstruction error should be loosely bounded by the
         // quantization step (transform spreads error but MSE tracks step²).
+        let seed = rng.next_u64();
+        let qp = 4 + rng.below(41);
         let frames = [textured_frame(seed, 32, 32)];
         let cfg = CodecConfig::default().with_qp(qp as f64);
         let enc = encode_video(&frames, &cfg);
         let mse = frames[0].mse(&enc.recon[0]);
         let step = llm265_videocodec::quant::qstep(qp as f64);
         // Dead-zone quantizer MSE is at most ~step²; allow 1.2x headroom.
-        prop_assert!(mse <= 1.2 * step * step + 1.0, "mse {} step {}", mse, step);
-    }
+        prop_ensure!(mse <= 1.2 * step * step + 1.0, "mse {mse} step {step}");
+        Ok(())
+    });
 }

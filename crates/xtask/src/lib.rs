@@ -1,0 +1,170 @@
+//! In-repo static-analysis gate for the LLM.265 workspace.
+//!
+//! Run as `cargo run -p xtask -- lint` (add `--format json` for a
+//! machine-readable report). Four passes, all std-only:
+//!
+//! 1. **panic-freedom** ([`passes::panic_free`]) — denies
+//!    `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//!    and unguarded input indexing in the decode/encode hot-path crates
+//!    (`llm265-bitstream`, `llm265-videocodec`, `llm265-core`);
+//! 2. **symmetry** ([`passes::symmetry`]) — pairs bitstream syntax writers
+//!    (`write_*`/`encode_*`/`code_*`) with readers
+//!    (`read_*`/`decode_*`/`parse_*`) and fails on any element written but
+//!    never read or read but never written;
+//! 3. **float-cmp** ([`passes::float_cmp`]) — bans exact `==`/`!=` against
+//!    float literals in codec math (use `stats::approx_eq`);
+//! 4. **hygiene** ([`passes::hygiene`]) — every crate forbids unsafe code,
+//!    carries crate docs, and opts into `[workspace.lints]`.
+//!
+//! Escape hatches are per-site comments with a reason:
+//! `// lint:allow(panic): <why>` and `// lint:allow(float-cmp): <why>`.
+//! Test modules and doc examples never count: passes run on sanitized
+//! source with comments, strings and `#[cfg(test)]` items blanked.
+
+#![forbid(unsafe_code)]
+
+pub mod passes {
+    pub mod float_cmp;
+    pub mod hygiene;
+    pub mod panic_free;
+    pub mod symmetry;
+}
+pub mod report;
+pub mod source;
+
+use std::path::Path;
+
+use report::Report;
+use source::Workspace;
+
+/// Crates whose decode/encode paths must be panic-free.
+const PANIC_FREE_CRATES: &[&str] = &["llm265-bitstream", "llm265-videocodec", "llm265-core"];
+
+/// Crates whose math is subject to the float-comparison ban.
+const FLOAT_CMP_CRATES: &[&str] = &[
+    "llm265-videocodec",
+    "llm265-core",
+    "llm265-quant",
+    "llm265-tensor",
+];
+
+/// Runs every pass over the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns a message when the workspace cannot be loaded.
+pub fn run_lint(root: &Path) -> Result<Report, String> {
+    let ws = Workspace::load(root)?;
+    Ok(lint_workspace(&ws))
+}
+
+/// Runs every pass over an in-memory workspace (fixture-testable).
+pub fn lint_workspace(ws: &Workspace) -> Report {
+    let mut report = Report {
+        passes_run: vec!["panic-freedom", "symmetry", "float-cmp", "hygiene"],
+        files_scanned: ws.files().count(),
+        ..Report::default()
+    };
+
+    for name in PANIC_FREE_CRATES {
+        if let Some(krate) = ws.get(name) {
+            for file in &krate.files {
+                report
+                    .violations
+                    .extend(passes::panic_free::check_file(file));
+            }
+        }
+    }
+
+    let all_files: Vec<&source::SourceFile> = ws.files().collect();
+    for domain in passes::symmetry::DOMAINS {
+        report
+            .violations
+            .extend(passes::symmetry::check_domain(domain, &all_files));
+    }
+
+    for name in FLOAT_CMP_CRATES {
+        if let Some(krate) = ws.get(name) {
+            for file in &krate.files {
+                report
+                    .violations
+                    .extend(passes::float_cmp::check_file(file));
+            }
+        }
+    }
+
+    for krate in &ws.crates {
+        report
+            .violations
+            .extend(passes::hygiene::check_crate(krate));
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (a.pass, &a.path, a.line).cmp(&(b.pass, &b.path, b.line)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use source::{CrateSrc, SourceFile};
+
+    fn ws_with(name: &str, path: &str, src: &str) -> Workspace {
+        let manifest = format!("[package]\nname = \"{name}\"\n\n[lints]\nworkspace = true\n");
+        let lib = SourceFile::from_contents(
+            &format!("crates/{name}/src/lib.rs"),
+            "//! Docs.\n#![forbid(unsafe_code)]\n",
+        );
+        let file = SourceFile::from_contents(path, src);
+        Workspace {
+            crates: vec![CrateSrc::from_parts(name, &manifest, vec![lib, file])],
+        }
+    }
+
+    #[test]
+    fn panic_pass_scoped_to_hot_path_crates() {
+        let hot = ws_with(
+            "llm265-bitstream",
+            "crates/bitstream/src/x.rs",
+            "fn f(v: Option<u8>) { v.unwrap(); }\n",
+        );
+        assert_eq!(lint_workspace(&hot).violations.len(), 1);
+        // The same code in a non-hot-path crate does not fire.
+        let cold = ws_with(
+            "llm265-bench",
+            "crates/bench/src/x.rs",
+            "fn f(v: Option<u8>) { v.unwrap(); }\n",
+        );
+        assert!(
+            lint_workspace(&cold).is_clean(),
+            "{:?}",
+            lint_workspace(&cold).violations
+        );
+    }
+
+    #[test]
+    fn symmetry_pass_fires_through_the_full_pipeline() {
+        let ws = ws_with(
+            "llm265-videocodec",
+            "crates/videocodec/src/encoder.rs",
+            "pub fn encode_orphan() {}\n",
+        );
+        let report = lint_workspace(&ws);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].pass, "symmetry");
+    }
+
+    #[test]
+    fn violations_are_sorted_and_reported() {
+        let ws = ws_with(
+            "llm265-core",
+            "crates/core/src/z.rs",
+            "fn f(v: Option<f64>) { v.unwrap(); let x = v.unwrap_or(0.0); let _ = x == 0.5; }\n",
+        );
+        let report = lint_workspace(&ws);
+        let passes: Vec<&str> = report.violations.iter().map(|v| v.pass).collect();
+        assert_eq!(passes, vec!["float-cmp", "panic-freedom"]);
+        assert!(report.to_json().contains("\"count\": 2"));
+    }
+}

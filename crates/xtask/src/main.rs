@@ -1,0 +1,81 @@
+//! `cargo run -p xtask -- lint [--format text|json] [--root PATH]`
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut format = "text".to_string();
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" => cmd = Some("lint"),
+            "--format" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--format needs a value (text|json)");
+                    return ExitCode::from(2);
+                };
+                format = v.clone();
+            }
+            "--root" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                print_help();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("lint") {
+        print_help();
+        return ExitCode::from(2);
+    }
+
+    match xtask::run_lint(&root) {
+        Ok(report) => {
+            match format.as_str() {
+                "json" => println!("{}", report.to_json()),
+                _ => print!("{}", report.to_text()),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory.
+fn default_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .and_then(|d| PathBuf::from(d).parent()?.parent().map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn print_help() {
+    println!(
+        "xtask — workspace static-analysis gate\n\n\
+         USAGE: cargo run -p xtask -- lint [--format text|json] [--root PATH]\n\n\
+         Passes: panic-freedom, symmetry, float-cmp, hygiene (see crates/xtask/src/lib.rs)"
+    );
+}

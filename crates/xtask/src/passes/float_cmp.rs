@@ -1,0 +1,171 @@
+//! Float-discipline pass.
+//!
+//! Codec math is full of `f64` rate/distortion quantities where `==`
+//! against a literal is almost always a bug (accumulated rounding makes
+//! exact equality flaky across platforms and optimization levels). This
+//! pass flags `==`/`!=` comparisons whose left or right operand is a
+//! floating-point literal; code should use the tolerance helpers
+//! (`llm265_tensor::stats::approx_eq`) instead. Exact-zero guards that are
+//! genuinely exact (e.g. a scale that was *assigned* zero) carry a
+//! `// lint:allow(float-cmp): <reason>` marker.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Runs the float-comparison scan over one file's sanitized code.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (line_idx, line) in file.code.lines().enumerate() {
+        let bytes = line.as_bytes();
+        for op in ["==", "!="] {
+            let mut from = 0usize;
+            while let Some(rel) = line[from..].find(op) {
+                let at = from + rel;
+                from = at + op.len();
+                // Reject `<=`, `>=`, `+=`… on the left and `==` chains.
+                if at > 0
+                    && matches!(
+                        bytes[at - 1],
+                        b'<' | b'>'
+                            | b'='
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                            | b'!'
+                    )
+                {
+                    continue;
+                }
+                if bytes.get(at + op.len()) == Some(&b'=') {
+                    continue;
+                }
+                let left = token_left(line, at);
+                let right = token_right(line, at + op.len());
+                if is_float_literal(&left) || is_float_literal(&right) {
+                    if file.is_allowed(line_idx, "float-cmp") {
+                        continue;
+                    }
+                    out.push(Violation::new(
+                        "float-cmp",
+                        &file.path,
+                        line_idx + 1,
+                        format!(
+                            "exact float comparison `{} {op} {}`: use a tolerance helper (stats::approx_eq) or justify with lint:allow(float-cmp)",
+                            if left.is_empty() { "…" } else { &left },
+                            if right.is_empty() { "…" } else { &right },
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.'
+}
+
+fn token_left(line: &str, op_at: usize) -> String {
+    let head = line[..op_at].trim_end();
+    let start = head
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_token_char(c))
+        .last()
+        .map_or(head.len(), |(i, _)| i);
+    head[start..].to_string()
+}
+
+fn token_right(line: &str, after_op: usize) -> String {
+    let tail = line[after_op..].trim_start();
+    let tail = tail.strip_prefix('-').unwrap_or(tail); // negated literal
+    let end = tail
+        .char_indices()
+        .find(|&(_, c)| !is_token_char(c))
+        .map_or(tail.len(), |(i, _)| i);
+    tail[..end].to_string()
+}
+
+/// `1.0`, `0.`, `1e-9`, `2.5f64`, `1f32`, with optional `_` separators.
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok
+        .strip_suffix("f32")
+        .or_else(|| tok.strip_suffix("f64"))
+        .map_or(tok, |t| t.strip_suffix('_').unwrap_or(t));
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    // A dotted number (`1.0`, `0.`) or scientific notation is a float; a
+    // bare integer only counts if it carried an f32/f64 suffix (stripped
+    // above — detect by re-checking the original).
+    let dotted = tok.contains('.')
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_');
+    let scientific = tok.contains(['e', 'E'])
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '.' | '_' | '+' | '-'));
+    dotted || scientific
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_contents("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn flags_eq_and_ne_against_float_literals() {
+        let src = "fn f(x: f64) -> bool {\n    if x == 0.0 { return true; }\n    x != 1.5\n}\n";
+        let v = check_file(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("x == 0.0"));
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn literal_on_the_left_and_scientific_notation_fire() {
+        let src = "fn f(x: f64) -> bool { 0.0 == x || x == 1e-9 }\n";
+        let v = check_file(&file(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn integer_comparisons_and_other_operators_are_quiet() {
+        let src = "fn f(x: i32, y: f64) -> bool {\n    x == 0 && x != 10 && y <= 0.5 && y >= 1.5 && y < 2.0\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f(s: f32) -> bool {\n    // lint:allow(float-cmp): scale was assigned exactly 0.0\n    s == 0.0\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_ignored() {
+        let src = "// x == 0.0 in prose\nfn f() { let s = \"v == 1.0\"; let _ = s; }\n#[cfg(test)]\nmod tests {\n    fn t(x: f64) -> bool { x == 0.25 }\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        for yes in ["0.0", "1.", "2.5f64", "1e-9", "3.25_f32", "1_000.5"] {
+            assert!(is_float_literal(yes), "{yes}");
+        }
+        for no in ["0", "10", "x", "len", "0x1f", "1usize", "f64"] {
+            assert!(!is_float_literal(no), "{no}");
+        }
+    }
+}

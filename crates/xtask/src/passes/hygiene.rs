@@ -1,0 +1,123 @@
+//! Crate-hygiene pass.
+//!
+//! Every workspace member must (a) carry `#![forbid(unsafe_code)]` at the
+//! crate root — the codec is pure safe Rust and should prove it locally,
+//! not just via the workspace lint table; (b) open with crate-level docs
+//! (`//!`), so `cargo doc` renders a front page per crate; and (c) opt in
+//! to the shared `[workspace.lints]` table with `[lints] workspace = true`
+//! in its manifest, so clippy levels cannot drift per crate.
+
+use crate::report::Violation;
+use crate::source::CrateSrc;
+
+/// Runs the hygiene checks over one crate.
+pub fn check_crate(krate: &CrateSrc) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let manifest_path = format!("{} (Cargo.toml)", krate.name);
+
+    if !manifest_opts_into_workspace_lints(&krate.manifest) {
+        out.push(Violation::new(
+            "hygiene",
+            &manifest_path,
+            0,
+            "missing `[lints] workspace = true`: crate must opt into the workspace lint table",
+        ));
+    }
+
+    let Some(root) = krate.root_file() else {
+        out.push(Violation::new(
+            "hygiene",
+            &manifest_path,
+            0,
+            "crate has no lib.rs/main.rs root file",
+        ));
+        return out;
+    };
+
+    if !root.raw.contains("#![forbid(unsafe_code)]") {
+        out.push(Violation::new(
+            "hygiene",
+            &root.path,
+            1,
+            "missing `#![forbid(unsafe_code)]` at the crate root",
+        ));
+    }
+
+    let first_meaningful = root.raw.lines().find(|l| !l.trim().is_empty());
+    if !first_meaningful.is_some_and(|l| l.trim_start().starts_with("//!")) {
+        out.push(Violation::new(
+            "hygiene",
+            &root.path,
+            1,
+            "crate root must open with `//!` crate-level documentation",
+        ));
+    }
+    out
+}
+
+fn manifest_opts_into_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    const GOOD_MANIFEST: &str = "[package]\nname = \"demo\"\n\n[lints]\nworkspace = true\n";
+    const GOOD_LIB: &str = "//! Demo crate.\n\n#![forbid(unsafe_code)]\n\npub fn f() {}\n";
+
+    fn krate(manifest: &str, lib: &str) -> CrateSrc {
+        CrateSrc::from_parts(
+            "demo",
+            manifest,
+            vec![SourceFile::from_contents("crates/demo/src/lib.rs", lib)],
+        )
+    }
+
+    #[test]
+    fn clean_crate_is_quiet() {
+        assert!(check_crate(&krate(GOOD_MANIFEST, GOOD_LIB)).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_fires() {
+        let v = check_crate(&krate(GOOD_MANIFEST, "//! Docs.\npub fn f() {}\n"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn missing_crate_docs_fires() {
+        let v = check_crate(&krate(
+            GOOD_MANIFEST,
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        ));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("//!"));
+    }
+
+    #[test]
+    fn missing_lints_table_fires() {
+        let v = check_crate(&krate("[package]\nname = \"demo\"\n", GOOD_LIB));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("[lints]"));
+    }
+
+    #[test]
+    fn lints_table_must_be_the_right_section() {
+        // `workspace = true` under [dependencies.foo] must not count.
+        let bad = "[package]\nname = \"demo\"\n[dependencies.foo]\nworkspace = true\n";
+        let v = check_crate(&krate(bad, GOOD_LIB));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Panic-freedom audit for decode/encode hot paths.
+//!
+//! Codec decode paths consume untrusted bytes; a panic there is a
+//! denial-of-service bug, so hot-path crates must return `CodecError`
+//! instead. This pass denies the panicking constructs outright and
+//! additionally flags direct indexing of input-named buffers inside
+//! decode-shaped functions, where a hostile length field turns `data[i]`
+//! into a crash. `assert!` is deliberately *not* denied: programmer-error
+//! contracts on internal invariants are fine. Justified exceptions carry a
+//! `// lint:allow(panic): <reason>` marker.
+
+use crate::report::Violation;
+use crate::source::{functions, line_of, SourceFile};
+
+/// Tokens that abort the process. `.expect(` also matches `expect_err`-free
+/// uses; `unwrap_or*` does not match because the search requires `()`.
+const DENIED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "unwrap() can panic; return a CodecError instead",
+    ),
+    (
+        ".expect(",
+        "expect() can panic; return a CodecError instead",
+    ),
+    (
+        "panic!",
+        "panic! in a codec path; return a CodecError instead",
+    ),
+    (
+        "unreachable!",
+        "unreachable! in a codec path; prove it or return an error",
+    ),
+    ("todo!", "todo! must not ship in codec paths"),
+    (
+        "unimplemented!",
+        "unimplemented! must not ship in codec paths",
+    ),
+];
+
+/// Buffer names that conventionally hold untrusted input.
+const INPUT_NAMES: &[&str] = &["data", "bytes", "input", "payload", "buf", "src", "stream"];
+
+/// Function-name prefixes that mark untrusted-input parsing code.
+const DECODE_PREFIXES: &[&str] = &["decode", "parse", "decompress", "read"];
+
+/// Runs the audit over one file's sanitized code.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (token, why) in DENIED {
+        let mut from = 0usize;
+        while let Some(rel) = file.code[from..].find(token) {
+            let at = from + rel;
+            from = at + token.len();
+            // `!` tokens must not match inside longer identifiers
+            // (e.g. `core_panic!` or `debug_unreachable!`).
+            if !token.starts_with('.') && at > 0 {
+                let prev = file.code.as_bytes()[at - 1] as char;
+                if prev.is_alphanumeric() || prev == '_' {
+                    continue;
+                }
+            }
+            let line = line_of(&file.code, at);
+            if file.is_allowed(line, "panic") {
+                continue;
+            }
+            out.push(Violation::new(
+                "panic-freedom",
+                &file.path,
+                line + 1,
+                format!("`{token}`: {why}"),
+            ));
+        }
+    }
+    out.extend(check_indexing(file));
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Flags `name[...]` indexing of input-named buffers inside decode-shaped
+/// functions, where the index is attacker-influenced unless checked.
+fn check_indexing(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in functions(&file.code) {
+        if !DECODE_PREFIXES.iter().any(|p| f.name.starts_with(p)) || f.body.is_empty() {
+            continue;
+        }
+        let body = &file.code[f.body.clone()];
+        for name in INPUT_NAMES {
+            let needle = format!("{name}[");
+            let mut from = 0usize;
+            while let Some(rel) = body[from..].find(&needle) {
+                let at = from + rel;
+                from = at + needle.len();
+                if at > 0 {
+                    let prev = body.as_bytes()[at - 1] as char;
+                    if prev.is_alphanumeric() || prev == '_' || prev == '.' {
+                        continue; // part of a longer name or a field access
+                    }
+                }
+                let line = line_of(&file.code, f.body.start + at);
+                if file.is_allowed(line, "panic") {
+                    continue;
+                }
+                out.push(Violation::new(
+                    "panic-freedom",
+                    &file.path,
+                    line + 1,
+                    format!(
+                        "indexing `{name}[..]` in `{}`: use `.get(..)` and return Truncated/Corrupt",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_contents("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn flags_each_denied_token() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap();\n    x.expect(\"boom\");\n    panic!(\"no\");\n    unreachable!();\n    todo!();\n    unimplemented!();\n}\n";
+        let v = check_file(&file(src));
+        assert_eq!(v.len(), 6, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("unwrap"));
+        assert!(v[2].message.contains("panic!"));
+    }
+
+    #[test]
+    fn quiet_on_clean_code_and_non_denied_tokens() {
+        let src = "fn decode(data: &[u8]) -> Option<u8> {\n    assert!(!data.is_empty());\n    let v = data.get(0).copied().unwrap_or(0);\n    debug_assert!(v < 10);\n    data.get(1).copied()\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_or_preceding_line() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap(); // lint:allow(panic): infallible here\n    // lint:allow(panic): also fine\n    x.unwrap();\n    x.unwrap();\n}\n";
+        let v = check_file(&file(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn tokens_in_tests_comments_and_strings_are_ignored() {
+        let src = "// this unwrap() is prose\nfn f() { let s = \"panic!\"; let _ = s; }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn flags_input_indexing_only_in_decode_functions() {
+        let src = "fn decode_header(data: &[u8]) -> u8 {\n    data[0]\n}\nfn shuffle(data: &mut [u8]) {\n    data[0] = 1;\n}\n";
+        let v = check_file(&file(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("decode_header"));
+    }
+
+    #[test]
+    fn non_input_names_and_locals_do_not_fire() {
+        let src = "fn parse_block(data: &[u8]) -> u8 {\n    let table = [0u8; 4];\n    let out = vec![0u8; 4];\n    table[0] + out[1] + self.data.len() as u8 + data.get(0).copied().unwrap_or(0)\n}\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Encoder/decoder symmetry check.
+//!
+//! A bitstream format is a contract between its writer and its reader:
+//! every syntax element that is written must be read, and vice versa, or
+//! the streams silently desynchronize. This pass extracts syntax-op
+//! function names from the encode and decode sides of a domain, strips the
+//! directional prefix (`write_`/`encode_`/`code_` vs
+//! `read_`/`decode_`/`parse_`) and requires the remaining *stems* to match
+//! one-to-one: a written-never-read stem (or the reverse) fails the lint.
+
+use crate::report::Violation;
+use crate::source::{functions, SourceFile};
+
+/// One writer/reader pairing domain.
+pub struct Domain {
+    /// Display name used in messages.
+    pub name: &'static str,
+    /// Path suffixes of the files in the domain (e.g. `videocodec/src/encoder.rs`).
+    pub files: &'static [&'static str],
+    /// Prefixes marking the writing side.
+    pub writer_prefixes: &'static [&'static str],
+    /// Prefixes marking the reading side.
+    pub reader_prefixes: &'static [&'static str],
+    /// Stems excused from pairing (asymmetric by design, with a reason).
+    pub exempt: &'static [&'static str],
+}
+
+/// The workspace's pairing domains.
+pub const DOMAINS: &[Domain] = &[
+    Domain {
+        name: "video bitstream syntax",
+        files: &[
+            "bitstream/src/bits.rs",
+            "bitstream/src/bytes.rs",
+            "bitstream/src/cabac.rs",
+            "videocodec/src/encoder.rs",
+            "videocodec/src/decoder.rs",
+            "videocodec/src/syntax.rs",
+        ],
+        writer_prefixes: &["write_", "encode_", "code_"],
+        reader_prefixes: &["read_", "decode_", "parse_"],
+        exempt: &[],
+    },
+    Domain {
+        name: "tensor stream framing",
+        files: &["core/src/codec.rs", "core/src/archive.rs"],
+        writer_prefixes: &["write_", "encode_", "code_"],
+        reader_prefixes: &["read_", "decode_", "parse_"],
+        // `encode_at_qp` wraps the whole per-QP encode (read side is the
+        // bare `decode_tensor`); `decode_tensor`'s write side is the
+        // `TensorCodec::encode` trait method, which carries no prefix.
+        exempt: &["at_qp", "tensor"],
+    },
+];
+
+/// A stem occurrence: which file/line defined it.
+#[derive(Debug, Clone)]
+struct Occurrence {
+    path: String,
+    line: usize,
+    full_name: String,
+}
+
+/// Checks one domain against the files present in `files`.
+pub fn check_domain(domain: &Domain, files: &[&SourceFile]) -> Vec<Violation> {
+    let mut writers: Vec<(String, Occurrence)> = Vec::new();
+    let mut readers: Vec<(String, Occurrence)> = Vec::new();
+    for file in files {
+        if !domain
+            .files
+            .iter()
+            .any(|suffix| file.path.ends_with(suffix))
+        {
+            continue;
+        }
+        for f in functions(&file.code) {
+            let occ = Occurrence {
+                path: file.path.clone(),
+                line: f.line + 1,
+                full_name: f.name.clone(),
+            };
+            // Reader prefixes first: `decode_x` must not be read as the
+            // writer `code_x` with stem `x`... it cannot be ("decode_"
+            // does not start with "code_"), but longest-match keeps this
+            // robust if prefixes ever overlap.
+            if let Some(stem) = strip_any(&f.name, domain.reader_prefixes) {
+                readers.push((stem, occ));
+            } else if let Some(stem) = strip_any(&f.name, domain.writer_prefixes) {
+                writers.push((stem, occ));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (stem, occ) in &writers {
+        if domain.exempt.contains(&stem.as_str()) {
+            continue;
+        }
+        if !readers.iter().any(|(r, _)| r == stem) {
+            out.push(Violation::new(
+                "symmetry",
+                &occ.path,
+                occ.line,
+                format!(
+                    "`{}` writes syntax element `{stem}` but no reader ({}*) exists in domain '{}'",
+                    occ.full_name,
+                    domain.reader_prefixes.join("*/"),
+                    domain.name
+                ),
+            ));
+        }
+    }
+    for (stem, occ) in &readers {
+        if domain.exempt.contains(&stem.as_str()) {
+            continue;
+        }
+        if !writers.iter().any(|(w, _)| w == stem) {
+            out.push(Violation::new(
+                "symmetry",
+                &occ.path,
+                occ.line,
+                format!(
+                    "`{}` reads syntax element `{stem}` but no writer ({}*) exists in domain '{}'",
+                    occ.full_name,
+                    domain.writer_prefixes.join("*/"),
+                    domain.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn strip_any(name: &str, prefixes: &[&str]) -> Option<String> {
+    let mut best: Option<&str> = None;
+    for p in prefixes {
+        if let Some(stem) = name.strip_prefix(p) {
+            if !stem.is_empty() && best.is_none_or(|b| stem.len() < b.len()) {
+                best = Some(stem);
+            }
+        }
+    }
+    best.map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    const TEST_DOMAIN: Domain = Domain {
+        name: "test",
+        files: &["enc.rs", "dec.rs"],
+        writer_prefixes: &["write_", "encode_", "code_"],
+        reader_prefixes: &["read_", "decode_", "parse_"],
+        exempt: &["excused"],
+    };
+
+    fn enc(src: &str) -> SourceFile {
+        SourceFile::from_contents("crates/x/src/enc.rs", src)
+    }
+    fn dec(src: &str) -> SourceFile {
+        SourceFile::from_contents("crates/x/src/dec.rs", src)
+    }
+
+    #[test]
+    fn matched_pairs_are_quiet() {
+        let e = enc("fn write_header() {}\nfn code_block() {}\nfn encode_frame() {}\n");
+        let d = dec("fn read_header() {}\nfn parse_block() {}\nfn decode_frame() {}\n");
+        assert!(check_domain(&TEST_DOMAIN, &[&e, &d]).is_empty());
+    }
+
+    #[test]
+    fn written_never_read_fails() {
+        let e = enc("fn write_header() {}\nfn write_footer() {}\n");
+        let d = dec("fn read_header() {}\n");
+        let v = check_domain(&TEST_DOMAIN, &[&e, &d]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("footer"));
+        assert!(v[0].message.contains("no reader"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn read_never_written_fails() {
+        let e = enc("fn write_header() {}\n");
+        let d = dec("fn read_header() {}\nfn parse_ghost() {}\n");
+        let v = check_domain(&TEST_DOMAIN, &[&e, &d]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ghost"));
+        assert!(v[0].message.contains("no writer"));
+    }
+
+    #[test]
+    fn exempt_stems_and_unprefixed_functions_are_ignored() {
+        let e = enc("fn encode_excused() {}\nfn quantize_block() {}\nfn helper() {}\n");
+        let d = dec("fn parse_excused() {}\nfn validate() {}\n");
+        // `encode_excused` alone would fail both directions without the
+        // exemption; unprefixed helpers never participate.
+        let v = check_domain(&TEST_DOMAIN, &[&e]);
+        assert!(v.is_empty(), "{v:?}");
+        let v = check_domain(&TEST_DOMAIN, &[&e, &d]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn files_outside_the_domain_are_ignored() {
+        let other = SourceFile::from_contents("crates/x/src/other.rs", "fn write_orphan() {}\n");
+        assert!(check_domain(&TEST_DOMAIN, &[&other]).is_empty());
+    }
+
+    #[test]
+    fn test_code_does_not_participate() {
+        let e = enc("fn write_real() {}\n#[cfg(test)]\nmod tests {\n    fn write_fake() {}\n}\n");
+        let d = dec("fn read_real() {}\n");
+        assert!(check_domain(&TEST_DOMAIN, &[&e, &d]).is_empty());
+    }
+}

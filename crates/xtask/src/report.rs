@@ -1,0 +1,156 @@
+//! Machine- and human-readable lint reports.
+
+use std::fmt::Write as _;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Pass identifier (`panic-freedom`, `symmetry`, `float-cmp`, `hygiene`).
+    pub pass: &'static str,
+    /// Workspace-relative file path (or crate name for manifest findings).
+    pub path: String,
+    /// 1-based line number; 0 when the finding is file- or crate-level.
+    pub line: usize,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl Violation {
+    pub fn new(pass: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Violation {
+            pass,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub passes_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// True when no pass found anything.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable report, one line per violation plus a summary.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            if v.line > 0 {
+                let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.pass, v.message);
+            } else {
+                let _ = writeln!(out, "{}: [{}] {}", v.path, v.pass, v.message);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} violation(s) across {} file(s); passes: {}",
+            self.violations.len(),
+            self.files_scanned,
+            self.passes_run.join(", ")
+        );
+        out
+    }
+
+    /// JSON report (hand-rolled; the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                escape(v.pass),
+                escape(&v.path),
+                v.line,
+                escape(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"count\": {},\n  \"files_scanned\": {}\n}}",
+            self.violations.len(),
+            self.files_scanned
+        );
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_report_lists_violations_and_summary() {
+        let mut r = Report {
+            passes_run: vec!["panic-freedom"],
+            files_scanned: 3,
+            ..Report::default()
+        };
+        r.violations.push(Violation::new(
+            "panic-freedom",
+            "a.rs",
+            7,
+            "unwrap() in decode path",
+        ));
+        let text = r.to_text();
+        assert!(text.contains("a.rs:7: [panic-freedom] unwrap() in decode path"));
+        assert!(text.contains("1 violation(s) across 3 file(s)"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let mut r = Report::default();
+        r.violations
+            .push(Violation::new("hygiene", "x\"y.rs", 0, "line1\nline2"));
+        let json = r.to_json();
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("x\\\"y.rs"));
+        assert!(json.contains("line1\\nline2"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"count\": 0"));
+    }
+}

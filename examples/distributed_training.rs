@@ -58,9 +58,7 @@ fn main() {
                 .collect(),
         );
         for step in 0..60 {
-            let shards: Vec<Batch> = (0..4)
-                .map(|_| lang.sample_batch(1, 40, &mut rng))
-                .collect();
+            let shards: Vec<Batch> = (0..4).map(|_| lang.sample_batch(1, 40, &mut rng)).collect();
             let loss = dp.train_step(&shards, &mut opt);
             if (step + 1) % 15 == 0 {
                 println!("  step {:>3}: loss {loss:.3}", step + 1);

@@ -6,8 +6,8 @@
 
 use llm265::core::{Llm265Codec, RateTarget, TensorCodec};
 use llm265::tensor::rng::Pcg32;
-use llm265::tensor::synthetic::{llm_weight, WeightProfile};
 use llm265::tensor::stats;
+use llm265::tensor::synthetic::{llm_weight, WeightProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A synthetic LLM weight matrix: bell-shaped body, channel structure,
@@ -26,12 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let codec = Llm265Codec::new();
 
     // Sweep fractional bits/value budgets — the codec's headline feature.
-    println!("\n{:>10}  {:>12}  {:>10}  {:>8}", "target", "measured b/v", "NMSE", "ratio");
+    println!(
+        "\n{:>10}  {:>12}  {:>10}  {:>8}",
+        "target", "measured b/v", "NMSE", "ratio"
+    );
     for budget in [1.5, 2.0, 2.5, 2.9, 3.5, 4.5] {
         let encoded = codec.encode(&weights, RateTarget::BitsPerValue(budget))?;
         let decoded = codec.decode(&encoded)?;
-        let nmse =
-            stats::tensor_mse(&weights, &decoded) / stats::variance(weights.data());
+        let nmse = stats::tensor_mse(&weights, &decoded) / stats::variance(weights.data());
         println!(
             "{:>10.1}  {:>12.2}  {:>10.5}  {:>7.1}x",
             budget,

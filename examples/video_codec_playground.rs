@@ -15,7 +15,9 @@ use llm265::videocodec::{
 /// A synthetic "weight image": channel bands + smooth field + noise.
 fn weight_frame(seed: u64, n: usize) -> Frame {
     let mut rng = Pcg32::seed_from(seed);
-    let bands: Vec<f64> = (0..n).map(|x| 40.0 * ((x / 6) as f64 * 0.8).sin()).collect();
+    let bands: Vec<f64> = (0..n)
+        .map(|x| 40.0 * ((x / 6) as f64 * 0.8).sin())
+        .collect();
     let mut row_field = 0.0f64;
     let rows: Vec<f64> = (0..n)
         .map(|_| {

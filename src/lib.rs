@@ -34,6 +34,8 @@
 //! assert!(nmse < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use llm265_bitstream as bitstream;
 pub use llm265_core as core;
 pub use llm265_distrib as distrib;

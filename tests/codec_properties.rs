@@ -1,32 +1,32 @@
 //! Property-based tests on the LLM.265 tensor codec's public contract.
 
 use llm265::core::{Llm265Codec, Llm265Config, RateTarget, TensorCodec};
+use llm265::tensor::check::Checker;
+use llm265::tensor::prop_ensure;
 use llm265::tensor::rng::Pcg32;
 use llm265::tensor::stats;
 use llm265::tensor::synthetic::{llm_weight, WeightProfile};
 use llm265::tensor::Tensor;
-use proptest::prelude::*;
 
 fn random_tensor(seed: u64, rows: usize, cols: usize, scale: f32) -> Tensor {
     let mut rng = Pcg32::seed_from(seed);
     Tensor::from_fn(rows, cols, |_, _| (rng.normal() as f32) * scale)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn prop_roundtrip_preserves_shape_and_bounds_error(
-        seed in 0u64..1_000_000,
-        rows in 8usize..96,
-        cols in 8usize..96,
-        qp in 8u32..46,
-    ) {
+#[test]
+fn prop_roundtrip_preserves_shape_and_bounds_error() {
+    Checker::new(8).run("roundtrip preserves shape and bounds error", |rng| {
+        let seed = rng.next_u64();
+        let rows = 8 + rng.below_usize(88);
+        let cols = 8 + rng.below_usize(88);
+        let qp = 8 + rng.below(38);
         let t = random_tensor(seed, rows, cols, 0.1);
         let codec = Llm265Codec::new();
-        let enc = codec.encode(&t, RateTarget::Qp(qp as f64)).unwrap();
-        let dec = codec.decode(&enc).unwrap();
-        prop_assert_eq!(dec.shape(), (rows, cols));
+        let enc = codec
+            .encode(&t, RateTarget::Qp(qp as f64))
+            .map_err(|e| e.to_string())?;
+        let dec = codec.decode(&enc).map_err(|e| e.to_string())?;
+        prop_ensure!(dec.shape() == (rows, cols), "shape {:?}", dec.shape());
         // Parseval bounds the *MSE* by the quantizer step (the DCT may
         // concentrate error on individual pixels, so only a loose
         // per-pixel bound holds).
@@ -37,53 +37,75 @@ proptest! {
         // Dead-zone quantizer: per-coefficient error ≤ (2/3)·qstep, plus
         // the 8-bit chunk quantization floor; 1.5x slack for rounding.
         let mse_bound = chunk_step * chunk_step * (0.45 * qstep * qstep + 0.1) * 1.5 + 1e-12;
-        prop_assert!(mse <= mse_bound, "mse {mse} bound {mse_bound}");
+        prop_ensure!(mse <= mse_bound, "mse {mse} bound {mse_bound}");
         let pixel_bound = chunk_step * (4.0 * qstep + 2.0) + 1e-6;
         for (a, b) in t.data().iter().zip(dec.data()) {
-            prop_assert!(((a - b).abs() as f64) <= pixel_bound,
-                "err {} bound {pixel_bound}", (a - b).abs());
+            prop_ensure!(
+                ((a - b).abs() as f64) <= pixel_bound,
+                "err {} bound {pixel_bound}",
+                (a - b).abs()
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_bits_target_respected_for_feasible_budgets(
-        seed in 0u64..1_000_000,
-        budget_tenths in 15u32..60,
-    ) {
+#[test]
+fn prop_bits_target_respected_for_feasible_budgets() {
+    Checker::new(8).run("bits target respected", |rng| {
+        let seed = rng.next_u64();
+        let budget_tenths = 15 + rng.below(45);
         let budget = budget_tenths as f64 / 10.0;
         let t = random_tensor(seed, 64, 64, 0.05);
         let codec = Llm265Codec::new();
-        let enc = codec.encode(&t, RateTarget::BitsPerValue(budget)).unwrap();
-        prop_assert!(enc.bits_per_value() <= budget * 1.02 + 0.02,
-            "target {budget} got {}", enc.bits_per_value());
-    }
+        let enc = codec
+            .encode(&t, RateTarget::BitsPerValue(budget))
+            .map_err(|e| e.to_string())?;
+        prop_ensure!(
+            enc.bits_per_value() <= budget * 1.02 + 0.02,
+            "target {budget} got {}",
+            enc.bits_per_value()
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_encoding_is_deterministic(seed in 0u64..1_000_000) {
-        let t = random_tensor(seed, 48, 48, 0.2);
+#[test]
+fn prop_encoding_is_deterministic() {
+    Checker::new(8).run("encoding is deterministic", |rng| {
+        let t = random_tensor(rng.next_u64(), 48, 48, 0.2);
         let codec = Llm265Codec::new();
-        let a = codec.encode(&t, RateTarget::Qp(26.0)).unwrap();
-        let b = codec.encode(&t, RateTarget::Qp(26.0)).unwrap();
-        prop_assert_eq!(a.bytes(), b.bytes());
-    }
+        let a = codec
+            .encode(&t, RateTarget::Qp(26.0))
+            .map_err(|e| e.to_string())?;
+        let b = codec
+            .encode(&t, RateTarget::Qp(26.0))
+            .map_err(|e| e.to_string())?;
+        prop_ensure!(a.bytes() == b.bytes(), "same input, different bytes");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prop_chunked_equals_shape_for_any_chunk_limit(
-        seed in 0u64..1_000_000,
-        rows in 16usize..80,
-        chunk_rows in 4usize..32,
-    ) {
+#[test]
+fn prop_chunked_equals_shape_for_any_chunk_limit() {
+    Checker::new(8).run("chunked equals shape for any chunk limit", |rng| {
+        let seed = rng.next_u64();
+        let rows = 16 + rng.below_usize(64);
+        let chunk_rows = 4 + rng.below_usize(28);
         let t = random_tensor(seed, rows, 40, 0.1);
         let codec = Llm265Codec::with_config(Llm265Config {
             max_chunk_pixels: 40 * chunk_rows,
             ..Llm265Config::default()
         });
-        let enc = codec.encode(&t, RateTarget::Qp(22.0)).unwrap();
-        let dec = codec.decode(&enc).unwrap();
-        prop_assert_eq!(dec.shape(), t.shape());
+        let enc = codec
+            .encode(&t, RateTarget::Qp(22.0))
+            .map_err(|e| e.to_string())?;
+        let dec = codec.decode(&enc).map_err(|e| e.to_string())?;
+        prop_ensure!(dec.shape() == t.shape(), "shape {:?}", dec.shape());
         let nmse = stats::tensor_mse(&t, &dec) / stats::variance(t.data()).max(1e-30);
-        prop_assert!(nmse < 0.05, "nmse {nmse}");
-    }
+        prop_ensure!(nmse < 0.05, "nmse {nmse}");
+        Ok(())
+    });
 }
 
 #[test]

@@ -59,7 +59,10 @@ fn wire_accounting_matches_tensor_sizes_exactly() {
     let expected_values = 3 * (seq_len - 1) * dim;
     assert_eq!(pp.act_stats().values as usize, expected_values);
     assert_eq!(pp.grad_stats().values as usize, expected_values);
-    assert_eq!(pp.act_stats().compressed_bits as usize, expected_values * 16);
+    assert_eq!(
+        pp.act_stats().compressed_bits as usize,
+        expected_values * 16
+    );
 }
 
 #[test]

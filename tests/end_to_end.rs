@@ -34,7 +34,10 @@ fn codec_is_general_purpose_across_tensor_classes() {
     let mut rng = Pcg32::seed_from(1);
     let codec = Llm265Codec::new();
     let tensors = vec![
-        ("weight", llm_weight(96, 96, &WeightProfile::default(), &mut rng)),
+        (
+            "weight",
+            llm_weight(96, 96, &WeightProfile::default(), &mut rng),
+        ),
         (
             "activation",
             llm_activation(96, 96, &ActivationProfile::default(), &mut rng),
@@ -49,7 +52,11 @@ fn codec_is_general_purpose_across_tensor_classes() {
         let enc = codec
             .encode(&t, RateTarget::BitsPerValue(3.5))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(enc.bits_per_value() <= 3.55, "{name}: {}", enc.bits_per_value());
+        assert!(
+            enc.bits_per_value() <= 3.55,
+            "{name}: {}",
+            enc.bits_per_value()
+        );
         let dec = codec.decode(&enc).unwrap();
         let nmse = stats::tensor_mse(&t, &dec) / stats::variance(t.data()).max(1e-30);
         assert!(nmse < 0.12, "{name}: nmse {nmse}");
@@ -129,9 +136,7 @@ fn codec_beats_rtn_at_equal_measured_bits_on_structured_weights() {
     let rtn_bpv = rtn_bits as f64 / w.len() as f64;
 
     let codec = Llm265Codec::new();
-    let enc = codec
-        .encode(&w, RateTarget::BitsPerValue(rtn_bpv))
-        .unwrap();
+    let enc = codec.encode(&w, RateTarget::BitsPerValue(rtn_bpv)).unwrap();
     let dec = codec.decode(&enc).unwrap();
     let e_codec = stats::tensor_mse(&w, &dec);
     let e_rtn = stats::mse(w.data(), rtn_out.data());
