@@ -53,7 +53,7 @@ impl BitWriter {
         self.nbits += n;
         while self.nbits >= 8 {
             self.nbits -= 8;
-            self.bytes.push((self.acc >> self.nbits) as u8);
+            self.bytes.push(((self.acc >> self.nbits) & 0xFF) as u8);
         }
     }
 
@@ -72,10 +72,14 @@ impl BitWriter {
 
     /// Appends a signed Exp-Golomb code (`se(v)` in H.26x): 0, 1, -1, 2, -2…
     pub fn write_se(&mut self, value: i32) {
+        // The mapping sends v to 2|v|-1 (positive) or 2|v| (non-positive);
+        // i32::MIN would need 2^32, which ue(u32) cannot carry.
+        debug_assert!(value > i32::MIN, "se(i32::MIN) is not representable");
+        let abs = value.unsigned_abs();
         let mapped = if value > 0 {
-            (value as u32) * 2 - 1
+            abs * 2 - 1
         } else {
-            (-(value as i64) * 2) as u32
+            abs.saturating_mul(2)
         };
         self.write_ue(mapped);
     }
@@ -85,7 +89,7 @@ impl BitWriter {
         if self.nbits > 0 {
             let pad = 8 - self.nbits;
             self.acc <<= pad;
-            self.bytes.push(self.acc as u8);
+            self.bytes.push((self.acc & 0xFF) as u8);
             self.nbits = 0;
         }
         self.bytes
@@ -124,7 +128,7 @@ impl<'a> BitReader<'a> {
                 .get(self.pos)
                 .ok_or(DecodeError::Truncated("bitstream exhausted"))?;
             self.pos += 1;
-            self.acc = (self.acc << 8) | byte as u64;
+            self.acc = (self.acc << 8) | u64::from(byte);
             self.nbits += 8;
         }
         Ok(())
@@ -174,7 +178,9 @@ impl<'a> BitReader<'a> {
         }
         let suffix = self.read_bits(zeros)?;
         let v = (1u64 << zeros) | suffix;
-        Ok((v - 1) as u32)
+        // A 32-zero prefix with an all-ones suffix encodes up to 2^33-2,
+        // which a silent `as u32` would wrap into a bogus small value.
+        u32::try_from(v - 1).map_err(|_| DecodeError::Corrupt("exp-golomb value overflows u32"))
     }
 
     /// Reads a signed Exp-Golomb code.
@@ -183,9 +189,11 @@ impl<'a> BitReader<'a> {
     ///
     /// Returns an error on truncation.
     pub fn read_se(&mut self) -> Result<i32, DecodeError> {
-        let m = self.read_ue()? as i64;
+        let m = i64::from(self.read_ue()?);
         let v = if m % 2 == 1 { (m + 1) / 2 } else { -(m / 2) };
-        Ok(v as i32)
+        // ue(2^32-1) maps to +2^31, one past i32::MAX; wrapping it to
+        // i32::MIN would silently flip the sign of a corrupt residual.
+        i32::try_from(v).map_err(|_| DecodeError::Corrupt("exp-golomb se value overflows i32"))
     }
 }
 

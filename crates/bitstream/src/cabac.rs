@@ -111,11 +111,11 @@ impl CabacEncoder {
 
     /// Encodes one bit under an adaptive context.
     pub fn encode_bit(&mut self, ctx: &mut Prob, bit: bool) {
-        let bound = (self.range >> PROB_BITS) * ctx.0 as u32;
+        let bound = (self.range >> PROB_BITS) * u32::from(ctx.0);
         if !bit {
             self.range = bound;
         } else {
-            self.low += bound as u64;
+            self.low += u64::from(bound);
             self.range -= bound;
         }
         ctx.update(bit);
@@ -164,8 +164,8 @@ impl CabacEncoder {
     /// bits while `value > i`, then a `0` (unless `max` is reached). Context
     /// index saturates at the array end.
     pub fn encode_truncated_unary(&mut self, ctxs: &mut [Prob], value: u32, max: u32) {
-        for i in 0..max {
-            let ctx_idx = (i as usize).min(ctxs.len() - 1);
+        for (idx, i) in (0..max).enumerate() {
+            let ctx_idx = idx.min(ctxs.len() - 1);
             if value > i {
                 self.encode_bit(&mut ctxs[ctx_idx], true);
             } else {
@@ -177,14 +177,14 @@ impl CabacEncoder {
 
     fn shift_low(&mut self) {
         if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
-            let carry = (self.low >> 32) as u8;
+            let carry = ((self.low >> 32) & 1) as u8;
             if self.cache_size > 0 {
                 self.out.push(self.cache.wrapping_add(carry));
                 for _ in 1..self.cache_size {
                     self.out.push(0xFFu8.wrapping_add(carry));
                 }
             }
-            self.cache = (self.low >> 24) as u8;
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
             self.cache_size = 0;
         }
         self.cache_size += 1;
@@ -243,7 +243,7 @@ impl<'a> CabacDecoder<'a> {
 
     /// Decodes one bit under an adaptive context.
     pub fn decode_bit(&mut self, ctx: &mut Prob) -> bool {
-        let bound = (self.range >> PROB_BITS) * ctx.0 as u32;
+        let bound = (self.range >> PROB_BITS) * u32::from(ctx.0);
         let bit = if self.code < bound {
             self.range = bound;
             false
@@ -296,14 +296,16 @@ impl<'a> CabacDecoder<'a> {
             }
         }
         let suffix = self.decode_bypass_bits(zeros);
-        (((1u64 << zeros) | suffix) - 1) as u32
+        // A corrupt suffix can push the value past u32::MAX; saturate
+        // instead of wrapping it into a small bogus coefficient.
+        u32::try_from(((1u64 << zeros) | suffix) - 1).unwrap_or(u32::MAX)
     }
 
     /// Decodes a truncated-unary prefix (inverse of
     /// [`CabacEncoder::encode_truncated_unary`]).
     pub fn decode_truncated_unary(&mut self, ctxs: &mut [Prob], max: u32) -> u32 {
-        for i in 0..max {
-            let ctx_idx = (i as usize).min(ctxs.len() - 1);
+        for (idx, i) in (0..max).enumerate() {
+            let ctx_idx = idx.min(ctxs.len() - 1);
             if !self.decode_bit(&mut ctxs[ctx_idx]) {
                 return i;
             }

@@ -37,7 +37,8 @@ pub struct Deflate;
 
 fn hash3(data: &[u8], i: usize) -> usize {
     let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
-    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    // The shift leaves HASH_BITS significant bits; the mask states that.
+    ((v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) & 0x7FFF) as usize
 }
 
 struct Parse {
@@ -94,10 +95,12 @@ fn lz77_parse(data: &[u8]) -> Parse {
             || (best_len >= MIN_MATCH && best_dist < 64);
         if worthwhile {
             parse.kinds.push(1);
-            parse.lens.push((best_len - MIN_MATCH) as u8);
+            // `best_len <= MAX_MATCH` and `best_dist <= WINDOW`, so both
+            // masks are value-preserving; they document the field widths.
+            parse.lens.push(((best_len - MIN_MATCH) & 0xFF) as u8);
             parse
                 .dists
-                .extend_from_slice(&(best_dist as u16).to_le_bytes());
+                .extend_from_slice(&((best_dist & 0xFFFF) as u16).to_le_bytes());
             // Register hash entries inside the match (sparsely, for speed).
             let end = pos + best_len;
             let mut p = pos + 1;
@@ -118,13 +121,16 @@ fn lz77_parse(data: &[u8]) -> Parse {
 }
 
 fn push_block(out: &mut Vec<u8>, block: &[u8]) {
-    bytes::write_le_u32(out, block.len() as u32);
+    // Blocks are per-tensor compressed streams, far below 4 GiB.
+    debug_assert!(u32::try_from(block.len()).is_ok());
+    bytes::write_le_u32(out, (block.len() & 0xFFFF_FFFF) as u32);
     out.extend_from_slice(block);
 }
 
 fn pop_block<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], DecodeError> {
-    let len = bytes::read_le_u32(data, pos)
-        .map_err(|_| DecodeError::Truncated("deflate block header"))? as usize;
+    let len: u32 = bytes::read_le_u32(data, pos)
+        .map_err(|_| DecodeError::Truncated("deflate block header"))?;
+    let len = len as usize;
     let block = data
         .get(*pos..)
         .and_then(|rest| rest.get(..len))
@@ -172,8 +178,9 @@ impl ByteCodec for Deflate {
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         let mut pos = 0usize;
-        let n = bytes::read_le_u64(data, &mut pos)
-            .map_err(|_| DecodeError::Truncated("deflate header"))? as usize;
+        let n: u64 = bytes::read_le_u64(data, &mut pos)
+            .map_err(|_| DecodeError::Truncated("deflate header"))?;
+        let n = n as usize;
         let mode = *data
             .get(pos)
             .ok_or(DecodeError::Truncated("deflate mode byte"))?;
@@ -211,15 +218,16 @@ impl ByteCodec for Deflate {
                 li += 1;
                 out.push(b);
             } else {
-                let len = *lens
-                    .get(mi)
-                    .ok_or(DecodeError::Truncated("deflate length stream"))?
-                    as usize
-                    + MIN_MATCH;
+                let len = usize::from(
+                    *lens
+                        .get(mi)
+                        .ok_or(DecodeError::Truncated("deflate length stream"))?,
+                ) + MIN_MATCH;
                 let mut dpos = mi * 2;
-                let dist = bytes::read_le_u16(&dists, &mut dpos)
-                    .map_err(|_| DecodeError::Truncated("deflate distance stream"))?
-                    as usize;
+                let dist = usize::from(
+                    bytes::read_le_u16(&dists, &mut dpos)
+                        .map_err(|_| DecodeError::Truncated("deflate distance stream"))?,
+                );
                 mi += 1;
                 if dist == 0 || dist > out.len() {
                     return Err(DecodeError::Corrupt("deflate distance out of range"));

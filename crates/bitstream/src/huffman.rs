@@ -10,6 +10,8 @@ use crate::{ByteCodec, DecodeError};
 
 /// Maximum code length; 15 matches DEFLATE and keeps headers at 4 bits.
 const MAX_LEN: u32 = 15;
+/// Array size for per-length tables indexed `1..=MAX_LEN`.
+const NUM_LENS: usize = 16;
 
 /// Canonical Huffman byte-stream compressor.
 ///
@@ -30,16 +32,15 @@ pub struct Huffman;
 /// get length 0. A single distinct symbol gets length 1.
 pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
     let mut lengths = [0u8; 256];
-    let mut leaves: Vec<(u64, u8)> = freqs
-        .iter()
-        .enumerate()
+    let mut leaves: Vec<(u64, u8)> = (0u8..=255)
+        .zip(freqs.iter())
         .filter(|(_, &f)| f > 0)
-        .map(|(s, &f)| (f, s as u8))
+        .map(|(s, &f)| (f, s))
         .collect();
     match leaves.len() {
         0 => return lengths,
         1 => {
-            lengths[leaves[0].1 as usize] = 1;
+            lengths[usize::from(leaves[0].1)] = 1;
             return lengths;
         }
         _ => {}
@@ -82,7 +83,7 @@ pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
     let take = 2 * (leaves.len() - 1);
     for pkg in current.into_iter().take(take) {
         for s in pkg.1 {
-            lengths[s as usize] += 1;
+            lengths[usize::from(s)] += 1;
         }
     }
     lengths
@@ -93,14 +94,17 @@ pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
 pub fn canonical_codes(lengths: &[u8; 256]) -> [(u16, u8); 256] {
     let mut codes = [(0u16, 0u8); 256];
     // Symbols ordered by (length, symbol value).
-    let mut order: Vec<u8> = (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
-    order.sort_by_key(|&s| (lengths[s as usize], s));
+    let mut order: Vec<u8> = (0..=255u8)
+        .filter(|&s| lengths[usize::from(s)] > 0)
+        .collect();
+    order.sort_by_key(|&s| (lengths[usize::from(s)], s));
     let mut code = 0u32;
     let mut prev_len = 0u8;
     for &s in &order {
-        let len = lengths[s as usize];
-        code <<= (len - prev_len) as u32;
-        codes[s as usize] = (code as u16, len);
+        let len = lengths[usize::from(s)];
+        code <<= u32::from(len - prev_len);
+        // Lengths are capped at MAX_LEN = 15, so codes fit in 15 bits.
+        codes[usize::from(s)] = ((code & 0x7FFF) as u16, len);
         code += 1;
         prev_len = len;
     }
@@ -109,22 +113,24 @@ pub fn canonical_codes(lengths: &[u8; 256]) -> [(u16, u8); 256] {
 
 struct CanonicalDecoder {
     // Per length 1..=15: first canonical code, count, base index into `syms`.
-    first_code: [u32; (MAX_LEN + 1) as usize],
-    count: [u32; (MAX_LEN + 1) as usize],
-    base: [u32; (MAX_LEN + 1) as usize],
+    first_code: [u32; NUM_LENS],
+    count: [u32; NUM_LENS],
+    base: [u32; NUM_LENS],
     syms: Vec<u8>,
 }
 
 impl CanonicalDecoder {
     fn new(lengths: &[u8; 256]) -> Self {
-        let mut count = [0u32; (MAX_LEN + 1) as usize];
-        let mut order: Vec<u8> = (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
-        order.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut count = [0u32; NUM_LENS];
+        let mut order: Vec<u8> = (0..=255u8)
+            .filter(|&s| lengths[usize::from(s)] > 0)
+            .collect();
+        order.sort_by_key(|&s| (lengths[usize::from(s)], s));
         for &s in &order {
-            count[lengths[s as usize] as usize] += 1;
+            count[usize::from(lengths[usize::from(s)])] += 1;
         }
-        let mut first_code = [0u32; (MAX_LEN + 1) as usize];
-        let mut base = [0u32; (MAX_LEN + 1) as usize];
+        let mut first_code = [0u32; NUM_LENS];
+        let mut base = [0u32; NUM_LENS];
         let mut code = 0u32;
         let mut idx = 0u32;
         for len in 1..=MAX_LEN as usize {
@@ -145,10 +151,12 @@ impl CanonicalDecoder {
     fn decode(&self, r: &mut BitReader<'_>) -> Result<u8, DecodeError> {
         let mut code = 0u32;
         for len in 1..=MAX_LEN as usize {
-            code = (code << 1) | r.read_bits(1)? as u32;
+            code = (code << 1) | ((r.read_bits(1)? & 1) as u32);
             let offset = code.wrapping_sub(self.first_code[len]);
             if offset < self.count[len] {
-                return Ok(self.syms[(self.base[len] + offset) as usize]);
+                let idx = usize::try_from(self.base[len] + offset)
+                    .map_err(|_| DecodeError::Corrupt("invalid huffman code"))?;
+                return Ok(self.syms[idx]);
             }
         }
         Err(DecodeError::Corrupt("invalid huffman code"))
@@ -163,7 +171,7 @@ impl ByteCodec for Huffman {
     fn compress(&self, data: &[u8]) -> Vec<u8> {
         let mut freqs = [0u64; 256];
         for &b in data {
-            freqs[b as usize] += 1;
+            freqs[usize::from(b)] += 1;
         }
         let lengths = code_lengths(&freqs);
         let codes = canonical_codes(&lengths);
@@ -173,16 +181,16 @@ impl ByteCodec for Huffman {
         // lengths for that range only (tensor-level streams typically use
         // a narrow centered alphabet, so this keeps headers small).
         w.write_bits(data.len() as u64, 57);
-        let first = lengths.iter().position(|&l| l > 0).unwrap_or(0);
-        let last = lengths.iter().rposition(|&l| l > 0).unwrap_or(0);
+        let first: usize = lengths.iter().position(|&l| l > 0).unwrap_or(0);
+        let last: usize = lengths.iter().rposition(|&l| l > 0).unwrap_or(0);
         w.write_bits(first as u64, 8);
         w.write_bits(last as u64, 8);
         for &len in &lengths[first..=last] {
-            w.write_bits(len as u64, 4);
+            w.write_bits(u64::from(len), 4);
         }
         for &b in data {
-            let (code, len) = codes[b as usize];
-            w.write_bits(code as u64, len as u32);
+            let (code, len) = codes[usize::from(b)];
+            w.write_bits(u64::from(code), u32::from(len));
         }
         w.finish()
     }
@@ -197,7 +205,7 @@ impl ByteCodec for Huffman {
         }
         let mut lengths = [0u8; 256];
         for len in lengths[first..=last].iter_mut() {
-            *len = r.read_bits(4)? as u8;
+            *len = (r.read_bits(4)? & 0x0F) as u8;
         }
         if n == 0 {
             return Ok(Vec::new());

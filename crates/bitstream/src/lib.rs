@@ -81,7 +81,7 @@ impl ByteCodec for CabacBytes {
             for i in (0..8).rev() {
                 let bit = (byte >> i) & 1;
                 enc.encode_bit(&mut ctx[node], bit == 1);
-                node = (node << 1) | bit as usize;
+                node = (node << 1) | usize::from(bit);
             }
         }
         let payload = enc.finish();
@@ -93,12 +93,12 @@ impl ByteCodec for CabacBytes {
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         let mut pos = 0;
-        let len64 = bytes::read_le_u64(data, &mut pos)
+        let len64: u64 = bytes::read_le_u64(data, &mut pos)
             .map_err(|_| CodecError::Truncated("cabac length header"))?;
         // CABAC tops out around 360:1 on degenerate all-same-bit input (the
         // probability floor costs ~0.022 bit/bin); a declared length far
         // beyond that is a hostile header, not a compressed stream.
-        let payload_len = data.len() - pos;
+        let payload_len: usize = data.len() - pos;
         if len64 > 4096 * (payload_len as u64).max(16) {
             return Err(CodecError::LimitExceeded("cabac declared length"));
         }
@@ -110,7 +110,7 @@ impl ByteCodec for CabacBytes {
             let mut node = 1usize;
             for _ in 0..8 {
                 let bit = dec.decode_bit(&mut ctx[node]);
-                node = (node << 1) | bit as usize;
+                node = (node << 1) | usize::from(bit);
             }
             out.push((node & 0xff) as u8);
         }

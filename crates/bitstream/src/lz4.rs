@@ -31,7 +31,8 @@ pub struct Lz4;
 
 fn hash4(data: &[u8], i: usize) -> usize {
     let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
-    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    // The shift leaves HASH_BITS significant bits; the mask states that.
+    ((v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) & 0xFFFF) as usize
 }
 
 fn write_len_ext(out: &mut Vec<u8>, mut extra: usize) {
@@ -39,7 +40,8 @@ fn write_len_ext(out: &mut Vec<u8>, mut extra: usize) {
         out.push(255);
         extra -= 255;
     }
-    out.push(extra as u8);
+    // The loop leaves `extra < 255`; the mask states the byte width.
+    out.push((extra & 0xFF) as u8);
 }
 
 fn read_len_ext(data: &[u8], pos: &mut usize) -> Result<usize, DecodeError> {
@@ -49,7 +51,7 @@ fn read_len_ext(data: &[u8], pos: &mut usize) -> Result<usize, DecodeError> {
             .get(*pos)
             .ok_or(DecodeError::Truncated("lz4 length extension"))?;
         *pos += 1;
-        total += b as usize;
+        total += usize::from(b);
         if b != 255 {
             return Ok(total);
         }
@@ -106,14 +108,15 @@ impl ByteCodec for Lz4 {
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         let mut pos = 0usize;
-        let n = bytes::read_le_u64(data, &mut pos)
-            .map_err(|_| DecodeError::Truncated("lz4 header"))? as usize;
+        let n: u64 =
+            bytes::read_le_u64(data, &mut pos).map_err(|_| DecodeError::Truncated("lz4 header"))?;
+        let n = n as usize;
         let mut out = Vec::with_capacity(n.min(1 << 24));
 
         while out.len() < n {
             let token = *data.get(pos).ok_or(DecodeError::Truncated("lz4 token"))?;
             pos += 1;
-            let mut lit_len = (token >> 4) as usize;
+            let mut lit_len = usize::from(token >> 4);
             if lit_len == 15 {
                 lit_len += read_len_ext(data, &mut pos)?;
             }
@@ -127,8 +130,10 @@ impl ByteCodec for Lz4 {
                 break;
             }
 
-            let dist = bytes::read_le_u16(data, &mut pos)
-                .map_err(|_| DecodeError::Truncated("lz4 offset"))? as usize;
+            let dist = usize::from(
+                bytes::read_le_u16(data, &mut pos)
+                    .map_err(|_| DecodeError::Truncated("lz4 offset"))?,
+            );
             if dist == 0 || dist > out.len() {
                 return Err(DecodeError::Corrupt("lz4 offset out of range"));
             }
@@ -167,7 +172,8 @@ fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) 
     }
     out.extend_from_slice(literals);
     if m.is_some() {
-        out.extend_from_slice(&(dist as u16).to_le_bytes());
+        // `dist <= MAX_DIST = 65_535`; the mask states the field width.
+        out.extend_from_slice(&((dist & 0xFFFF) as u16).to_le_bytes());
         if m_extra >= 15 {
             write_len_ext(out, m_extra - 15);
         }

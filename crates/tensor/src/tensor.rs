@@ -32,6 +32,9 @@ impl Tensor {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        // lint:allow(panic): decode paths bound rows·cols before building
+        // tensors (codec.rs caps the product at 2^31), so overflow here
+        // means a caller bug, not hostile input.
         let len = rows.checked_mul(cols).expect("tensor size overflow");
         Tensor {
             rows,

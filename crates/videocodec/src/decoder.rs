@@ -84,14 +84,16 @@ impl<'a> FrameDecoder<'a> {
             let idx = if dec.decode_bit(&mut ctxs.mpm) {
                 self.prev_mode
             } else {
-                dec.decode_bypass_bits(self.mode_bits) as u8
+                // `mode_bits <= 6` for every profile's mode table, so the
+                // mask is value-preserving; out-of-range values error below.
+                (dec.decode_bypass_bits(self.mode_bits) & 0xFF) as u8
             };
-            if idx as usize >= n_modes {
+            if usize::from(idx) >= n_modes {
                 return Err(DecodeError::Corrupt("intra mode index out of range"));
             }
             self.prev_mode = idx;
             let refs = RefSamples::gather(&self.recon, x0, y0, size);
-            refs.predict(self.cfg.profile.modes()[idx as usize])
+            refs.predict(self.cfg.profile.modes()[usize::from(idx)])
         } else {
             vec![128; size * size]
         };
@@ -133,26 +135,28 @@ fn parse_signed_eg(dec: &mut CabacDecoder<'_>) -> i32 {
         base += 1 << m;
         m += 1;
     }
-    let mapped = base + dec.decode_bypass_bits(m) as u32;
+    // `m <= 31`, so the suffix fits u32 and `mapped >> 1` fits i32; the
+    // masks are value-preserving and state those widths.
+    let mapped = base + (dec.decode_bypass_bits(m) & 0xFFFF_FFFF) as u32;
     if mapped & 1 == 0 {
-        (mapped >> 1) as i32
+        ((mapped >> 1) & 0x7FFF_FFFF) as i32
     } else {
-        -(((mapped + 1) >> 1) as i32)
+        -((((mapped + 1) >> 1) & 0x7FFF_FFFF) as i32)
     }
 }
 
 /// Decodes a bitstream produced by [`crate::encode_video`].
 pub(crate) fn decode_video(data: &[u8]) -> Result<Vec<Frame>, DecodeError> {
     let mut r = BitReader::new(data);
-    if r.read_bits(32)? as u32 != MAGIC {
+    if (r.read_bits(32)? & 0xFFFF_FFFF) as u32 != MAGIC {
         return Err(DecodeError::Corrupt("bad magic"));
     }
-    if r.read_bits(8)? as u8 != VERSION {
+    if (r.read_bits(8)? & 0xFF) as u8 != VERSION {
         return Err(DecodeError::Unsupported("bitstream version"));
     }
-    let profile = Profile::from_header_id(r.read_bits(8)? as u8)
+    let profile = Profile::from_header_id((r.read_bits(8)? & 0xFF) as u8)
         .ok_or(DecodeError::Unsupported("unknown profile id"))?;
-    let pipeline = PipelineConfig::from_byte(r.read_bits(8)? as u8);
+    let pipeline = PipelineConfig::from_byte((r.read_bits(8)? & 0xFF) as u8);
     let qp = r.read_bits(16)? as f64 / 256.0;
     // The 16-bit field can carry up to ~256.0; a QP beyond the H.265 range
     // never comes from our encoder and would violate the quantizer's
@@ -201,8 +205,9 @@ pub(crate) fn decode_video(data: &[u8]) -> Result<Vec<Frame>, DecodeError> {
     let mut frames = Vec::with_capacity(n_frames);
     let mut prev_padded: Option<Frame> = None;
     for i in 0..n_frames {
-        let len = bytes::read_le_u32(data, &mut pos)
-            .map_err(|_| DecodeError::Truncated("frame length"))? as usize;
+        let len: u32 = bytes::read_le_u32(data, &mut pos)
+            .map_err(|_| DecodeError::Truncated("frame length"))?;
+        let len = len as usize;
         let payload = data
             .get(pos..)
             .and_then(|rest| rest.get(..len))
@@ -231,7 +236,8 @@ pub(crate) fn decode_frame(
     let pw = w.div_ceil(ctu) * ctu;
     let ph = h.div_ceil(ctu) * ctu;
     let frame_inter = cfg.pipeline.inter && frame_idx > 0 && prev.is_some();
-    let mode_count = cfg.profile.modes().len() as u32;
+    // Mode tables are tiny (at most 35 entries); the mask states that.
+    let mode_count = (cfg.profile.modes().len() & 0xFFFF_FFFF) as u32;
     let mut fd = FrameDecoder {
         cfg,
         plans,

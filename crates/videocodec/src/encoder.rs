@@ -96,7 +96,8 @@ impl<'a> FrameCoder<'a> {
         prev: Option<&'a Frame>,
         frame_inter: bool,
     ) -> Self {
-        let n_modes = cfg.profile.modes().len() as u32;
+        // Mode tables are tiny (at most 35 entries); the mask states that.
+        let n_modes = (cfg.profile.modes().len() & 0xFFFF_FFFF) as u32;
         FrameCoder {
             cfg,
             plans,
@@ -207,7 +208,7 @@ impl<'a> FrameCoder<'a> {
                 let is_mpm = idx == state.prev_mode;
                 sink.bit(&mut state.ctxs.mpm, is_mpm);
                 if !is_mpm {
-                    sink.bypass_bits(idx as u64, self.mode_bits);
+                    sink.bypass_bits(u64::from(idx), self.mode_bits);
                 }
                 state.prev_mode = idx;
             }
@@ -252,9 +253,10 @@ impl<'a> FrameCoder<'a> {
                     let sad: u64 = orig
                         .iter()
                         .zip(&pred)
-                        .map(|(&a, &b)| (a - b).unsigned_abs() as u64)
+                        .map(|(&a, &b)| u64::from((a - b).unsigned_abs()))
                         .sum();
-                    (sad, i as u8, pred)
+                    // At most 35 modes, so the index fits a byte.
+                    (sad, (i & 0xFF) as u8, pred)
                 })
                 .collect();
             scored.sort_by_key(|&(sad, i, _)| (sad, i));
@@ -387,10 +389,12 @@ impl<'a> FrameCoder<'a> {
 /// Codes a signed value as zig-zag-mapped order-1 exp-Golomb bypass bits
 /// (used for motion vectors).
 pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
+    // `unsigned_abs` avoids the sign-changing cast and is well-defined
+    // even for i32::MIN, where `-v` would overflow.
     let mapped = if v >= 0 {
-        (v as u32) << 1
+        v.unsigned_abs() << 1
     } else {
-        ((-v as u32) << 1) - 1
+        (v.unsigned_abs() << 1) - 1
     };
     let mut m = 1u32;
     let mut rem = mapped;
@@ -401,7 +405,7 @@ pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
             m += 1;
         } else {
             sink.bypass(false);
-            sink.bypass_bits(rem as u64, m);
+            sink.bypass_bits(u64::from(rem), m);
             return;
         }
     }
@@ -442,7 +446,8 @@ pub(crate) fn encode_frame(
 /// Encodes a video (see [`crate::encode_video`]).
 pub(crate) fn encode_video(frames: &[Frame], cfg: &CodecConfig) -> EncodedVideo {
     assert!(!frames.is_empty(), "cannot encode an empty video");
-    let (w, h) = (frames[0].width(), frames[0].height());
+    let w: usize = frames[0].width();
+    let h: usize = frames[0].height();
     assert!(w > 0 && h > 0, "frames must be non-empty");
     for f in frames {
         assert_eq!(
@@ -485,7 +490,8 @@ pub(crate) fn encode_video(frames: &[Frame], cfg: &CodecConfig) -> EncodedVideo 
     for (i, f) in frames.iter().enumerate() {
         let padded = f.padded_to(ctu);
         let (payload, recon_padded) = encode_frame(&padded, prev_padded.as_ref(), cfg, &plans, i);
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        // Frame payloads are far below 4 GiB; the mask states the width.
+        bytes.extend_from_slice(&((payload.len() & 0xFFFF_FFFF) as u32).to_le_bytes());
         bytes.extend_from_slice(&payload);
         recon_frames.push(recon_padded.cropped(w, h));
         prev_padded = Some(recon_padded);

@@ -96,8 +96,10 @@ impl Frame {
     /// nearest edge pixel (used by motion compensation).
     #[inline]
     pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
-        let x = x.clamp(0, self.width as isize - 1) as usize;
-        let y = y.clamp(0, self.height as isize - 1) as usize;
+        // `max(0)` makes the conversion infallible; `min` clamps to the
+        // far edge without ever leaving the unsigned domain.
+        let x = usize::try_from(x.max(0)).unwrap_or(0).min(self.width - 1);
+        let y = usize::try_from(y.max(0)).unwrap_or(0).min(self.height - 1);
         self.data[y * self.width + x]
     }
 
@@ -138,7 +140,7 @@ impl Frame {
         assert!(out.len() >= size * size);
         for y in 0..size {
             for x in 0..size {
-                out[y * size + x] = self.data[(y0 + y) * self.width + (x0 + x)] as i32;
+                out[y * size + x] = i32::from(self.data[(y0 + y) * self.width + (x0 + x)]);
             }
         }
     }
@@ -191,8 +193,8 @@ impl Frame {
             .iter()
             .zip(&other.data)
             .map(|(&a, &b)| {
-                let d = a as i64 - b as i64;
-                (d * d) as u64
+                let d = i64::from(a) - i64::from(b);
+                (d * d).unsigned_abs()
             })
             .sum()
     }

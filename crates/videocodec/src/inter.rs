@@ -37,9 +37,11 @@ pub fn sad(
     for y in 0..n {
         for x in 0..n {
             let a = cur.get(x0 + x, y0 + y) as i64;
+            // Coordinates are bounded by frame dimensions, far below
+            // isize::MAX; `try_from` keeps the conversion explicit.
             let b = reference.get_clamped(
-                x0 as isize + x as isize + mv.dx as isize,
-                y0 as isize + y as isize + mv.dy as isize,
+                isize::try_from(x0 + x).unwrap_or(isize::MAX) + isize::from(mv.dx),
+                isize::try_from(y0 + y).unwrap_or(isize::MAX) + isize::from(mv.dy),
             ) as i64;
             acc += (a - b).unsigned_abs();
         }
@@ -65,11 +67,11 @@ pub fn motion_search(
                 continue;
             }
             let mv = MotionVector {
-                dx: dx as i8,
-                dy: dy as i8,
+                dx: dx.clamp(-128, 127) as i8,
+                dy: dy.clamp(-128, 127) as i8,
             };
             // Penalty approximates the MV's coding cost.
-            let penalty = 2 * (dx.unsigned_abs() as u64 + dy.unsigned_abs() as u64);
+            let penalty = 2 * (u64::from(dx.unsigned_abs()) + u64::from(dy.unsigned_abs()));
             let cost = sad(cur, reference, x0, y0, n, mv) + penalty;
             if cost < best_cost {
                 best_cost = cost;
@@ -86,8 +88,8 @@ pub fn compensate(reference: &Frame, x0: usize, y0: usize, n: usize, mv: MotionV
     for y in 0..n {
         for x in 0..n {
             out[y * n + x] = reference.get_clamped(
-                x0 as isize + x as isize + mv.dx as isize,
-                y0 as isize + y as isize + mv.dy as isize,
+                isize::try_from(x0 + x).unwrap_or(isize::MAX) + isize::from(mv.dx),
+                isize::try_from(y0 + y).unwrap_or(isize::MAX) + isize::from(mv.dy),
             ) as i32;
         }
     }

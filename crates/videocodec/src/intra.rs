@@ -177,21 +177,27 @@ impl RefSamples {
     fn predict_dc(&self) -> Vec<i32> {
         let n = self.n;
         let sum: i32 = self.top[..n].iter().sum::<i32>() + self.left[..n].iter().sum::<i32>();
-        let dc = (sum + n as i32) / (2 * n as i32);
+        // Blocks are at most 32×32, so the size always fits i32.
+        let ni = i32::try_from(n).unwrap_or(i32::MAX);
+        let dc = (sum + ni) / (2 * ni);
         vec![dc; n * n]
     }
 
     fn predict_planar(&self) -> Vec<i32> {
-        let n = self.n as i32;
-        let shift = (n as u32).trailing_zeros() + 1;
-        let tr = self.top[self.n]; // first top-right sample
-        let bl = self.left[self.n]; // first bottom-left sample
-        let mut out = vec![0i32; self.n * self.n];
+        let n = self.n;
+        // Blocks are at most 32×32, so the size always fits i32.
+        let ni = i32::try_from(n).unwrap_or(i32::MAX);
+        let shift = n.trailing_zeros() + 1;
+        let tr = self.top[n]; // first top-right sample
+        let bl = self.left[n]; // first bottom-left sample
+        let mut out = vec![0i32; n * n];
         for y in 0..n {
+            let yi = i32::try_from(y).unwrap_or(i32::MAX);
             for x in 0..n {
-                let h = (n - 1 - x) * self.left[y as usize] + (x + 1) * tr;
-                let v = (n - 1 - y) * self.top[x as usize] + (y + 1) * bl;
-                out[(y * n + x) as usize] = (h + v + n) >> shift;
+                let xi = i32::try_from(x).unwrap_or(i32::MAX);
+                let h = (ni - 1 - xi) * self.left[y] + (xi + 1) * tr;
+                let v = (ni - 1 - yi) * self.top[x] + (yi + 1) * bl;
+                out[y * n + x] = (h + v + ni) >> shift;
             }
         }
         out
@@ -214,34 +220,37 @@ impl RefSamples {
         // ref_arr[i + n] corresponds to HEVC's ref[i - 1 + ...]; we build
         // ref[x] for x in -n..=2n with ref[0] = corner, ref[k] = main[k-1].
         let mut ref_arr = vec![0i32; 3 * n + 1];
-        let off = n as i32; // ref_arr[(x + off)] = ref[x]
-        ref_arr[off as usize] = self.corner;
-        for k in 1..=2 * n {
-            ref_arr[off as usize + k] = main[k - 1];
-        }
+        // Blocks are at most 32×32, so the offset always fits i32.
+        let off = i32::try_from(n).unwrap_or(i32::MAX); // ref_arr[(x + off)] = ref[x]
+        ref_arr[n] = self.corner;
+        ref_arr[n + 1..=3 * n].copy_from_slice(&main[..2 * n]);
         if angle < 0 {
             let inv = inv_angle(angle);
-            let lowest = (n as i32 * angle) >> 5; // most negative index used
+            let lowest = (off * angle) >> 5; // most negative index used
             for x in (lowest..0).rev() {
                 // Project onto the side reference.
                 let idx = ((x * inv + 128) >> 8) - 1; // index into side[], -1 = corner
                 let s = if idx < 0 {
                     self.corner
                 } else {
-                    side[(idx as usize).min(2 * n - 1)]
+                    side[usize::try_from(idx).unwrap_or(0).min(2 * n - 1)]
                 };
-                ref_arr[(x + off) as usize] = s;
+                // `lowest >= -n`, so `x + off >= 0` always holds.
+                ref_arr[usize::try_from(x + off).unwrap_or(0)] = s;
             }
         }
 
         let mut out = vec![0i32; n * n];
         for j in 0..n {
             // j indexes rows for vertical modes, columns for horizontal.
-            let pos = (j as i32 + 1) * angle;
+            let pos = (i32::try_from(j).unwrap_or(i32::MAX) + 1) * angle;
             let int_part = pos >> 5;
             let frac = pos & 31;
             for i in 0..n {
-                let base = (i as i32 + int_part + 1 + off) as usize;
+                // `int_part >= -n` and `off = n`, so the sum is never negative.
+                let base =
+                    usize::try_from(i32::try_from(i).unwrap_or(i32::MAX) + int_part + 1 + off)
+                        .unwrap_or(0);
                 let a = ref_arr[base.min(ref_arr.len() - 1)];
                 let b = ref_arr[(base + 1).min(ref_arr.len() - 1)];
                 let v = ((32 - frac) * a + frac * b + 16) >> 5;
@@ -281,9 +290,11 @@ impl RefSamples {
         let n = self.n;
         let bl = self.left[n]; // bottom-left anchor
         let tr = self.top[n]; // top-right anchor
+                              // Blocks are at most 32×32, so the size always fits i32.
+        let ni = i32::try_from(n.max(1)).unwrap_or(i32::MAX);
         let w = |i: usize| -> i32 {
             // 256 at i = 0 decaying linearly to 64 at i = n-1.
-            (256 - (192 * i as i32) / n.max(1) as i32).max(64)
+            (256 - (192 * i32::try_from(i).unwrap_or(i32::MAX)) / ni).max(64)
         };
         let mut out = vec![0i32; n * n];
         for y in 0..n {

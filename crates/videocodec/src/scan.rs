@@ -36,7 +36,8 @@ fn build(n: usize) -> Vec<(u8, u8)> {
             if d >= y {
                 let x = d - y;
                 if x < n {
-                    order.push((x as u8, y as u8));
+                    // `n <= 32`, so coordinates always fit a byte.
+                    order.push(((x & 0xFF) as u8, (y & 0xFF) as u8));
                 }
             }
         }

@@ -133,7 +133,7 @@ pub fn code_residual<S: BinSink>(
     // Last significant position in scan order.
     let mut last = None;
     for (p, &(x, y)) in scan_order.iter().enumerate() {
-        if levels[y as usize * n + x as usize] != 0 {
+        if levels[usize::from(y) * n + usize::from(x)] != 0 {
             last = Some(p);
         }
     }
@@ -145,12 +145,13 @@ pub fn code_residual<S: BinSink>(
         }
         Some(last) => {
             sink.bit(&mut ctxs.cbf[cbf_ctx], true);
-            code_last_pos(sink, ctxs, last as u32);
+            // Scan positions top out at 32·32 - 1, well inside u32.
+            code_last_pos(sink, ctxs, u32::try_from(last).unwrap_or(u32::MAX));
 
             // Rice parameter adapts within the TU.
             let mut rice_k: u32 = if spatial { 3 } else { 0 };
             for (p, &(x, y)) in scan_order.iter().enumerate().take(last + 1) {
-                let v = levels[y as usize * n + x as usize];
+                let v = levels[usize::from(y) * n + usize::from(x)];
                 if p < last {
                     let sig = v != 0;
                     let ci = sig_ctx_index(p, n);
@@ -217,7 +218,10 @@ pub fn parse_residual(
             rice_k += 1;
         }
         let neg = dec.decode_bypass();
-        levels[y as usize * n + x as usize] = if neg { -(mag as i32) } else { mag as i32 };
+        // A hostile remainder can exceed i32::MAX; saturate instead of
+        // wrapping the magnitude into a sign-flipped level.
+        let mag = i32::try_from(mag).unwrap_or(i32::MAX);
+        levels[usize::from(y) * n + usize::from(x)] = if neg { -mag } else { mag };
     }
     levels
 }
@@ -228,17 +232,17 @@ fn code_last_pos<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, pos: u32) {
     let v = pos + 1;
     let len = 32 - v.leading_zeros(); // >= 1
     for i in 0..len - 1 {
-        sink.bit(&mut ctxs.last_prefix[(i as usize).min(11)], true);
+        sink.bit(&mut ctxs.last_prefix[(i.min(11)) as usize], true);
     }
-    sink.bit(&mut ctxs.last_prefix[((len - 1) as usize).min(11)], false);
+    sink.bit(&mut ctxs.last_prefix[((len - 1).min(11)) as usize], false);
     if len > 1 {
-        sink.bypass_bits((v & !(1 << (len - 1))) as u64, len - 1);
+        sink.bypass_bits(u64::from(v & !(1 << (len - 1))), len - 1);
     }
 }
 
 fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> u32 {
     let mut len = 1u32;
-    while dec.decode_bit(&mut ctxs.last_prefix[((len - 1) as usize).min(11)]) {
+    while dec.decode_bit(&mut ctxs.last_prefix[((len - 1).min(11)) as usize]) {
         len += 1;
         if len > 20 {
             // Corrupt stream: saturate rather than loop.
@@ -246,7 +250,8 @@ fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> u32 {
         }
     }
     let suffix = if len > 1 {
-        dec.decode_bypass_bits(len - 1) as u32
+        // `len <= 21`, so the suffix fits u32; the mask states that.
+        (dec.decode_bypass_bits(len - 1) & 0xFFFF_FFFF) as u32
     } else {
         0
     };
@@ -262,7 +267,7 @@ pub fn code_remainder<S: BinSink>(sink: &mut S, r: u32, k: u32) {
             sink.bypass(true);
         }
         sink.bypass(false);
-        sink.bypass_bits((r & ((1 << k) - 1)) as u64, k);
+        sink.bypass_bits(u64::from(r & ((1 << k) - 1)), k);
     } else {
         for _ in 0..RICE_MAX_PREFIX {
             sink.bypass(true);
@@ -278,7 +283,8 @@ pub fn parse_remainder(dec: &mut CabacDecoder<'_>, k: u32) -> u32 {
         q += 1;
     }
     if q < RICE_MAX_PREFIX {
-        let low = dec.decode_bypass_bits(k) as u32;
+        // `k <= RICE_MAX_K = 8`, so the low bits fit u32.
+        let low = (dec.decode_bypass_bits(k) & 0xFFFF_FFFF) as u32;
         (q << k) | low
     } else {
         (RICE_MAX_PREFIX << k) + parse_eg(dec, k + 1)
@@ -306,7 +312,8 @@ fn parse_eg(dec: &mut CabacDecoder<'_>, mut m: u32) -> u32 {
         base += 1 << m;
         m += 1;
     }
-    base + dec.decode_bypass_bits(m) as u32
+    // `m <= 31`, so the suffix fits u32; the mask states that.
+    base + (dec.decode_bypass_bits(m) & 0xFFFF_FFFF) as u32
 }
 
 #[cfg(test)]

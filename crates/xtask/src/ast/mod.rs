@@ -1,0 +1,44 @@
+//! The AST analysis engine: lexer → token trees → items → workspace index.
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! is a hand-rolled, std-only equivalent of the `syn` slice the passes
+//! need: full tokenization (comments/strings can never trigger a pass),
+//! delimiter-matched token trees, item-level parsing with signatures, and
+//! a workspace-wide index with name-resolved call edges. Every file is
+//! parsed exactly once; all passes are visitors over the shared result.
+
+pub mod index;
+pub mod items;
+pub mod lex;
+pub mod tree;
+
+/// Integer-type width/signedness table used by type-aware passes.
+///
+/// Returns `(bits, signed)`; `usize`/`isize` count as 64-bit, the widest
+/// they can be on supported targets, so a cast *into* them is judged
+/// conservatively on 32-bit hosts and a cast *out of* them is always
+/// treated as potentially narrowing.
+#[must_use]
+pub fn int_width(ty: &str) -> Option<(u32, bool)> {
+    Some(match ty {
+        "u8" => (8, false),
+        "i8" => (8, true),
+        "u16" => (16, false),
+        "i16" => (16, true),
+        "u32" => (32, false),
+        "i32" => (32, true),
+        "u64" => (64, false),
+        "i64" => (64, true),
+        "u128" => (128, false),
+        "i128" => (128, true),
+        "usize" => (64, false),
+        "isize" => (64, true),
+        _ => return None,
+    })
+}
+
+/// Whether a compact type string names a float type.
+#[must_use]
+pub fn is_float_ty(ty: &str) -> bool {
+    matches!(ty, "f32" | "f64")
+}

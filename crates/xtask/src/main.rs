@@ -1,15 +1,21 @@
-//! `cargo run -p xtask -- lint [--format text|json] [--root PATH]`
+//! `cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! [--baseline PATH] [--no-baseline] [--write-baseline]`
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::baseline::Baseline;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut format = "text".to_string();
     let mut root = default_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut use_baseline = true;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -28,6 +34,15 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(v);
             }
+            "--baseline" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(v));
+            }
+            "--no-baseline" => use_baseline = false,
+            "--write-baseline" => write_baseline = true,
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -44,7 +59,55 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    match xtask::run_lint(&root) {
+    let baseline_path =
+        baseline_path.unwrap_or_else(|| root.join("crates").join("xtask").join("baseline.toml"));
+
+    // Regeneration mode: run all passes raw and overwrite the ratchet file.
+    if write_baseline {
+        return match xtask::run_lint(&root, None) {
+            Ok(report) => {
+                let b = Baseline::from_violations(&report.violations);
+                match std::fs::write(&baseline_path, b.to_toml()) {
+                    Ok(()) => {
+                        println!(
+                            "wrote {} ({} finding(s) across {} pass(es))",
+                            baseline_path.display(),
+                            report.violations.len(),
+                            b.counts.len()
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("write {}: {e}", baseline_path.display());
+                        ExitCode::from(2)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // Gate mode: a missing baseline file is an empty baseline (everything
+    // is new); an unparsable one is a hard error.
+    let baseline = if use_baseline {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("xtask lint: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => None,
+        }
+    } else {
+        None
+    };
+
+    match xtask::run_lint(&root, baseline.as_ref()) {
         Ok(report) => {
             match format.as_str() {
                 "json" => println!("{}", report.to_json()),
@@ -75,7 +138,14 @@ fn default_root() -> PathBuf {
 fn print_help() {
     println!(
         "xtask — workspace static-analysis gate\n\n\
-         USAGE: cargo run -p xtask -- lint [--format text|json] [--root PATH]\n\n\
-         Passes: panic-freedom, symmetry, float-cmp, hygiene (see crates/xtask/src/lib.rs)"
+         USAGE: cargo run -p xtask -- lint [OPTIONS]\n\n\
+         OPTIONS:\n\
+         \x20 --format text|json   report format (default text)\n\
+         \x20 --root PATH          workspace root (default: auto-detected)\n\
+         \x20 --baseline PATH      ratchet file (default: crates/xtask/baseline.toml)\n\
+         \x20 --no-baseline        report every finding as failing\n\
+         \x20 --write-baseline     regenerate the ratchet file from current findings\n\n\
+         Passes: panic-freedom, symmetry, float-cmp, hygiene, cast-safety,\n\
+         determinism, error-discipline (see crates/xtask/src/lib.rs)"
     );
 }

@@ -1,0 +1,866 @@
+//! Cast-safety pass: narrowing and sign-changing `as` casts in codec math.
+//!
+//! A silent `as` truncation is the classic codec corruption bug: a
+//! coefficient magnitude or length field wraps, the bitstream still
+//! parses, and the tensor comes back wrong — bit-exactness (PAPER.md §4)
+//! dies without an error. This pass flags integer `as` casts whose
+//! operand cannot be *locally proven* to fit the target type. Proof
+//! sources, in order:
+//!
+//! - **literals** — `255 as u8` fits, `300 as u8` does not;
+//! - **bool evidence** — `true as usize`, `(p == 0) as usize`;
+//! - **bounding** — a parenthesized `% lit` / `& lit`, or a final
+//!   `.min(lit)` / `.clamp(lo, hi)` whose bounds fit the target
+//!   (`lit` may be `T::MAX`/`T::MIN`);
+//! - **cast chains** — `x as u8 as u32` (the inner cast fixes the width);
+//! - **the workspace index** — a call `recon.get(x, y) as i32` is safe
+//!   when every workspace `fn get` returns `u8`; a field `mv.dx as i32`
+//!   is safe when every struct field `dx` is `i8`; params, typed `let`
+//!   bindings and consts resolve the same way;
+//! - **float sources** — float→int `as` saturates deterministically in
+//!   Rust, so a provably-float operand (e.g. `….round()`) is exempt: the
+//!   hazard this pass hunts is silent *wrapping*, which floats never do.
+//!
+//! Everything else must use `T::from` (proves widening at compile time),
+//! `T::try_from` + `CodecError::Corrupt`/`LimitExceeded` (turns hostile
+//! values into errors), an explicit mask/clamp (states the truncation),
+//! or carry a `// lint:allow(cast): <reason>` marker.
+
+use crate::ast::lex::Kind;
+use crate::ast::tree::{to_text, Tree};
+use crate::ast::{index::Index, int_width, is_float_ty};
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+use std::collections::BTreeMap;
+
+/// What the operand analysis concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand {
+    /// Integer of known width/signedness.
+    Int(u32, bool),
+    /// Known float (saturating cast — exempt).
+    Float,
+    /// Known bool (always fits).
+    Bool,
+    /// Known to fit the target via literal/bounding evidence.
+    Bounded,
+    /// No local proof available.
+    Unknown,
+}
+
+/// Per-function name→type environment (params + ascribed `let`s).
+type TypeEnv = BTreeMap<String, String>;
+
+/// Runs the cast audit over one file, using the workspace index for
+/// cross-file return/field type resolution.
+pub fn check_file(file: &SourceFile, index: &Index) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &file.items.fns {
+        let Some(body) = &f.body else { continue };
+        let mut env: TypeEnv = f
+            .params
+            .iter()
+            .filter(|(n, _)| !n.is_empty())
+            .cloned()
+            .collect();
+        if let Some(self_ty) = &f.self_ty {
+            env.insert("self".to_string(), self_ty.clone());
+        }
+        collect_let_types(&body.trees, &mut env);
+        scan(&body.trees, file, index, &env, &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out.dedup();
+    out
+}
+
+/// Records `let [mut] name: Type = …` ascriptions, recursively.
+fn collect_let_types(trees: &[Tree], env: &mut TypeEnv) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            collect_let_types(&g.trees, env);
+            continue;
+        }
+        if !t.is_ident("let") {
+            continue;
+        }
+        let mut j = k + 1;
+        if trees.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = trees
+            .get(j)
+            .and_then(Tree::leaf)
+            .filter(|t| t.kind == Kind::Ident)
+        else {
+            continue;
+        };
+        if !trees.get(j + 1).is_some_and(|t| t.is_punct(":")) {
+            // No ascription — a suffixed literal initializer still names
+            // its type (`let mut pos = 0usize;`).
+            if trees.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+                if let Some(lit) = trees
+                    .get(j + 2)
+                    .and_then(Tree::leaf)
+                    .filter(|t| t.kind == Kind::Int)
+                {
+                    if trees.get(j + 3).is_some_and(|t| t.is_punct(";")) {
+                        const SUFFIXES: &[&str] = &[
+                            "usize", "isize", "u128", "i128", "u16", "u32", "u64", "i16", "i32",
+                            "i64", "u8", "i8",
+                        ];
+                        if let Some(s) = SUFFIXES.iter().find(|s| lit.text.ends_with(**s)) {
+                            env.insert(name.text.clone(), (*s).to_string());
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // Type runs to `=` or `;` at angle depth 0.
+        let mut angle = 0i32;
+        let mut end = j + 2;
+        while end < trees.len() {
+            match trees[end].leaf().map(|t| t.text.as_str()) {
+                Some("<") => angle += 1,
+                Some("<<") => angle += 2,
+                Some(">") => angle -= 1,
+                Some(">>") => angle -= 2,
+                Some("=" | ";") if angle <= 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        env.insert(name.text.clone(), to_text(&trees[j + 2..end]));
+    }
+}
+
+fn scan(trees: &[Tree], file: &SourceFile, index: &Index, env: &TypeEnv, out: &mut Vec<Violation>) {
+    // Operands already flagged in this slice: an outer hop of the same
+    // cast chain (`y as i32 as usize` after `y as i32` fired) is cascade
+    // noise, not a second finding — fixing the inner cast fixes both.
+    let mut flagged: Vec<(usize, String)> = Vec::new();
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            scan(&g.trees, file, index, env, out);
+            continue;
+        }
+        if !t.is_ident("as") {
+            continue;
+        }
+        // Target type: a single identifier naming an integer type. Casts to
+        // floats, or to paths/generic types, are out of scope.
+        let Some(target_tok) = trees.get(k + 1).and_then(Tree::leaf) else {
+            continue;
+        };
+        // `foo::bar as usize`-style *paths in the target* would start with
+        // an ident too; only a bare int-type ident counts, and it must not
+        // be followed by `::` (which would make it `u8::MAX` etc.).
+        if trees.get(k + 2).is_some_and(|t| t.is_punct("::")) {
+            continue;
+        }
+        let Some((tbits, tsigned)) = int_width(&target_tok.text) else {
+            continue;
+        };
+        let line = t.leaf().map_or(0, |tok| tok.line);
+        let (operand, op_start) = operand_extent(trees, k);
+        let verdict = classify(&trees[op_start..k], index, env, tbits, tsigned);
+        let ok = match verdict {
+            Operand::Bool | Operand::Float | Operand::Bounded => true,
+            Operand::Int(bits, signed) => fits(bits, signed, tbits, tsigned),
+            Operand::Unknown => false,
+        };
+        if ok || file.is_allowed(line, "cast") {
+            continue;
+        }
+        if flagged
+            .iter()
+            .any(|(l, op)| *l == line && operand.starts_with(&format!("{op} as ")))
+        {
+            continue;
+        }
+        flagged.push((line, operand.clone()));
+        let why = match verdict {
+            Operand::Int(bits, signed) => format!(
+                "{}{bits}→{}{tbits} {} cast",
+                if signed { "i" } else { "u" },
+                if tsigned { "i" } else { "u" },
+                if bits > tbits {
+                    "narrowing"
+                } else {
+                    "sign-changing"
+                }
+            ),
+            _ => "operand range unprovable".to_string(),
+        };
+        out.push(Violation::new(
+            "cast-safety",
+            &file.path,
+            line + 1,
+            format!(
+                "`{} as {}` ({why}): use `{}::from` (widening), `{}::try_from` + CodecError (range check), a mask/clamp (intentional truncation), or lint:allow(cast)",
+                operand, target_tok.text, target_tok.text, target_tok.text
+            ),
+        ));
+    }
+}
+
+/// Whether a source int of `(bits, signed)` always fits `(tbits, tsigned)`.
+fn fits(bits: u32, signed: bool, tbits: u32, tsigned: bool) -> bool {
+    if signed == tsigned {
+        tbits >= bits
+    } else if signed {
+        false // signed → unsigned: negative values wrap at any width
+    } else {
+        tbits > bits // unsigned → signed needs strictly more bits
+    }
+}
+
+/// Finds the operand extent of the `as` at `k`: the postfix-expression
+/// chain immediately to its left. Returns `(display_text, start_index)`.
+///
+/// Walks right-to-left consuming one *primary* (ident, literal, or group)
+/// per step, then continues only through chain links: `.`/`::` connectors,
+/// an ident directly before a just-consumed `(`/`[` group (a call or
+/// index), or a previous `as` (cast chains like `x as u8 as u32`).
+fn operand_extent(trees: &[Tree], k: usize) -> (String, usize) {
+    const STOP: &[&str] = &[
+        "let", "return", "in", "if", "else", "match", "while", "mut", "move", "break", "continue",
+        "ref",
+    ];
+    let mut start = k;
+    loop {
+        // Postfix `?` belongs to the chain (`f()? as u64`).
+        while start.checked_sub(1).is_some_and(|i| trees[i].is_punct("?")) {
+            start -= 1;
+        }
+        // Consume one primary.
+        let Some(prev) = start.checked_sub(1).map(|i| &trees[i]) else {
+            break;
+        };
+        let consumed_group = prev.group().is_some();
+        match prev {
+            Tree::Group(_) => start -= 1,
+            Tree::Leaf(tok) => match tok.kind {
+                Kind::Ident if !STOP.contains(&tok.text.as_str()) && tok.text != "as" => {
+                    start -= 1;
+                }
+                Kind::Int | Kind::Float | Kind::Char | Kind::Str => start -= 1,
+                _ => break,
+            },
+        }
+        // Continue only through a chain link.
+        let Some(left) = start.checked_sub(1).map(|i| &trees[i]) else {
+            break;
+        };
+        let link = match left {
+            Tree::Leaf(t) if t.text == "." || t.text == "::" => {
+                start -= 1; // consume the connector, loop for next primary
+                true
+            }
+            Tree::Leaf(t) if t.is_ident("as") => {
+                start -= 1; // cast chain: include `as` and its left arm
+                true
+            }
+            Tree::Leaf(t) if t.kind == Kind::Ident && consumed_group => {
+                // call name before `(…)` — consumed on next iteration as a
+                // primary; signal continuation without consuming here.
+                !STOP.contains(&t.text.as_str())
+            }
+            _ => false,
+        };
+        if !link {
+            break;
+        }
+    }
+    (to_text(&trees[start..k]), start)
+}
+
+/// Classifies the operand trees against the target `(tbits, tsigned)`.
+fn classify(operand: &[Tree], index: &Index, env: &TypeEnv, tbits: u32, tsigned: bool) -> Operand {
+    // Trailing `?` unwraps a Result; the chain's value is the Ok type,
+    // which `ty_to_operand` extracts from the callee's return.
+    let mut operand = operand;
+    while operand.last().is_some_and(|t| t.is_punct("?")) {
+        operand = &operand[..operand.len() - 1];
+    }
+    if operand.is_empty() {
+        return Operand::Unknown;
+    }
+    let target_range = int_range(tbits, tsigned);
+
+    // Cast chain: `… as ty2`. If the inner operand provably fits `ty2`,
+    // the hop preserves the value and the chain is judged by the inner
+    // operand directly (`c as u64` of a `u32` still holds a u32 value);
+    // otherwise the hop may wrap and the chain is a full-range `ty2`.
+    if operand.len() >= 2 {
+        if let (Some(prev), Some(tytok)) = (
+            operand[operand.len() - 2].leaf(),
+            operand[operand.len() - 1].leaf(),
+        ) {
+            if prev.is_ident("as") {
+                if is_float_ty(&tytok.text) {
+                    return Operand::Float;
+                }
+                if let Some((b, s)) = int_width(&tytok.text) {
+                    let inner = &operand[..operand.len() - 2];
+                    let hop = classify(inner, index, env, b, s);
+                    let preserved = match hop {
+                        Operand::Bool | Operand::Bounded | Operand::Float => true,
+                        Operand::Int(ib, is) => fits(ib, is, b, s),
+                        Operand::Unknown => false,
+                    };
+                    if preserved {
+                        return classify(inner, index, env, tbits, tsigned);
+                    }
+                    return Operand::Int(b, s);
+                }
+            }
+        }
+    }
+
+    // Single-token operands.
+    if operand.len() == 1 {
+        match &operand[0] {
+            Tree::Leaf(tok) => match tok.kind {
+                Kind::Int => {
+                    return literal_value(&tok.text).map_or(Operand::Unknown, |v| {
+                        if target_range.contains(&v) {
+                            Operand::Bounded
+                        } else {
+                            Operand::Unknown
+                        }
+                    });
+                }
+                Kind::Float => return Operand::Float,
+                Kind::Ident if tok.text == "true" || tok.text == "false" => {
+                    return Operand::Bool;
+                }
+                Kind::Ident => {
+                    if let Some(ty) = env.get(&tok.text) {
+                        return ty_to_operand(ty);
+                    }
+                    if let Some(ty) = index.const_types.get(&tok.text) {
+                        return ty_to_operand(ty);
+                    }
+                    return Operand::Unknown;
+                }
+                _ => return Operand::Unknown,
+            },
+            Tree::Group(g) => {
+                // Parenthesized expression: bool comparisons, bounding
+                // operators, or a plain wrapped operand.
+                let inner = &g.trees;
+                if has_top_level_bool_op(inner) {
+                    return Operand::Bool;
+                }
+                if let Some(op) = bounded_by_binary(inner, tbits, tsigned) {
+                    return op;
+                }
+                return classify(inner, index, env, tbits, tsigned);
+            }
+        }
+    }
+
+    // Postfix chains: judge by the final element.
+    let last = &operand[operand.len() - 1];
+    match last {
+        // `… .name` field access (no call parens).
+        Tree::Leaf(tok) if tok.kind == Kind::Ident => {
+            let is_field = operand.len() >= 2 && operand[operand.len() - 2].is_punct(".");
+            let is_path = operand.len() >= 2 && operand[operand.len() - 2].is_punct("::");
+            if is_path {
+                // `Type::CONST` / `Enum::Variant`: `u8::MAX` style resolves
+                // via the leading type; consts resolve via the index.
+                if let Some(head) = operand.first().and_then(Tree::leaf) {
+                    if matches!(tok.text.as_str(), "MAX" | "MIN") {
+                        if let Some((b, s)) = int_width(&head.text) {
+                            return Operand::Int(b, s);
+                        }
+                    }
+                }
+                if let Some(ty) = index.const_types.get(&tok.text) {
+                    return ty_to_operand(ty);
+                }
+                return Operand::Unknown;
+            }
+            if is_field {
+                return field_operand(&tok.text, index);
+            }
+            Operand::Unknown
+        }
+        // `… name(…)` / `… .name(…)` call: bounding methods first, then
+        // return-type resolution.
+        Tree::Group(g) if g.delim == '(' => {
+            let Some(name_tok) = operand
+                .get(operand.len().wrapping_sub(2))
+                .and_then(Tree::leaf)
+                .filter(|t| t.kind == Kind::Ident)
+            else {
+                return Operand::Unknown;
+            };
+            match name_tok.text.as_str() {
+                "min" => {
+                    if let Some(v) = bound_value(&g.trees) {
+                        // An upper bound inside the target range proves the
+                        // top end; the bottom end is the operand's own
+                        // floor, which `min` preserves — negative sources
+                        // remain the caller's responsibility and are why
+                        // `clamp` is the preferred spelling.
+                        if v <= *target_range.end() && (tsigned || v >= 0) {
+                            return Operand::Bounded;
+                        }
+                    }
+                    Operand::Unknown
+                }
+                "clamp" => {
+                    let bounds = split_args(&g.trees);
+                    if bounds.len() == 2 {
+                        if let (Some(lo), Some(hi)) =
+                            (bound_value(&bounds[0]), bound_value(&bounds[1]))
+                        {
+                            if target_range.contains(&lo) && target_range.contains(&hi) {
+                                return Operand::Bounded;
+                            }
+                        }
+                    }
+                    Operand::Unknown
+                }
+                // Known-width std methods.
+                "len" | "count" | "capacity" => Operand::Int(64, false), // usize
+                "leading_zeros" | "trailing_zeros" | "count_ones" | "count_zeros" => {
+                    Operand::Int(32, false)
+                }
+                // Known-float std methods (saturating casts).
+                "round" | "floor" | "ceil" | "trunc" | "sqrt" | "powf" | "powi" | "exp" | "ln"
+                | "log2" | "log10" | "abs_f" | "signum" | "hypot" | "mul_add" => Operand::Float,
+                name => {
+                    // Resolve through the workspace index: safe only when
+                    // every (unambiguous) candidate's return type fits.
+                    // `recv.name(…)` with a receiver of known type keeps
+                    // only that type's methods, so same-named methods on
+                    // other types cannot poison the resolution.
+                    let mut ids: Vec<usize> = index.resolve(name).to_vec();
+                    if let Some(recv_ty) = receiver_type(operand, env) {
+                        let filtered: Vec<usize> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                index.fns[id].item.self_ty.as_deref().is_some_and(|t| {
+                                    t.split_whitespace().last() == Some(recv_ty.as_str())
+                                })
+                            })
+                            .collect();
+                        if !filtered.is_empty() {
+                            ids = filtered;
+                        }
+                    }
+                    let ids = &ids[..];
+                    if ids.is_empty() || ids.len() > 3 {
+                        return Operand::Unknown;
+                    }
+                    let mut acc: Option<Operand> = None;
+                    for &id in ids {
+                        let Some(ret) = index.fns[id].item.ret.as_deref() else {
+                            return Operand::Unknown;
+                        };
+                        let op = ty_to_operand(ret);
+                        if op == Operand::Unknown {
+                            return Operand::Unknown;
+                        }
+                        acc = Some(match acc {
+                            None => op,
+                            Some(prev) if prev == op => op,
+                            Some(Operand::Int(b1, s1)) => {
+                                if let Operand::Int(b2, s2) = op {
+                                    Operand::Int(b1.max(b2), s1 || s2)
+                                } else {
+                                    return Operand::Unknown;
+                                }
+                            }
+                            Some(_) => return Operand::Unknown,
+                        });
+                    }
+                    acc.unwrap_or(Operand::Unknown)
+                }
+            }
+        }
+        // `name[…]` index: resolves when the base is a slice/array/Vec of
+        // ints in the environment.
+        Tree::Group(g) if g.delim == '[' && operand.len() == 2 => {
+            let base = operand[0].leaf().filter(|t| t.kind == Kind::Ident);
+            base.and_then(|b| env.get(&b.text))
+                .map_or(Operand::Unknown, |ty| element_operand(ty))
+        }
+        Tree::Group(_) => Operand::Unknown,
+        Tree::Leaf(_) => Operand::Unknown,
+    }
+}
+
+/// The bare receiver type of a `recv.name(…)` operand, when `recv` is a
+/// plain identifier (or `self`) with a known non-generic type.
+fn receiver_type(operand: &[Tree], env: &TypeEnv) -> Option<String> {
+    if operand.len() != 4 || !operand[1].is_punct(".") {
+        return None;
+    }
+    let recv = operand[0].leaf().filter(|t| t.kind == Kind::Ident)?;
+    let ty = env.get(&recv.text)?;
+    if ty.contains('<') {
+        return None;
+    }
+    let bare = ty.split_whitespace().last()?.trim_start_matches('&');
+    if !bare.is_empty() && bare.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        Some(bare.to_string())
+    } else {
+        None
+    }
+}
+
+/// Maps a compact type string to an operand classification.
+///
+/// `Result<T, E>` classifies as `T`: a cast on a Result-returning call
+/// only compiles after `?` (or an unwrapping method), so by the time the
+/// cast sees the value it holds the Ok type.
+fn ty_to_operand(ty: &str) -> Operand {
+    let ty = ty.trim_start_matches('&').trim();
+    if let Some(rest) = ty.strip_prefix("Result") {
+        if let Some(inner) = rest.trim_start().strip_prefix('<') {
+            let end = inner.find([',', '>']).unwrap_or(inner.len());
+            return ty_to_operand(inner[..end].trim());
+        }
+    }
+    if let Some((b, s)) = int_width(ty) {
+        return Operand::Int(b, s);
+    }
+    if is_float_ty(ty) {
+        return Operand::Float;
+    }
+    if ty == "bool" {
+        return Operand::Bool;
+    }
+    Operand::Unknown
+}
+
+/// The element classification of an indexable type: `&[u8]`, `[i16; 64]`,
+/// and `Vec<u8>` all index to their element.
+fn element_operand(ty: &str) -> Operand {
+    let t = ty.replace(' ', "");
+    let t = t.trim_start_matches('&');
+    let inner = if let Some(r) = t.strip_prefix('[') {
+        r.split([';', ']']).next()
+    } else if let Some(r) = t.strip_prefix("Vec<") {
+        r.split('>').next()
+    } else {
+        None
+    };
+    inner.map_or(Operand::Unknown, ty_to_operand)
+}
+
+/// Field lookup: safe only when every struct field with this name agrees.
+fn field_operand(name: &str, index: &Index) -> Operand {
+    let Some(tys) = index.field_types.get(name) else {
+        return Operand::Unknown;
+    };
+    let mut acc: Option<Operand> = None;
+    for ty in tys {
+        let op = ty_to_operand(ty);
+        if op == Operand::Unknown {
+            return Operand::Unknown;
+        }
+        acc = Some(match acc {
+            None => op,
+            Some(prev) if prev == op => op,
+            Some(Operand::Int(b1, s1)) => {
+                if let Operand::Int(b2, s2) = op {
+                    Operand::Int(b1.max(b2), s1 || s2)
+                } else {
+                    return Operand::Unknown;
+                }
+            }
+            Some(_) => return Operand::Unknown,
+        });
+    }
+    acc.unwrap_or(Operand::Unknown)
+}
+
+/// The inclusive value range of an integer type (approximated as i128).
+fn int_range(bits: u32, signed: bool) -> std::ops::RangeInclusive<i128> {
+    if signed {
+        let half = 1i128 << (bits - 1);
+        -half..=half - 1
+    } else if bits >= 127 {
+        0..=i128::MAX
+    } else {
+        0..=(1i128 << bits) - 1
+    }
+}
+
+/// Parses an integer literal (decimal/hex/octal/binary, `_` separators,
+/// optional type suffix) to its value.
+fn literal_value(text: &str) -> Option<i128> {
+    let t = text.replace('_', "");
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let digits: String = digits
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() && (radix == 16 || c.is_ascii_digit()))
+        .collect();
+    // Strip a type suffix glued onto hex digits (`0xFFu32`).
+    let digits = if radix == 16 {
+        let stripped = [
+            "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+        ]
+        .iter()
+        .find_map(|s| digits.strip_suffix(s));
+        stripped.map_or(digits.clone(), str::to_string)
+    } else {
+        digits
+    };
+    i128::from_str_radix(&digits, radix).ok()
+}
+
+/// A bound literal: an int/float literal or `Ty::MAX`/`Ty::MIN` (floats
+/// round toward the conservative side).
+fn bound_value(trees: &[Tree]) -> Option<i128> {
+    let trees: &[Tree] = if trees.len() == 1 {
+        if let Some(g) = trees[0].group() {
+            &g.trees
+        } else {
+            trees
+        }
+    } else {
+        trees
+    };
+    match trees {
+        [Tree::Leaf(t)] if t.kind == Kind::Int => literal_value(&t.text),
+        [Tree::Leaf(t)] if t.kind == Kind::Float => {
+            let v: f64 = t
+                .text
+                .trim_end_matches("f64")
+                .trim_end_matches("f32")
+                .trim_end_matches('_')
+                .parse()
+                .ok()?;
+            if v.is_finite() && v.abs() < 1e18 {
+                #[allow(clippy::cast_possible_truncation)]
+                Some(v.ceil() as i128)
+            } else {
+                None
+            }
+        }
+        [Tree::Leaf(neg), rest @ ..] if neg.is_punct("-") => bound_value(rest).map(|v| -v),
+        [Tree::Leaf(ty), Tree::Leaf(colons), Tree::Leaf(bound)] if colons.is_punct("::") => {
+            let (bits, signed) = int_width(&ty.text)?;
+            let range = int_range(bits, signed);
+            match bound.text.as_str() {
+                "MAX" => Some(*range.end()),
+                "MIN" => Some(*range.start()),
+                _ => None,
+            }
+        }
+        // `Ty::MAX as f64` and similar: the cast does not change the bound.
+        [head @ .., Tree::Leaf(a), Tree::Leaf(_ty)] if a.is_ident("as") => bound_value(head),
+        _ => None,
+    }
+}
+
+/// Splits a group's trees on top-level commas.
+fn split_args(trees: &[Tree]) -> Vec<Vec<Tree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in trees {
+        if t.is_punct(",") {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether the trees contain a top-level boolean-producing operator.
+fn has_top_level_bool_op(trees: &[Tree]) -> bool {
+    let mut angle_guard = 0i32; // avoid reading generic args as comparisons
+    for t in trees {
+        let Some(tok) = t.leaf() else { continue };
+        match tok.text.as_str() {
+            "==" | "!=" | "<=" | ">=" | "&&" | "||" => return true,
+            "<" => angle_guard += 1,
+            ">" => {
+                if angle_guard == 0 {
+                    return true;
+                }
+                angle_guard -= 1;
+            }
+            _ => {}
+        }
+    }
+    // An unmatched `<` at top level is a comparison, not generics.
+    angle_guard > 0
+}
+
+/// Binary bounding inside a parenthesized operand: `x % lit`, `x & lit`
+/// (value bound) fitting the target.
+fn bounded_by_binary(trees: &[Tree], tbits: u32, tsigned: bool) -> Option<Operand> {
+    let range = int_range(tbits, tsigned);
+    for (k, t) in trees.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        let bound = match tok.text.as_str() {
+            // `x % m` yields |result| < m; safe when `m - 1` fits and the
+            // left side cannot be negative is unknowable, so require the
+            // target to hold `-(m-1)..=m-1` for signed sources.
+            "%" => bound_value(&trees[k + 1..]).map(|m| m - 1),
+            // `x & m` yields 0..=m for non-negative m.
+            "&" => bound_value(&trees[k + 1..]),
+            _ => continue,
+        };
+        if let Some(b) = bound {
+            let lo = if tok.text == "%" { -b } else { 0 };
+            if range.contains(&b) && (range.contains(&lo) || *range.start() == 0 && lo <= 0) {
+                // For unsigned targets a negative remainder would wrap; `%`
+                // on usize-typed math (the common case: index math) cannot
+                // go negative. Accept, documented as trust in masking.
+                return Some(Operand::Bounded);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile, Workspace};
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_with(&[("crates/demo/src/lib.rs", src)])
+    }
+
+    fn check_with(files: &[(&str, &str)]) -> Vec<Violation> {
+        let srcs: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::from_contents(p, s))
+            .collect();
+        let ws = Workspace {
+            crates: vec![CrateSrc::from_parts(
+                "demo",
+                "[package]\nname = \"demo\"\n",
+                srcs,
+            )],
+        };
+        let index = ws.build_index();
+        let mut out = Vec::new();
+        for f in ws.files() {
+            out.extend(check_file(f, &index));
+        }
+        out
+    }
+
+    #[test]
+    fn unprovable_narrowing_is_flagged() {
+        let v = check("fn f(x: u32) -> u8 { x as u8 }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("u32"), "{}", v[0].message);
+        assert!(v[0].message.contains("narrowing"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn sign_changes_are_flagged() {
+        let v = check("fn f(x: i32, y: u32) -> usize { (x as usize) + (x as u32 as usize) + (y as i32 as usize) }\n");
+        // `x as usize` (i32→u64-equivalent) and `x as u32` change sign;
+        // `y as i32` (u32→i32) is same-width sign-changing.
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn widening_and_same_type_are_quiet() {
+        let v = check(
+            "fn f(a: u8, b: i16, c: u32) -> i64 {\n    (a as u32 as i64) + (b as i64) + (c as u64 as i64) + (a as usize as i64)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn literal_bool_and_bounded_operands_are_quiet() {
+        let v = check(
+            "fn f(x: usize, v: i32, s: f64) -> u8 {\n    let a = 255 as u8;\n    let b = (x % 256) as u8;\n    let c = (x & 0xFF) as u8;\n    let d = (v == 0) as u8;\n    let e = true as u8;\n    let g = v.clamp(-100, 100) as i8;\n    let h = s.round() as u8;\n    a + b + c + d + e + g + h\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn oversized_literal_and_bad_clamp_are_flagged() {
+        let v = check(
+            "fn f(v: i32) -> u8 {\n    let a = 300 as u8;\n    let b = v.clamp(-1, 255) as u8;\n    a + b\n}\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn index_resolves_return_types_across_files() {
+        let v = check_with(&[
+            (
+                "crates/demo/src/frame.rs",
+                "pub struct Frame { w: usize }\nimpl Frame {\n    pub fn get(&self, x: usize) -> u8 { 0 }\n    pub fn wide(&self) -> u64 { 0 }\n}\n",
+            ),
+            (
+                "crates/demo/src/user.rs",
+                "fn f(fr: &super::Frame) -> i32 {\n    let ok = fr.get(0) as i32;\n    let bad = fr.wide() as i32;\n    ok + bad\n}\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("wide"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn struct_fields_and_consts_resolve() {
+        let v = check(
+            "pub struct Mv { pub dx: i8 }\npub const LIMIT: u16 = 9;\nfn f(m: &Mv) -> i32 { (m.dx as i32) + (LIMIT as i32) }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn len_is_usize_and_flagged_when_narrowed() {
+        let v = check("fn f(v: &[u8]) -> u32 { v.len() as u32 }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v = check("fn f(v: &[u8]) -> u64 { v.len() as u64 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn min_with_fitting_bound_is_quiet_for_signed_targets() {
+        let v = check(
+            "fn f(mag: f64) -> i32 { mag.min(i32::MAX as f64) as i32 }\nfn g(x: usize) -> u16 { x.min(1000) as u16 }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let v = check(
+            "fn f(x: u32) -> u8 {\n    // lint:allow(cast): mode index is < 35 by construction\n    x as u8\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn typed_lets_resolve() {
+        let v = check(
+            "fn f() -> u32 {\n    let idx: u8 = 3;\n    let big: u64 = 4;\n    (idx as u32) + (big as u32)\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("big"), "{}", v[0].message);
+    }
+}

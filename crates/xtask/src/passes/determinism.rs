@@ -1,0 +1,243 @@
+//! Determinism pass: cross-rank bit-exactness hazards in codec paths.
+//!
+//! The paper's pipeline (and VcLLM's training-loop usage) requires the
+//! encoder and decoder to be bit-exact across machines and across the
+//! ranks of `distrib`'s data-parallel simulator: every rank re-encodes
+//! the same tensor and must produce the same bytes. Three std features
+//! silently break that:
+//!
+//! - `HashMap`/`HashSet` (and `RandomState`/`DefaultHasher`) — iteration
+//!   order is randomized per process, so any encode decision derived from
+//!   it differs between ranks;
+//! - `SystemTime`/`Instant` — wall-clock-derived values differ per run;
+//! - thread-count-dependent parallelism (`available_parallelism`,
+//!   `spawn`-based reductions) — float accumulation order, and therefore
+//!   rounding, depends on the machine.
+//!
+//! The pass computes the call-graph closure of every `encode*`/`decode*`/
+//! `quantize*`-family function in the workspace (via the AST engine's
+//! index) and denies those tokens anywhere inside it. Sites that are
+//! provably order-independent carry `// lint:allow(determinism): <why>`.
+//! Use `BTreeMap`/`BTreeSet`, a sorted `Vec`, seeded `rng::Pcg32`, and
+//! fixed-order reductions instead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::index::Index;
+use crate::ast::lex::Kind;
+use crate::ast::tree::Tree;
+use crate::report::Violation;
+use crate::source::{SourceFile, Workspace};
+
+/// Function-name prefixes whose call graphs must be deterministic.
+pub const ROOT_PREFIXES: &[&str] = &[
+    "encode",
+    "decode",
+    "quantize",
+    "dequantize",
+    "compress",
+    "decompress",
+];
+
+/// Crates exempt from root collection (tooling, not codec paths).
+const EXEMPT_CRATES: &[&str] = &["xtask", "llm265-bench"];
+
+/// Identifiers that introduce nondeterminism.
+const BANNED: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized per process"),
+    ("HashSet", "iteration order is randomized per process"),
+    ("RandomState", "hash seeds differ per process"),
+    ("DefaultHasher", "hash seeds differ per process"),
+    ("SystemTime", "wall-clock values differ per run"),
+    ("Instant", "wall-clock values differ per run"),
+    (
+        "available_parallelism",
+        "thread count changes reduction order",
+    ),
+    ("spawn", "thread scheduling changes reduction order"),
+];
+
+/// How many same-name candidates a call may resolve to before the edge is
+/// considered unresolvable (guards against `new`-style fan-out).
+const MAX_CANDIDATES: usize = 3;
+
+/// Runs the determinism audit over the whole workspace.
+pub fn check_workspace(ws: &Workspace, index: &Index) -> Vec<Violation> {
+    // Roots: every fn in a non-exempt crate whose name starts with a codec
+    // prefix.
+    let roots: Vec<usize> = index
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !EXEMPT_CRATES.contains(&e.krate.as_str()))
+        .filter(|(_, e)| ROOT_PREFIXES.iter().any(|p| e.item.name.starts_with(p)))
+        .map(|(i, _)| i)
+        .collect();
+
+    // BFS with first-discovery predecessors so findings can explain *why*
+    // a function is on a codec path.
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+    let mut frontier = roots.clone();
+    while let Some(id) = frontier.pop() {
+        for call in &index.fns[id].calls {
+            let targets = index.resolve(call);
+            if targets.is_empty() || targets.len() > MAX_CANDIDATES {
+                continue;
+            }
+            for &t in targets {
+                if seen.insert(t) {
+                    prev.insert(t, id);
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+
+    let by_path: BTreeMap<&str, &SourceFile> = ws.files().map(|f| (f.path.as_str(), f)).collect();
+
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(String, usize, &str)> = BTreeSet::new();
+    for &id in &seen {
+        let entry = &index.fns[id];
+        if EXEMPT_CRATES.contains(&entry.krate.as_str()) {
+            continue;
+        }
+        let Some(file) = by_path.get(entry.path.as_str()) else {
+            continue;
+        };
+        let Some(body) = &entry.item.body else {
+            continue;
+        };
+        let chain = chain_text(index, &prev, id);
+        scan_banned(
+            &body.trees,
+            file,
+            &entry.item.name,
+            &chain,
+            &mut reported,
+            &mut out,
+        );
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Root→fn breadcrumb like `encode_frame → rd_search → pick_mode`.
+fn chain_text(index: &Index, prev: &BTreeMap<usize, usize>, mut id: usize) -> String {
+    let mut names = vec![index.fns[id].item.name.clone()];
+    while let Some(&p) = prev.get(&id) {
+        names.push(index.fns[p].item.name.clone());
+        id = p;
+        if names.len() > 8 {
+            names.push("…".to_string());
+            break;
+        }
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+fn scan_banned<'t>(
+    trees: &'t [Tree],
+    file: &SourceFile,
+    fn_name: &str,
+    chain: &str,
+    reported: &mut BTreeSet<(String, usize, &'t str)>,
+    out: &mut Vec<Violation>,
+) {
+    for t in trees {
+        if let Tree::Group(g) = t {
+            scan_banned(&g.trees, file, fn_name, chain, reported, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let Some((name, why)) = BANNED.iter().find(|(b, _)| tok.text == *b) else {
+            continue;
+        };
+        if file.is_allowed(tok.line, "determinism") {
+            continue;
+        }
+        if !reported.insert((file.path.clone(), tok.line, name)) {
+            continue;
+        }
+        out.push(Violation::new(
+            "determinism",
+            &file.path,
+            tok.line + 1,
+            format!(
+                "`{name}` in `{fn_name}` (codec path: {chain}): {why}; use BTreeMap/BTreeSet, sorted Vec, or fixed-order reduction, or justify with lint:allow(determinism)"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    fn ws(files: &[(&str, &str)]) -> (Workspace, Index) {
+        let srcs: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::from_contents(p, s))
+            .collect();
+        let ws = Workspace {
+            crates: vec![CrateSrc::from_parts(
+                "demo",
+                "[package]\nname = \"demo\"\n",
+                srcs,
+            )],
+        };
+        let index = ws.build_index();
+        (ws, index)
+    }
+
+    #[test]
+    fn hashmap_on_encode_path_is_flagged_transitively() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "use std::collections::HashMap;\n\
+             pub fn encode_frame() { helper() }\n\
+             fn helper() { let m: HashMap<u8, u8> = HashMap::new(); m.len(); }\n\
+             fn unrelated() { let m: HashMap<u8, u8> = HashMap::new(); m.len(); }\n",
+        )]);
+        let v = check_workspace(&ws, &idx);
+        // Two HashMap mentions on one line in `helper` dedupe to one per
+        // line; `unrelated` and the `use` line never fire.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("encode_frame → helper"));
+    }
+
+    #[test]
+    fn wall_clock_and_threads_are_flagged() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn quantize_block() {\n    let t = Instant::now();\n    let n = available_parallelism();\n}\n",
+        )]);
+        let v = check_workspace(&ws, &idx);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn off_path_and_allowed_sites_are_quiet() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn bench_harness() { let t = Instant::now(); }\n\
+             pub fn decode_x() {\n    // lint:allow(determinism): scratch map, drained in sorted order\n    let m = HashMap::new();\n}\n",
+        )]);
+        assert!(check_workspace(&ws, &idx).is_empty());
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn encode_x() { let m: std::collections::BTreeMap<u8,u8> = Default::default(); m.len(); }\n",
+        )]);
+        assert!(check_workspace(&ws, &idx).is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! Error-discipline pass: dropped `Result`s and transitive panic reach.
+//!
+//! The panic-freedom pass checks what a decode path does *locally*; this
+//! pass checks what it does with its errors and what its callees do. Three
+//! checks, all driven by the workspace index:
+//!
+//! 1. **Dropped results** — `let _ = f(…)` where every definition of `f`
+//!    in the workspace returns `Result`. A codec that throws away an
+//!    `Err(Truncated)` keeps parsing garbage; bind and propagate it.
+//! 2. **Ignored statement calls** — `f(…);` in statement position where
+//!    every definition of `f` returns `Result` or is `#[must_use]`.
+//!    rustc only warns here (and only for `#[must_use]`); the gate fails.
+//! 3. **Transitive panic reach** — a `decode*`/`parse*`/`read*`/
+//!    `decompress*` function in a panic-free crate calls (possibly through
+//!    several hops) a function in an *unaudited* crate that can panic.
+//!    The finding carries the call chain so the report explains how
+//!    untrusted bytes reach the panic.
+//!
+//! Justified sites carry `// lint:allow(error): <reason>` (checks 1–2) or
+//! `// lint:allow(panic): <reason>` at the panicking site (check 3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::index::Index;
+use crate::ast::lex::Kind;
+use crate::ast::tree::Tree;
+use crate::passes::panic_free::{DECODE_PREFIXES, DENIED_MACROS};
+use crate::report::Violation;
+use crate::source::{SourceFile, Workspace};
+
+/// Same ambiguity cap as the other index-driven passes.
+const MAX_CANDIDATES: usize = 3;
+
+/// Runs all three checks over the workspace. `panic_free_crates` are the
+/// crates the panic-freedom pass already audits directly; check 3 looks at
+/// their callees *outside* that set.
+pub fn check_workspace(
+    ws: &Workspace,
+    index: &Index,
+    panic_free_crates: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for krate in &ws.crates {
+        // The gate does not lint itself for dropped values: report
+        // rendering deliberately ignores `fmt::Write` results.
+        if krate.name == "xtask" {
+            continue;
+        }
+        for file in &krate.files {
+            check_dropped(file, index, &mut out);
+        }
+    }
+    check_panic_reach(ws, index, panic_free_crates, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Whether every workspace definition of `name` returns `Result` — the
+/// resolution must be unambiguous (1..=MAX candidates, all agreeing).
+fn all_return_result(index: &Index, name: &str) -> bool {
+    let targets = index.resolve(name);
+    if targets.is_empty() || targets.len() > MAX_CANDIDATES {
+        return false;
+    }
+    targets.iter().all(|&t| {
+        index.fns[t]
+            .item
+            .ret
+            .as_deref()
+            .is_some_and(|r| r.contains("Result"))
+    })
+}
+
+/// Whether every workspace definition of `name` is `#[must_use]`.
+fn all_must_use(index: &Index, name: &str) -> bool {
+    let targets = index.resolve(name);
+    if targets.is_empty() || targets.len() > MAX_CANDIDATES {
+        return false;
+    }
+    targets.iter().all(|&t| {
+        index.fns[t]
+            .item
+            .attrs
+            .iter()
+            .any(|a| a.contains("must_use"))
+    })
+}
+
+/// Checks 1 and 2: scans every block for `let _ = …;` discards and
+/// statement-position calls whose value vanishes.
+fn check_dropped(file: &SourceFile, index: &Index, out: &mut Vec<Violation>) {
+    scan_block(&file.trees, file, index, out);
+}
+
+fn scan_block(trees: &[Tree], file: &SourceFile, index: &Index, out: &mut Vec<Violation>) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            scan_block(&g.trees, file, index, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+
+        // Check 1: `let _ = <expr> ;` — find the last call name in the
+        // discarded expression.
+        if tok.kind == Kind::Ident
+            && tok.text == "let"
+            && trees.get(k + 1).is_some_and(|t| t.is_ident("_"))
+            && trees.get(k + 2).is_some_and(|t| t.is_punct("="))
+        {
+            let stmt_end = trees[k + 3..]
+                .iter()
+                .position(|t| t.is_punct(";"))
+                .map_or(trees.len(), |p| k + 3 + p);
+            if let Some((name, line)) = last_call_in(&trees[k + 3..stmt_end]) {
+                if all_return_result(index, &name) && !file.is_allowed(line, "error") {
+                    out.push(Violation::new(
+                        "error-discipline",
+                        &file.path,
+                        line + 1,
+                        format!(
+                            "`let _ = {name}(…)` drops a Result: propagate with `?`, handle the Err, or justify with lint:allow(error)"
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+
+        // Check 2: statement-position `…name(…) ;` with the value unused.
+        if tok.kind == Kind::Ident
+            && trees
+                .get(k + 1)
+                .and_then(Tree::group)
+                .is_some_and(|g| g.delim == '(')
+            && trees.get(k + 2).is_some_and(|t| t.is_punct(";"))
+            && at_statement_start(trees, k)
+        {
+            let name = tok.text.clone();
+            let is_result = all_return_result(index, &name);
+            let is_must_use = !is_result && all_must_use(index, &name);
+            if (is_result || is_must_use) && !file.is_allowed(tok.line, "error") {
+                let what = if is_result {
+                    "returns Result"
+                } else {
+                    "is #[must_use]"
+                };
+                out.push(Violation::new(
+                    "error-discipline",
+                    &file.path,
+                    tok.line + 1,
+                    format!(
+                        "call `{name}(…);` discards a value that {what}: use it, propagate with `?`, or justify with lint:allow(error)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The last `name(` call in a statement's trees, with its 0-based line.
+fn last_call_in(trees: &[Tree]) -> Option<(String, usize)> {
+    let mut found = None;
+    for (k, t) in trees.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind == Kind::Ident
+            && trees
+                .get(k + 1)
+                .and_then(Tree::group)
+                .is_some_and(|g| g.delim == '(')
+        {
+            found = Some((tok.text.clone(), tok.line));
+        }
+    }
+    found
+}
+
+/// Whether the call chain ending at `trees[k]` starts a statement: walking
+/// left over `.`/`::` links, idents, and groups must reach the block start
+/// or a `;`/`{…}`-statement boundary. `let x = f();` and `return f();`
+/// fail this (the `=`/`return` uses the value).
+fn at_statement_start(trees: &[Tree], k: usize) -> bool {
+    let mut i = k;
+    while i > 0 {
+        let prev = &trees[i - 1];
+        let links = prev.is_punct(".")
+            || prev.is_punct("::")
+            || prev.leaf().is_some_and(|t| {
+                t.kind == Kind::Ident && !matches!(t.text.as_str(), "return" | "let" | "in")
+            })
+            || matches!(prev, Tree::Group(g) if g.delim != '{');
+        if !links {
+            break;
+        }
+        i -= 1;
+    }
+    if i == 0 {
+        return true;
+    }
+    let before = &trees[i - 1];
+    before.is_punct(";") || matches!(before, Tree::Group(g) if g.delim == '{')
+}
+
+/// Check 3: decode-shaped roots in audited crates must not reach panics in
+/// unaudited crates.
+fn check_panic_reach(
+    ws: &Workspace,
+    index: &Index,
+    panic_free_crates: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    let roots: Vec<usize> = index
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| panic_free_crates.contains(&e.krate.as_str()))
+        .filter(|(_, e)| DECODE_PREFIXES.iter().any(|p| e.item.name.starts_with(p)))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let by_path: BTreeMap<&str, &SourceFile> = ws.files().map(|f| (f.path.as_str(), f)).collect();
+
+    let closure = index.reachable(&roots, MAX_CANDIDATES);
+    let mut reported: BTreeSet<(String, usize)> = BTreeSet::new();
+    for &id in &closure {
+        let entry = &index.fns[id];
+        if panic_free_crates.contains(&entry.krate.as_str()) || entry.krate == "xtask" {
+            continue;
+        }
+        let Some(file) = by_path.get(entry.path.as_str()) else {
+            continue;
+        };
+        let Some(body) = &entry.item.body else {
+            continue;
+        };
+        for (line, what) in panic_sites(&body.trees) {
+            if file.is_allowed(line, "panic") {
+                continue;
+            }
+            if !reported.insert((file.path.clone(), line)) {
+                continue;
+            }
+            let chain = roots
+                .iter()
+                .find_map(|&r| index.call_chain(r, id, MAX_CANDIDATES))
+                .map_or_else(|| entry.item.name.clone(), |c| c.join(" → "));
+            out.push(Violation::new(
+                "error-discipline",
+                &file.path,
+                line + 1,
+                format!(
+                    "{what} in `{}` is reachable from a decode path ({chain}): return an error, or justify at this site with lint:allow(panic)",
+                    entry.item.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Panicking constructs inside a body: `(0-based line, description)`.
+fn panic_sites(trees: &[Tree]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    walk_panics(trees, &mut out);
+    out
+}
+
+fn walk_panics(trees: &[Tree], out: &mut Vec<(usize, String)>) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            walk_panics(&g.trees, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let is_method = |name: &str| {
+            tok.text == name
+                && k > 0
+                && trees[k - 1].is_punct(".")
+                && trees
+                    .get(k + 1)
+                    .and_then(Tree::group)
+                    .is_some_and(|g| g.delim == '(')
+        };
+        if is_method("unwrap") || is_method("expect") {
+            out.push((tok.line, format!("`.{}(…)`", tok.text)));
+            continue;
+        }
+        if DENIED_MACROS.iter().any(|(m, _)| tok.text == *m)
+            && trees.get(k + 1).is_some_and(|t| t.is_punct("!"))
+            && trees.get(k + 2).is_some()
+        {
+            out.push((tok.line, format!("`{}!`", tok.text)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    fn ws(crates: &[(&str, &[(&str, &str)])]) -> (Workspace, Index) {
+        let crates = crates
+            .iter()
+            .map(|(name, files)| {
+                let srcs = files
+                    .iter()
+                    .map(|(p, s)| SourceFile::from_contents(p, s))
+                    .collect();
+                CrateSrc::from_parts(name, &format!("[package]\nname = \"{name}\"\n"), srcs)
+            })
+            .collect();
+        let ws = Workspace { crates };
+        let index = ws.build_index();
+        (ws, index)
+    }
+
+    #[test]
+    fn dropped_result_is_flagged() {
+        let (ws, idx) = ws(&[(
+            "demo",
+            &[(
+                "a.rs",
+                "fn fallible() -> Result<u8, ()> { Ok(0) }\n\
+                 fn caller() {\n    let _ = fallible();\n}\n\
+                 fn fine() -> Result<u8, ()> { let v = fallible()?; Ok(v) }\n",
+            )],
+        )]);
+        let v = check_workspace(&ws, &idx, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("fallible"));
+    }
+
+    #[test]
+    fn statement_call_discarding_result_or_must_use_is_flagged() {
+        let (ws, idx) = ws(&[(
+            "demo",
+            &[(
+                "a.rs",
+                "fn fallible() -> Result<u8, ()> { Ok(0) }\n\
+                 #[must_use]\nfn important() -> u8 { 1 }\n\
+                 fn plain() {}\n\
+                 fn caller() {\n    fallible();\n    important();\n    plain();\n}\n",
+            )],
+        )]);
+        let v = check_workspace(&ws, &idx, &[]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("returns Result"));
+        assert!(v[1].message.contains("must_use"));
+    }
+
+    #[test]
+    fn used_values_and_allowed_sites_are_quiet() {
+        let (ws, idx) = ws(&[(
+            "demo",
+            &[(
+                "a.rs",
+                "fn fallible() -> Result<u8, ()> { Ok(0) }\n\
+                 fn caller() -> Result<u8, ()> {\n\
+                     let x = fallible()?;\n\
+                     // lint:allow(error): best-effort flush\n\
+                     let _ = fallible();\n\
+                     if fallible().is_ok() { return fallible(); }\n\
+                     Ok(x)\n\
+                 }\n",
+            )],
+        )]);
+        let v = check_workspace(&ws, &idx, &[]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_in_unaudited_callee_is_reported_with_chain() {
+        let (ws, idx) = ws(&[
+            (
+                "hot",
+                &[(
+                    "crates/hot/src/lib.rs",
+                    "pub fn decode_block(x: u8) -> u8 { helper_math(x) }\n",
+                )],
+            ),
+            (
+                "mathlib",
+                &[(
+                    "crates/mathlib/src/lib.rs",
+                    "pub fn helper_math(x: u8) -> u8 { inner(x) }\n\
+                     fn inner(x: u8) -> u8 { checked(x).unwrap() }\n\
+                     fn checked(x: u8) -> Option<u8> { x.checked_add(1) }\n\
+                     pub fn off_path() -> u8 { None::<u8>.unwrap() }\n",
+                )],
+            ),
+        ]);
+        let v = check_workspace(&ws, &idx, &["hot"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].path.contains("mathlib"));
+        assert!(v[0].message.contains("decode_block → helper_math → inner"));
+    }
+
+    #[test]
+    fn allowed_panic_site_in_callee_is_quiet() {
+        let (ws, idx) = ws(&[
+            (
+                "hot",
+                &[(
+                    "crates/hot/src/lib.rs",
+                    "pub fn parse_x(x: u8) -> u8 { helper_math(x) }\n",
+                )],
+            ),
+            (
+                "mathlib",
+                &[(
+                    "crates/mathlib/src/lib.rs",
+                    "pub fn helper_math(x: u8) -> u8 {\n\
+                         // lint:allow(panic): x < 16 by construction\n\
+                         TABLE.get(x as usize).copied().unwrap()\n\
+                     }\nconst TABLE: [u8; 16] = [0; 16];\n",
+                )],
+            ),
+        ]);
+        let v = check_workspace(&ws, &idx, &["hot"]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,39 +1,43 @@
-//! Panic-freedom audit for decode/encode hot paths.
+//! Panic-freedom audit for decode/encode hot paths (AST-engine visitor).
 //!
 //! Codec decode paths consume untrusted bytes; a panic there is a
 //! denial-of-service bug, so hot-path crates must return `CodecError`
-//! instead. This pass denies the panicking constructs outright and
-//! additionally flags direct indexing of input-named buffers inside
-//! decode-shaped functions, where a hostile length field turns `data[i]`
-//! into a crash. `assert!` is deliberately *not* denied: programmer-error
-//! contracts on internal invariants are fine. Justified exceptions carry a
-//! `// lint:allow(panic): <reason>` marker.
+//! instead. This pass denies panicking constructs outright — as method
+//! calls (`.unwrap()` / `.expect(..)`) and macro invocations (`panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`) recognized in the token
+//! trees — and additionally flags direct indexing of input-named buffers
+//! inside decode-shaped functions, where a hostile length field turns
+//! `data[i]` into a crash. `assert!` is deliberately *not* denied:
+//! programmer-error contracts on internal invariants are fine. Justified
+//! exceptions carry a `// lint:allow(panic): <reason>` marker.
+//!
+//! See also the error-discipline pass, which extends this audit
+//! transitively through the call graph.
 
+use crate::ast::lex::Kind;
+use crate::ast::tree::Tree;
 use crate::report::Violation;
-use crate::source::{functions, line_of, SourceFile};
+use crate::source::SourceFile;
 
-/// Tokens that abort the process. `.expect(` also matches `expect_err`-free
-/// uses; `unwrap_or*` does not match because the search requires `()`.
-const DENIED: &[(&str, &str)] = &[
+/// Method names that abort the process when the receiver is `None`/`Err`.
+const DENIED_METHODS: &[(&str, &str)] = &[
+    ("unwrap", "unwrap() can panic; return a CodecError instead"),
+    ("expect", "expect() can panic; return a CodecError instead"),
+];
+
+/// Macros that abort the process.
+pub const DENIED_MACROS: &[(&str, &str)] = &[
     (
-        ".unwrap()",
-        "unwrap() can panic; return a CodecError instead",
-    ),
-    (
-        ".expect(",
-        "expect() can panic; return a CodecError instead",
-    ),
-    (
-        "panic!",
+        "panic",
         "panic! in a codec path; return a CodecError instead",
     ),
     (
-        "unreachable!",
+        "unreachable",
         "unreachable! in a codec path; prove it or return an error",
     ),
-    ("todo!", "todo! must not ship in codec paths"),
+    ("todo", "todo! must not ship in codec paths"),
     (
-        "unimplemented!",
+        "unimplemented",
         "unimplemented! must not ship in codec paths",
     ),
 ];
@@ -42,79 +46,102 @@ const DENIED: &[(&str, &str)] = &[
 const INPUT_NAMES: &[&str] = &["data", "bytes", "input", "payload", "buf", "src", "stream"];
 
 /// Function-name prefixes that mark untrusted-input parsing code.
-const DECODE_PREFIXES: &[&str] = &["decode", "parse", "decompress", "read"];
+pub const DECODE_PREFIXES: &[&str] = &["decode", "parse", "decompress", "read"];
 
-/// Runs the audit over one file's sanitized code.
+/// Runs the audit over one file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (token, why) in DENIED {
-        let mut from = 0usize;
-        while let Some(rel) = file.code[from..].find(token) {
-            let at = from + rel;
-            from = at + token.len();
-            // `!` tokens must not match inside longer identifiers
-            // (e.g. `core_panic!` or `debug_unreachable!`).
-            if !token.starts_with('.') && at > 0 {
-                let prev = file.code.as_bytes()[at - 1] as char;
-                if prev.is_alphanumeric() || prev == '_' {
-                    continue;
-                }
-            }
-            let line = line_of(&file.code, at);
-            if file.is_allowed(line, "panic") {
-                continue;
-            }
-            out.push(Violation::new(
-                "panic-freedom",
-                &file.path,
-                line + 1,
-                format!("`{token}`: {why}"),
-            ));
+    scan_denied(&file.trees, file, &mut out);
+    for f in &file.items.fns {
+        if !DECODE_PREFIXES.iter().any(|p| f.name.starts_with(p)) {
+            continue;
+        }
+        if let Some(body) = &f.body {
+            scan_indexing(&body.trees, &f.name, file, &mut out);
         }
     }
-    out.extend(check_indexing(file));
     out.sort_by_key(|v| v.line);
     out
 }
 
-/// Flags `name[...]` indexing of input-named buffers inside decode-shaped
-/// functions, where the index is attacker-influenced unless checked.
-fn check_indexing(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in functions(&file.code) {
-        if !DECODE_PREFIXES.iter().any(|p| f.name.starts_with(p)) || f.body.is_empty() {
+/// Flags denied method calls and macro invocations anywhere in the trees.
+fn scan_denied(trees: &[Tree], file: &SourceFile, out: &mut Vec<Violation>) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            scan_denied(&g.trees, file, out);
             continue;
         }
-        let body = &file.code[f.body.clone()];
-        for name in INPUT_NAMES {
-            let needle = format!("{name}[");
-            let mut from = 0usize;
-            while let Some(rel) = body[from..].find(&needle) {
-                let at = from + rel;
-                from = at + needle.len();
-                if at > 0 {
-                    let prev = body.as_bytes()[at - 1] as char;
-                    if prev.is_alphanumeric() || prev == '_' || prev == '.' {
-                        continue; // part of a longer name or a field access
-                    }
-                }
-                let line = line_of(&file.code, f.body.start + at);
-                if file.is_allowed(line, "panic") {
-                    continue;
-                }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        // `.name(…)` — denied method call.
+        if let Some((_, why)) = DENIED_METHODS.iter().find(|(m, _)| tok.text == *m) {
+            let is_method = k > 0
+                && trees[k - 1].is_punct(".")
+                && trees
+                    .get(k + 1)
+                    .and_then(Tree::group)
+                    .is_some_and(|g| g.delim == '(');
+            if is_method && !file.is_allowed(tok.line, "panic") {
                 out.push(Violation::new(
                     "panic-freedom",
                     &file.path,
-                    line + 1,
-                    format!(
-                        "indexing `{name}[..]` in `{}`: use `.get(..)` and return Truncated/Corrupt",
-                        f.name
-                    ),
+                    tok.line + 1,
+                    format!("`.{}(…)`: {why}", tok.text),
+                ));
+            }
+            continue;
+        }
+        // `name!(…)` — denied macro.
+        if let Some((_, why)) = DENIED_MACROS.iter().find(|(m, _)| tok.text == *m) {
+            let is_macro =
+                trees.get(k + 1).is_some_and(|t| t.is_punct("!")) && trees.get(k + 2).is_some();
+            if is_macro && !file.is_allowed(tok.line, "panic") {
+                out.push(Violation::new(
+                    "panic-freedom",
+                    &file.path,
+                    tok.line + 1,
+                    format!("`{}!`: {why}", tok.text),
                 ));
             }
         }
     }
-    out
+}
+
+/// Flags `name[...]` indexing of input-named buffers inside decode-shaped
+/// functions, where the index is attacker-influenced unless checked.
+fn scan_indexing(trees: &[Tree], fn_name: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            scan_indexing(&g.trees, fn_name, file, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident || !INPUT_NAMES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // Field accesses (`self.data[…]`) are the owner's own storage, not
+        // the untrusted argument; a leading `.` excuses them.
+        if k > 0 && trees[k - 1].is_punct(".") {
+            continue;
+        }
+        let indexes = trees
+            .get(k + 1)
+            .and_then(Tree::group)
+            .is_some_and(|g| g.delim == '[');
+        if indexes && !file.is_allowed(tok.line, "panic") {
+            out.push(Violation::new(
+                "panic-freedom",
+                &file.path,
+                tok.line + 1,
+                format!(
+                    "indexing `{}[..]` in `{fn_name}`: use `.get(..)` and return Truncated/Corrupt",
+                    tok.text
+                ),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +170,14 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_as_plain_ident_or_longer_name_is_quiet() {
+        // `unwrap_or` is a different method; a fn named `unwrap` defined
+        // here is a definition, not a call; `core_panic!` is not `panic!`.
+        let src = "fn unwrap(x: u8) -> u8 { x }\nfn f(x: Option<u8>) -> u8 { x.unwrap_or(0) + core_panic!(x) }\n";
+        assert!(check_file(&file(src)).is_empty());
+    }
+
+    #[test]
     fn allow_marker_suppresses_on_same_or_preceding_line() {
         let src = "fn f(x: Option<u8>) {\n    x.unwrap(); // lint:allow(panic): infallible here\n    // lint:allow(panic): also fine\n    x.unwrap();\n    x.unwrap();\n}\n";
         let v = check_file(&file(src));
@@ -152,7 +187,7 @@ mod tests {
 
     #[test]
     fn tokens_in_tests_comments_and_strings_are_ignored() {
-        let src = "// this unwrap() is prose\nfn f() { let s = \"panic!\"; let _ = s; }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let src = "// this unwrap() is prose\nfn f() -> usize { let s = \"panic!\"; s.len() }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
         assert!(check_file(&file(src)).is_empty());
     }
 
@@ -167,7 +202,7 @@ mod tests {
 
     #[test]
     fn non_input_names_and_locals_do_not_fire() {
-        let src = "fn parse_block(data: &[u8]) -> u8 {\n    let table = [0u8; 4];\n    let out = vec![0u8; 4];\n    table[0] + out[1] + self.data.len() as u8 + data.get(0).copied().unwrap_or(0)\n}\n";
+        let src = "fn parse_block(data: &[u8]) -> u8 {\n    let table = [0u8; 4];\n    let out = [0u8; 4];\n    table[0] + out[1] + self.data.len() as u8 + data.get(0).copied().unwrap_or(0)\n}\n";
         assert!(check_file(&file(src)).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Encoder/decoder symmetry check.
+//! Encoder/decoder symmetry check (AST-engine visitor).
 //!
 //! A bitstream format is a contract between its writer and its reader:
 //! every syntax element that is written must be read, and vice versa, or
@@ -9,7 +9,7 @@
 //! one-to-one: a written-never-read stem (or the reverse) fails the lint.
 
 use crate::report::Violation;
-use crate::source::{functions, SourceFile};
+use crate::source::SourceFile;
 
 /// One writer/reader pairing domain.
 pub struct Domain {
@@ -73,7 +73,7 @@ pub fn check_domain(domain: &Domain, files: &[&SourceFile]) -> Vec<Violation> {
         {
             continue;
         }
-        for f in functions(&file.code) {
+        for f in &file.items.fns {
             let occ = Occurrence {
                 path: file.path.clone(),
                 line: f.line + 1,

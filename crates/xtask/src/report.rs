@@ -27,18 +27,32 @@ impl Violation {
 }
 
 /// The result of a full lint run.
+///
+/// `violations` holds the findings that fail the gate; when a ratchet
+/// baseline was applied, tolerated pre-existing findings move to
+/// `baselined` and over-large baseline entries are listed in `stale`.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     pub violations: Vec<Violation>,
+    pub baselined: Vec<Violation>,
+    pub stale_baseline: Vec<String>,
     pub files_scanned: usize,
     pub passes_run: Vec<&'static str>,
 }
 
 impl Report {
-    /// True when no pass found anything.
+    /// True when nothing fails the gate (baselined findings don't).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Moves baseline-covered findings out of the failing set.
+    pub fn apply_baseline(&mut self, baseline: &crate::baseline::Baseline) {
+        let applied = baseline.apply(std::mem::take(&mut self.violations));
+        self.violations = applied.new;
+        self.baselined = applied.baselined;
+        self.stale_baseline = applied.stale;
     }
 
     /// Human-readable report, one line per violation plus a summary.
@@ -52,10 +66,14 @@ impl Report {
                 let _ = writeln!(out, "{}: [{}] {}", v.path, v.pass, v.message);
             }
         }
+        for s in &self.stale_baseline {
+            let _ = writeln!(out, "warning: stale baseline: {s}");
+        }
         let _ = writeln!(
             out,
-            "lint: {} violation(s) across {} file(s); passes: {}",
+            "lint: {} violation(s) ({} baselined) across {} file(s); passes: {}",
             self.violations.len(),
+            self.baselined.len(),
             self.files_scanned,
             self.passes_run.join(", ")
         );
@@ -66,30 +84,44 @@ impl Report {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"violations\": [");
-        for (i, v) in self.violations.iter().enumerate() {
+        write_violations(&mut out, &self.violations);
+        out.push_str("],\n  \"baselined\": [");
+        write_violations(&mut out, &self.baselined);
+        out.push_str("],\n  \"stale_baseline\": [");
+        for (i, s) in self.stale_baseline.iter().enumerate() {
             if i > 0 {
-                out.push(',');
+                out.push_str(", ");
             }
-            let _ = write!(
-                out,
-                "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
-                escape(v.pass),
-                escape(&v.path),
-                v.line,
-                escape(&v.message)
-            );
-        }
-        if !self.violations.is_empty() {
-            out.push('\n');
-            out.push_str("  ");
+            let _ = write!(out, "\"{}\"", escape(s));
         }
         let _ = write!(
             out,
-            "],\n  \"count\": {},\n  \"files_scanned\": {}\n}}",
+            "],\n  \"count\": {},\n  \"baselined_count\": {},\n  \"files_scanned\": {}\n}}",
             self.violations.len(),
+            self.baselined.len(),
             self.files_scanned
         );
         out
+    }
+}
+
+fn write_violations(out: &mut String, violations: &[Violation]) {
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(v.pass),
+            escape(&v.path),
+            v.line,
+            escape(&v.message)
+        );
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
     }
 }
 
@@ -129,7 +161,7 @@ mod tests {
         ));
         let text = r.to_text();
         assert!(text.contains("a.rs:7: [panic-freedom] unwrap() in decode path"));
-        assert!(text.contains("1 violation(s) across 3 file(s)"));
+        assert!(text.contains("1 violation(s) (0 baselined) across 3 file(s)"));
         assert!(!r.is_clean());
     }
 
@@ -152,5 +184,24 @@ mod tests {
         let r = Report::default();
         assert!(r.is_clean());
         assert!(r.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn baselined_findings_do_not_fail_the_gate() {
+        let mut r = Report::default();
+        r.violations
+            .push(Violation::new("cast-safety", "a.rs", 4, "narrowing"));
+        r.violations
+            .push(Violation::new("cast-safety", "a.rs", 9, "narrowing"));
+        let b = crate::baseline::Baseline::parse("[cast-safety]\n\"a.rs\" = 1\n").expect("parse");
+        r.apply_baseline(&b);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.baselined.len(), 1);
+        assert!(!r.is_clean());
+        let text = r.to_text();
+        assert!(text.contains("1 violation(s) (1 baselined)"));
+        let json = r.to_json();
+        assert!(json.contains("\"baselined_count\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -1,34 +1,43 @@
-//! Source loading and sanitization.
+//! Source loading: files, crates, and the parsed workspace.
 //!
-//! Every pass works on a *sanitized* view of a file: comments and string
-//! literals are blanked (preserving line structure) and `#[cfg(test)]`
-//! modules are removed by brace matching, so token scans never fire on
-//! prose, test code, or string contents. Escape-hatch markers
+//! Every file is lexed and parsed exactly once at load time; passes run as
+//! visitors over the shared result ([`SourceFile::trees`] for token-level
+//! scans, [`SourceFile::items`] and the workspace [`ast::index::Index`]
+//! for item- and call-graph-level analysis). `#[cfg(test)]` items are
+//! stripped from both views, and comment/string contents never survive
+//! lexing, so no pass can fire on prose or test code. Escape-hatch markers
 //! (`lint:allow(...)`) are read from the raw text, since they live in
 //! comments.
 
 use std::fs;
 use std::path::Path;
 
-/// One source file, raw and sanitized.
+use crate::ast::{self, index::Index, items::FileItems, tree::Tree};
+
+/// One source file: raw text plus the parsed, test-stripped AST.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Workspace-relative display path.
     pub path: String,
-    /// Original text.
+    /// Original text (used only for `lint:allow` markers and hygiene).
     pub raw: String,
-    /// Comments/strings blanked, test modules blanked; same line layout.
-    pub code: String,
+    /// Token-tree forest with `#[cfg(test)]` items removed.
+    pub trees: Vec<Tree>,
+    /// Items parsed from `trees`.
+    pub items: FileItems,
 }
 
 impl SourceFile {
     /// Builds a file from in-memory contents (used by fixture tests).
+    #[must_use]
     pub fn from_contents(path: &str, raw: &str) -> Self {
-        let code = strip_test_modules(&sanitize(raw));
+        let trees = ast::index::strip_test_items(&ast::tree::build(&ast::lex::lex(raw)));
+        let items = ast::items::parse(&trees);
         SourceFile {
             path: path.to_string(),
             raw: raw.to_string(),
-            code,
+            trees,
+            items,
         }
     }
 
@@ -36,6 +45,7 @@ impl SourceFile {
     ///
     /// A marker counts if it appears on the line itself or anywhere in the
     /// contiguous run of `//` comment lines immediately above it.
+    #[must_use]
     pub fn is_allowed(&self, line: usize, name: &str) -> bool {
         let needle = format!("lint:allow({name})");
         let lines: Vec<&str> = self.raw.lines().collect();
@@ -71,6 +81,7 @@ pub struct CrateSrc {
 
 impl CrateSrc {
     /// Builds a crate from in-memory parts (used by fixture tests).
+    #[must_use]
     pub fn from_parts(name: &str, manifest: &str, files: Vec<SourceFile>) -> Self {
         CrateSrc {
             name: name.to_string(),
@@ -80,6 +91,7 @@ impl CrateSrc {
     }
 
     /// The crate root file (`lib.rs` preferred, else `main.rs`), if any.
+    #[must_use]
     pub fn root_file(&self) -> Option<&SourceFile> {
         self.files
             .iter()
@@ -105,7 +117,7 @@ impl Workspace {
     pub fn load(root: &Path) -> Result<Self, String> {
         let mut crates = Vec::new();
         if root.join("Cargo.toml").exists() && root.join("src").exists() {
-            crates.push(load_crate(root, root, "")?);
+            crates.push(load_crate(root, root)?);
         }
         let crates_dir = root.join("crates");
         if let Ok(entries) = fs::read_dir(&crates_dir) {
@@ -116,7 +128,7 @@ impl Workspace {
                 .collect();
             dirs.sort();
             for dir in dirs {
-                crates.push(load_crate(root, &dir, "")?);
+                crates.push(load_crate(root, &dir)?);
             }
         }
         if crates.is_empty() {
@@ -129,6 +141,7 @@ impl Workspace {
     }
 
     /// The crate with this package name, if present.
+    #[must_use]
     pub fn get(&self, name: &str) -> Option<&CrateSrc> {
         self.crates.iter().find(|c| c.name == name)
     }
@@ -137,9 +150,28 @@ impl Workspace {
     pub fn files(&self) -> impl Iterator<Item = &SourceFile> {
         self.crates.iter().flat_map(|c| c.files.iter())
     }
+
+    /// Builds the workspace-wide item index over every crate.
+    ///
+    /// The gate's own crate is excluded: no codec path calls into the lint
+    /// tool, and its helper names (`get`, `parse`, …) would only add
+    /// resolution ambiguity.
+    #[must_use]
+    pub fn build_index(&self) -> Index {
+        let mut idx = Index::default();
+        for krate in &self.crates {
+            if krate.name == "xtask" {
+                continue;
+            }
+            for file in &krate.files {
+                idx.add_file(&krate.name, &file.path, &file.items);
+            }
+        }
+        idx
+    }
 }
 
-fn load_crate(root: &Path, dir: &Path, _unused: &str) -> Result<CrateSrc, String> {
+fn load_crate(root: &Path, dir: &Path) -> Result<CrateSrc, String> {
     let manifest_path = dir.join("Cargo.toml");
     let manifest = fs::read_to_string(&manifest_path)
         .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
@@ -191,334 +223,18 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), 
     Ok(())
 }
 
-/// Blanks comments, string/char literals and their delimiters with spaces,
-/// preserving newlines so line numbers survive.
-pub fn sanitize(raw: &str) -> String {
-    let chars: Vec<char> = raw.chars().collect();
-    let mut out = String::with_capacity(raw.len());
-    let mut i = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match c {
-            '/' if next == Some('/') => {
-                while i < chars.len() && chars[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if next == Some('*') => {
-                let mut depth = 0usize;
-                while i < chars.len() {
-                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            '"' => i = blank_string(&chars, i, 0, &mut out),
-            'r' | 'b' if is_raw_or_byte_string(&chars, i) => {
-                // Skip the r/b/br prefix and any #s, then the quoted body.
-                let mut j = i;
-                while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
-                    out.push(' ');
-                    j += 1;
-                }
-                let mut hashes = 0usize;
-                while chars.get(j) == Some(&'#') {
-                    out.push(' ');
-                    hashes += 1;
-                    j += 1;
-                }
-                if hashes > 0 || raw_prefix_has_r(&chars, i) {
-                    i = blank_raw_string(&chars, j, hashes, &mut out);
-                } else {
-                    i = blank_string(&chars, j, 0, &mut out);
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: a char literal closes within a
-                // few characters; a lifetime never has a closing quote.
-                if let Some(end) = char_literal_end(&chars, i) {
-                    for &ch in &chars[i..=end] {
-                        out.push(if ch == '\n' { '\n' } else { ' ' });
-                    }
-                    i = end + 1;
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
-    // Only treat r"/r#"/b"/br"/br#" as string starts when not part of an
-    // identifier (e.g. `for` ends in 'r').
-    if i > 0 {
-        let p = chars[i - 1];
-        if p.is_alphanumeric() || p == '_' {
-            return false;
-        }
-    }
-    let mut j = i;
-    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
-        j += 1;
-    }
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-fn raw_prefix_has_r(chars: &[char], i: usize) -> bool {
-    chars[i] == 'r' || (chars[i] == 'b' && chars.get(i + 1) == Some(&'r'))
-}
-
-fn blank_string(chars: &[char], start: usize, _hashes: usize, out: &mut String) -> usize {
-    let mut i = start;
-    out.push(' '); // opening quote
-    i += 1;
-    while i < chars.len() {
-        match chars[i] {
-            '\\' => {
-                out.push_str("  ");
-                i += 2;
-            }
-            '"' => {
-                out.push(' ');
-                return i + 1;
-            }
-            '\n' => {
-                out.push('\n');
-                i += 1;
-            }
-            _ => {
-                out.push(' ');
-                i += 1;
-            }
-        }
-    }
-    i
-}
-
-fn blank_raw_string(chars: &[char], start: usize, hashes: usize, out: &mut String) -> usize {
-    let mut i = start;
-    out.push(' '); // opening quote
-    i += 1;
-    while i < chars.len() {
-        if chars[i] == '"' {
-            let closed = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
-            if closed {
-                for _ in 0..=hashes {
-                    out.push(' ');
-                }
-                return i + 1 + hashes;
-            }
-        }
-        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-        i += 1;
-    }
-    i
-}
-
-fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
-    match chars.get(i + 1) {
-        Some('\\') => {
-            // Escaped char: find the closing quote within a short window
-            // (covers \n, \', \u{10FFFF}).
-            (i + 3..(i + 12).min(chars.len())).find(|&k| chars[k] == '\'')
-        }
-        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
-        _ => None,
-    }
-}
-
-/// Blanks every `#[cfg(test)]`-gated item (typically `mod tests { ... }`)
-/// from already-sanitized code.
-pub fn strip_test_modules(code: &str) -> String {
-    let mut out: Vec<char> = code.chars().collect();
-    let bytes: Vec<char> = out.clone();
-    let hay: String = bytes.iter().collect();
-    let mut search_from = 0usize;
-    while let Some(rel) = hay[search_from..].find("#[cfg(test)]") {
-        let attr_start = search_from + rel;
-        // Find the first `{` after the attribute and blank through its
-        // matching `}`.
-        let Some(open_rel) = hay[attr_start..].find('{') else {
-            break;
-        };
-        let open = attr_start + open_rel;
-        let mut depth = 0usize;
-        let mut end = None;
-        for (k, ch) in hay[open..].char_indices() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = Some(open + k);
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let stop = end.unwrap_or(hay.len() - 1);
-        for (k, slot) in out.iter_mut().enumerate().take(stop + 1).skip(attr_start) {
-            if bytes[k] != '\n' {
-                *slot = ' ';
-            }
-        }
-        search_from = stop + 1;
-    }
-    out.into_iter().collect()
-}
-
-/// A function declaration found in sanitized code.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FnDecl {
-    pub name: String,
-    /// 0-based line of the `fn` keyword.
-    pub line: usize,
-    /// Byte range of the body (inside braces) in the sanitized code, empty
-    /// for bodiless trait-method declarations.
-    pub body: std::ops::Range<usize>,
-}
-
-/// Extracts `fn` declarations (with body extents) from sanitized code.
-pub fn functions(code: &str) -> Vec<FnDecl> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while let Some(rel) = code[i..].find("fn ") {
-        let at = i + rel;
-        i = at + 3;
-        // Must be a keyword: preceded by start, whitespace, or `(` (closures
-        // never use `fn`), and not part of an identifier.
-        if at > 0 {
-            let p = bytes[at - 1] as char;
-            if p.is_alphanumeric() || p == '_' {
-                continue;
-            }
-        }
-        let mut j = at + 3;
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        let name_start = j;
-        while j < bytes.len() {
-            let c = bytes[j] as char;
-            if c.is_alphanumeric() || c == '_' {
-                j += 1;
-            } else {
-                break;
-            }
-        }
-        if j == name_start {
-            continue;
-        }
-        let name = code[name_start..j].to_string();
-        let line = code[..at].matches('\n').count();
-        // Body: first `{` before a `;` at depth 0 (a `;` means a bodiless
-        // trait declaration).
-        let mut body = 0..0;
-        let mut k = j;
-        let mut angle = 0i32;
-        while k < bytes.len() {
-            match bytes[k] as char {
-                '<' => angle += 1,
-                '>' => angle -= 1,
-                ';' if angle <= 0 => break,
-                '{' => {
-                    let open = k;
-                    let mut depth = 0usize;
-                    while k < bytes.len() {
-                        match bytes[k] as char {
-                            '{' => depth += 1,
-                            '}' => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    body = open + 1..k;
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        k += 1;
-                    }
-                    break;
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        out.push(FnDecl { name, line, body });
-    }
-    out
-}
-
-/// 0-based line number of byte offset `pos` in `text`.
-pub fn line_of(text: &str, pos: usize) -> usize {
-    text[..pos.min(text.len())].matches('\n').count()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn sanitize_blanks_comments_and_strings() {
-        let src = "let a = \"un//wrap\"; // unwrap()\nlet b = 1; /* panic! */\n";
-        let s = sanitize(src);
-        assert!(!s.contains("unwrap"));
-        assert!(!s.contains("panic"));
-        assert!(s.contains("let a ="));
-        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
-    }
-
-    #[test]
-    fn sanitize_handles_char_literals_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) -> char { '\\n' }\nlet q = '\"';\nlet s = \"x\";";
-        let s = sanitize(src);
-        assert!(s.contains("fn f<'a>(x: &'a str)"));
-        // The quote char literal must not open a string.
-        assert!(!s.contains('x') || !s.contains("\"x\""));
-    }
-
-    #[test]
-    fn sanitize_handles_raw_strings() {
-        let src = "let r = r#\"unwrap() \"quoted\" panic!\"#; let after = 1;";
-        let s = sanitize(src);
-        assert!(!s.contains("unwrap"));
-        assert!(s.contains("let after = 1;"));
-    }
-
-    #[test]
-    fn test_modules_are_stripped() {
-        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.expect(\"\"); }\n}\nfn tail() {}\n";
-        let f = SourceFile::from_contents("a.rs", src);
-        assert!(f.code.contains("live"));
-        assert!(f.code.contains("unwrap"));
-        assert!(!f.code.contains("expect"));
-        assert!(f.code.contains("tail"));
+    fn files_parse_to_test_free_items() {
+        let f = SourceFile::from_contents(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n",
+        );
+        let names: Vec<&str> = f.items.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["live", "tail"]);
     }
 
     #[test]
@@ -532,13 +248,27 @@ mod tests {
     }
 
     #[test]
-    fn functions_are_found_with_bodies() {
-        let code = "pub fn alpha(x: u8) -> u8 { x + 1 }\nfn beta();\nimpl T { fn gamma(&self) { loop { break; } } }\n";
-        let fns = functions(code);
-        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
-        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
-        assert!(fns[0].body.len() > 2);
-        assert!(fns[1].body.is_empty());
-        assert!(code[fns[2].body.clone()].contains("loop"));
+    fn workspace_index_merges_crates() {
+        let a = CrateSrc::from_parts(
+            "crate-a",
+            "[package]\nname = \"crate-a\"\n",
+            vec![SourceFile::from_contents(
+                "crates/a/src/lib.rs",
+                "pub fn shared() -> u8 { 0 }\n",
+            )],
+        );
+        let b = CrateSrc::from_parts(
+            "crate-b",
+            "[package]\nname = \"crate-b\"\n",
+            vec![SourceFile::from_contents(
+                "crates/b/src/lib.rs",
+                "pub fn shared() -> u16 { 0 }\npub fn caller() { shared(); }\n",
+            )],
+        );
+        let ws = Workspace { crates: vec![a, b] };
+        let idx = ws.build_index();
+        assert_eq!(idx.resolve("shared").len(), 2);
+        let caller = idx.resolve("caller")[0];
+        assert!(idx.fns[caller].calls.contains("shared"));
     }
 }

@@ -1,0 +1,209 @@
+//! End-to-end tests of the lint engine over the on-disk fixture
+//! workspaces in `tests/fixtures/`.
+//!
+//! The `dirty` fixture is built to trip every pass exactly once, with a
+//! quiet twin (an allowed or proven site) next to each finding; `clean`
+//! must produce nothing. On top of the library-level assertions, the CLI
+//! tests run the actual binary and pin its exit codes, JSON output, and
+//! `--write-baseline` round trip.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::baseline::Baseline;
+use xtask::{run_lint, PASSES};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+fn counts_by_pass(violations: &[xtask::report::Violation]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for v in violations {
+        *out.entry(v.pass).or_insert(0) += 1;
+    }
+    out
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let report = run_lint(&fixture("clean"), None).expect("lint clean fixture");
+    assert!(report.is_clean(), "unexpected: {:?}", report.violations);
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.passes_run, PASSES);
+}
+
+#[test]
+fn dirty_fixture_trips_every_pass_exactly_once() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    let counts = counts_by_pass(&report.violations);
+    let expected: BTreeMap<&str, usize> = PASSES.iter().map(|&p| (p, 1)).collect();
+    assert_eq!(counts, expected, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn dirty_findings_land_on_the_expected_sites() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    let has = |pass: &str, path_suffix: &str, needle: &str| {
+        report
+            .violations
+            .iter()
+            .any(|v| v.pass == pass && v.path.ends_with(path_suffix) && v.message.contains(needle))
+    };
+    assert!(has("panic-freedom", "bitstream/src/lib.rs", "unwrap"));
+    assert!(has("cast-safety", "bitstream/src/lib.rs", "i64"));
+    assert!(has("error-discipline", "bitstream/src/lib.rs", "fallible"));
+    assert!(has("float-cmp", "videocodec/src/lib.rs", "float"));
+    assert!(has("determinism", "videocodec/src/lib.rs", "HashMap"));
+    assert!(has("symmetry", "videocodec/src/encoder.rs", "ghost"));
+    assert!(has("hygiene", "llm265-videocodec (Cargo.toml)", "[lints]"));
+    // The determinism finding must explain the codec-path chain.
+    let det = report
+        .violations
+        .iter()
+        .find(|v| v.pass == "determinism")
+        .expect("determinism finding");
+    assert!(det.message.contains("encode_config"), "{}", det.message);
+}
+
+#[test]
+fn allowed_and_proven_twins_stay_quiet() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    // The fixture holds two unwraps (one under lint:allow(panic)) and two
+    // narrowing casts (one mask-proven): exactly one finding each survives.
+    let unwraps = report
+        .violations
+        .iter()
+        .filter(|v| v.pass == "panic-freedom")
+        .count();
+    let casts = report
+        .violations
+        .iter()
+        .filter(|v| v.pass == "cast-safety")
+        .count();
+    assert_eq!((unwraps, casts), (1, 1), "{:?}", report.violations);
+}
+
+#[test]
+fn matching_baseline_makes_the_gate_clean() {
+    let raw = run_lint(&fixture("dirty"), None).expect("raw lint");
+    let baseline = Baseline::from_violations(&raw.violations);
+    let gated = run_lint(&fixture("dirty"), Some(&baseline)).expect("gated lint");
+    assert!(gated.is_clean(), "{:?}", gated.violations);
+    assert_eq!(gated.baselined.len(), raw.violations.len());
+    assert!(
+        gated.stale_baseline.is_empty(),
+        "{:?}",
+        gated.stale_baseline
+    );
+}
+
+#[test]
+fn findings_beyond_the_baseline_fail_the_gate() {
+    let raw = run_lint(&fixture("dirty"), None).expect("raw lint");
+    let mut baseline = Baseline::from_violations(&raw.violations);
+    // Drop one pass's table entirely: its finding is now "new" and fails.
+    baseline.counts.remove("cast-safety");
+    let gated = run_lint(&fixture("dirty"), Some(&baseline)).expect("gated lint");
+    assert!(!gated.is_clean());
+    assert_eq!(gated.violations.len(), 1);
+    assert_eq!(gated.violations[0].pass, "cast-safety");
+    assert_eq!(gated.baselined.len(), raw.violations.len() - 1);
+}
+
+#[test]
+fn overlarge_baseline_entries_surface_as_stale() {
+    let raw = run_lint(&fixture("dirty"), None).expect("raw lint");
+    let mut baseline = Baseline::from_violations(&raw.violations);
+    for files in baseline.counts.values_mut() {
+        for n in files.values_mut() {
+            *n += 1;
+        }
+    }
+    let gated = run_lint(&fixture("dirty"), Some(&baseline)).expect("gated lint");
+    assert!(gated.is_clean(), "inflated counts still cover everything");
+    assert_eq!(
+        gated.stale_baseline.len(),
+        baseline.counts.values().map(BTreeMap::len).sum::<usize>(),
+        "{:?}",
+        gated.stale_baseline
+    );
+}
+
+#[test]
+fn fixture_baseline_roundtrips_through_toml() {
+    let raw = run_lint(&fixture("dirty"), None).expect("raw lint");
+    let baseline = Baseline::from_violations(&raw.violations);
+    let reparsed = Baseline::parse(&baseline.to_toml()).expect("reparse");
+    assert_eq!(reparsed, baseline);
+}
+
+// --- CLI-level tests: run the real binary against the fixtures. ---
+
+fn lint_cmd(root: &PathBuf, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run xtask binary")
+}
+
+#[test]
+fn cli_exit_codes_track_cleanliness() {
+    let clean = lint_cmd(&fixture("clean"), &[]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    // No baseline file exists under the fixture root, so all 7 findings
+    // are new and the gate must fail.
+    let dirty = lint_cmd(&fixture("dirty"), &["--no-baseline"]);
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("7 violation(s) (0 baselined)"), "{stdout}");
+}
+
+#[test]
+fn cli_json_format_reports_counts() {
+    let out = lint_cmd(&fixture("dirty"), &["--no-baseline", "--format", "json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"count\": 7"), "{stdout}");
+    assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+}
+
+#[test]
+fn cli_write_baseline_then_gate_passes() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("engine-test-baseline.toml");
+    let wrote = lint_cmd(
+        &fixture("dirty"),
+        &[
+            "--write-baseline",
+            "--baseline",
+            path.to_str().expect("utf8 path"),
+        ],
+    );
+    assert_eq!(wrote.status.code(), Some(0), "{wrote:?}");
+    let text = std::fs::read_to_string(&path).expect("baseline written");
+    assert!(text.contains("[cast-safety]"), "{text}");
+    let gated = lint_cmd(
+        &fixture("dirty"),
+        &["--baseline", path.to_str().expect("utf8 path")],
+    );
+    assert_eq!(gated.status.code(), Some(0), "{gated:?}");
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert!(stdout.contains("0 violation(s) (7 baselined)"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_unparsable_baseline() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("engine-test-bad-baseline.toml");
+    std::fs::write(&path, "this is not a baseline\n").expect("write bad baseline");
+    let out = lint_cmd(
+        &fixture("dirty"),
+        &["--baseline", path.to_str().expect("utf8 path")],
+    );
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

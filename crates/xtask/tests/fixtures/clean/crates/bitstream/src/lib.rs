@@ -1,0 +1,13 @@
+//! Clean fixture: a hot-path crate every pass scans and none flags.
+
+#![forbid(unsafe_code)]
+
+/// Mask-proven narrowing cast.
+pub fn low_byte(v: u64) -> u8 {
+    (v & 0xFF) as u8
+}
+
+/// Widening is always fine.
+pub fn widen(v: u8) -> u32 {
+    u32::from(v)
+}

@@ -1,0 +1,36 @@
+//! Dirty fixture, bitstream half: one panic-freedom, one cast-safety and
+//! one error-discipline finding, each next to a quiet twin (an allowed or
+//! proven site) so the tests pin both directions.
+
+#![forbid(unsafe_code)]
+
+/// Panic-freedom: unwrap in a hot-path crate fires.
+pub fn first(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+/// The same construct under a marker stays quiet.
+pub fn second(v: Option<u8>) -> u8 {
+    // lint:allow(panic): fixture-approved escape hatch
+    v.unwrap()
+}
+
+/// Cast-safety: i64 -> u8 narrows without proof.
+pub fn narrow(v: i64) -> u8 {
+    v as u8
+}
+
+/// Mask-proven narrowing stays quiet.
+pub fn masked(v: i64) -> u8 {
+    (v & 0xFF) as u8
+}
+
+/// Error-discipline: the dropped `Result` fires.
+pub fn careless() {
+    let _ = fallible();
+}
+
+/// Every definition of this name returns `Result`.
+pub fn fallible() -> Result<u8, ()> {
+    Ok(0)
+}

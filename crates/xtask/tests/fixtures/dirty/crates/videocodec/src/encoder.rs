@@ -1,0 +1,4 @@
+//! Encoder half of the dirty fixture.
+
+/// Symmetry: writes a syntax element no reader in the domain parses.
+pub fn write_ghost() {}
