@@ -7,12 +7,97 @@
 //! NVENC/NVDEC envelope for the system-level results.
 //!
 //! Run with `cargo bench -p llm265-bench --features bench-harness`.
+//!
+//! Flags (after `--`):
+//!
+//! - `--json <path>` — also record the tensor-codec samples into the
+//!   repo's perf-trajectory document (`BENCH_codec.json`), creating it or
+//!   appending a run. Regressions then show up as diffs, not folklore.
+//! - `--label <name>` — run label in the JSON trajectory (e.g.
+//!   `after-parallel`, `ci-smoke`). Defaults to `run`.
+//! - `--samples <n>` — timing samples per benchmark (default 5).
+//!
+//! `LLM265_THREADS` overrides the multi-threaded data point's worker
+//! count (`0`/unset = the machine's available parallelism). The codec
+//! output is bit-identical at every thread count, so thread count is
+//! purely a throughput knob here.
 
+use std::path::{Path, PathBuf};
+
+use llm265_bench::json::{self, BenchRun, HardwareTargets, ThreadedSample};
 use llm265_bench::microbench::Group;
-use llm265_core::{Llm265Codec, RateTarget, TensorCodec};
+use llm265_core::{Llm265Codec, Llm265Config, RateTarget, TensorCodec};
 use llm265_tensor::rng::Pcg32;
 use llm265_tensor::synthetic::{llm_weight, WeightProfile};
+use llm265_tensor::Tensor;
 use llm265_videocodec::{decode_video, encode_video, CodecConfig, Frame};
+
+/// The NVENC/NVDEC tensor-throughput envelope from the paper, carried in
+/// the JSON header so every trajectory entry is read against it.
+const HARDWARE: HardwareTargets = HardwareTargets {
+    encode_mb_s: 1100.0,
+    decode_mb_s: 1300.0,
+};
+
+struct Args {
+    json: Option<PathBuf>,
+    label: String,
+    samples: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: None,
+        label: "run".to_string(),
+        samples: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            // `cargo bench` appends `--bench` to the harness's argv.
+            "--bench" => {}
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--label" => args.label = value("--label"),
+            "--samples" => {
+                args.samples = value("--samples").parse().unwrap_or_else(|_| {
+                    eprintln!("--samples needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: codec_throughput [--json <path>] [--label <name>] [--samples <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Worker count for the parallel data point: `LLM265_THREADS` if set and
+/// non-zero, otherwise the machine's available parallelism.
+fn parallel_threads() -> usize {
+    std::env::var("LLM265_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+fn weight(seed: u64, n: usize) -> Tensor {
+    let mut rng = Pcg32::seed_from(seed);
+    llm_weight(n, n, &WeightProfile::default(), &mut rng)
+}
 
 fn weight_frame(n: usize, seed: u64) -> Frame {
     let mut rng = Pcg32::seed_from(seed);
@@ -24,8 +109,28 @@ fn weight_frame(n: usize, seed: u64) -> Frame {
     })
 }
 
+fn codec_with(max_chunk_pixels: usize, threads: usize) -> Llm265Codec {
+    Llm265Codec::with_config(Llm265Config {
+        max_chunk_pixels,
+        threads,
+        ..Llm265Config::default()
+    })
+}
+
 fn main() {
-    let mut g = Group::new("videocodec_encode", 10);
+    let args = parse_args();
+    let max_threads = parallel_threads();
+    // 1 thread always (the serial baseline every trajectory entry shares),
+    // plus one parallel point when the machine has more to give.
+    let thread_counts: Vec<usize> = if max_threads > 1 {
+        vec![1, max_threads]
+    } else {
+        vec![1]
+    };
+
+    // Frame-level videocodec numbers (console only — thread count does
+    // not apply; frames are encoded one CTU row at a time).
+    let mut g = Group::new("videocodec_encode", args.samples);
     for &n in &[64usize, 128] {
         let frame = weight_frame(n, 1);
         let cfg = CodecConfig::default().with_qp(30.0);
@@ -36,7 +141,7 @@ fn main() {
     }
     g.finish();
 
-    let mut g = Group::new("videocodec_decode", 10);
+    let mut g = Group::new("videocodec_decode", args.samples);
     for &n in &[64usize, 128] {
         let frame = weight_frame(n, 2);
         let cfg = CodecConfig::default().with_qp(30.0);
@@ -48,26 +153,89 @@ fn main() {
     }
     g.finish();
 
-    let mut g = Group::new("llm265_tensor_codec", 10);
-    let mut rng = Pcg32::seed_from(3);
-    let w = llm_weight(96, 96, &WeightProfile::default(), &mut rng);
-    let codec = Llm265Codec::new();
-    g.throughput_bytes((w.len() * 4) as u64);
-    g.bench("encode_qp_fixed", || {
-        codec
-            .encode(&w, RateTarget::Qp(30.0))
-            .expect("bench encode succeeds")
-    });
-    let enc = codec
-        .encode(&w, RateTarget::Qp(30.0))
-        .expect("bench encode succeeds");
-    g.bench("decode", || {
-        codec.decode(&enc).expect("bench stream decodes")
-    });
-    g.bench("encode_bits_target", || {
-        codec
-            .encode(&w, RateTarget::BitsPerValue(3.0))
-            .expect("bench encode succeeds")
-    });
-    g.finish();
+    // Tensor-codec trajectory samples — the names match earlier runs in
+    // BENCH_codec.json so the before/after diff lines up sample by sample.
+    let mut samples: Vec<ThreadedSample> = Vec::new();
+
+    // Multi-chunk tensor: 256x256 (1 MB of f32), 8 chunks of 32 rows —
+    // the chunk-parallel fan-out target.
+    let big = weight(11, 256);
+    // Single-chunk tensor: no fan-out possible; isolates the scratch-reuse
+    // and per-block wins.
+    let mid = weight(7, 128);
+    // Rate-search tensor: 4 chunks; dominated by how many QPs the search
+    // probes, not by raw pixel throughput.
+    let rate = weight(3, 96);
+
+    for &t in &thread_counts {
+        let mut g = Group::new("codec", args.samples);
+
+        let codec_multi = codec_with(1 << 13, t);
+        g.throughput_bytes((big.len() * 4) as u64);
+        g.bench(&format!("encode_multichunk_qp30/t{t}"), || {
+            codec_multi
+                .encode(&big, RateTarget::Qp(30.0))
+                .expect("bench encode succeeds")
+        });
+        let enc_big = codec_multi
+            .encode(&big, RateTarget::Qp(30.0))
+            .expect("bench encode succeeds");
+        g.bench(&format!("decode_multichunk/t{t}"), || {
+            codec_multi.decode(&enc_big).expect("bench stream decodes")
+        });
+
+        if t == 1 {
+            let codec_single = Llm265Codec::with_config(Llm265Config {
+                threads: 1,
+                ..Llm265Config::default()
+            });
+            g.throughput_bytes((mid.len() * 4) as u64);
+            g.bench("encode_single_qp30/t1", || {
+                codec_single
+                    .encode(&mid, RateTarget::Qp(30.0))
+                    .expect("bench encode succeeds")
+            });
+        }
+
+        let codec_rate = codec_with(96 * 24, t);
+        g.throughput_bytes((rate.len() * 4) as u64);
+        g.bench(&format!("encode_bits3/t{t}"), || {
+            codec_rate
+                .encode(&rate, RateTarget::BitsPerValue(3.0))
+                .expect("bench encode succeeds")
+        });
+        g.bench(&format!("encode_nmse02/t{t}"), || {
+            codec_rate
+                .encode(&rate, RateTarget::MaxNormalizedMse(0.02))
+                .expect("bench encode succeeds")
+        });
+
+        samples.extend(
+            g.finish()
+                .into_iter()
+                .map(|sample| ThreadedSample { sample, threads: t }),
+        );
+    }
+
+    if let Some(path) = args.json {
+        // Cargo runs bench binaries with the package as cwd; resolve
+        // relative paths against the workspace root so `--json
+        // BENCH_codec.json` always means the repo-root trajectory file.
+        let path = if path.is_absolute() {
+            path
+        } else {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(path)
+        };
+        let run = BenchRun {
+            label: args.label,
+            threads_available: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            samples,
+        };
+        json::write_or_append(&path, "codec_throughput", HARDWARE, &run)
+            .expect("bench JSON write succeeds");
+        println!("recorded run to {}", path.display());
+    }
 }

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod microbench;
 pub mod table;
 pub mod workloads;

@@ -25,7 +25,11 @@ use std::fmt;
 ///   (encode-side: empty tensor, QP out of range, non-positive budget).
 /// - [`CodecError::LimitExceeded`] — a declared size is implausible for
 ///   the stream carrying it; refusing early keeps hostile headers from
-///   turning into multi-gigabyte allocations.
+///   turning into multi-gigabyte allocations. Encode-side it also covers
+///   tensors whose shape or payload length would overflow a serialized
+///   header field (oversized inputs fail instead of truncating silently).
+/// - [`CodecError::Internal`] — the codec's own machinery failed (a
+///   worker thread panicked); never caused by stream contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Stream ended before the named field or payload.
@@ -38,6 +42,8 @@ pub enum CodecError {
     InvalidInput(String),
     /// A declared size exceeds the decoder's resource limits.
     LimitExceeded(&'static str),
+    /// Codec-internal failure (e.g. a panicked worker thread).
+    Internal(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -48,6 +54,7 @@ impl fmt::Display for CodecError {
             CodecError::Unsupported(what) => write!(f, "unsupported: {what}"),
             CodecError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             CodecError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
+            CodecError::Internal(what) => write!(f, "internal codec failure: {what}"),
         }
     }
 }

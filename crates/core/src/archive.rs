@@ -25,7 +25,10 @@ impl TensorArchive {
     ///
     /// # Errors
     ///
-    /// Propagates the first per-tensor encode failure.
+    /// Propagates the first per-tensor encode failure, and rejects inputs
+    /// that overflow the wire format's fixed-width length fields (more
+    /// than `u32::MAX` tensors, names over `u16::MAX` bytes, a per-tensor
+    /// stream over `u32::MAX` bytes) instead of truncating them.
     pub fn encode(
         codec: &dyn TensorCodec,
         tensors: &[(String, Tensor)],
@@ -33,19 +36,20 @@ impl TensorArchive {
     ) -> Result<Self, CodecError> {
         let mut out = Vec::new();
         bytes::write_le_u32(&mut out, MAGIC);
-        bytes::write_le_u32(&mut out, tensors.len() as u32);
+        let n_tensors = u32::try_from(tensors.len())
+            .map_err(|_| CodecError::LimitExceeded("archive tensor count exceeds u32"))?;
+        bytes::write_le_u32(&mut out, n_tensors);
         let mut entries = Vec::with_capacity(tensors.len());
         for (name, t) in tensors {
-            if name.len() > u16::MAX as usize {
-                return Err(CodecError::InvalidInput(format!(
-                    "tensor name too long ({} bytes)",
-                    name.len()
-                )));
-            }
+            let name_len = u16::try_from(name.len()).map_err(|_| {
+                CodecError::InvalidInput(format!("tensor name too long ({} bytes)", name.len()))
+            })?;
             let enc = codec.encode(t, target)?;
-            bytes::write_le_u16(&mut out, name.len() as u16);
+            bytes::write_le_u16(&mut out, name_len);
             out.extend_from_slice(name.as_bytes());
-            bytes::write_le_u32(&mut out, enc.bytes().len() as u32);
+            let stream_len = u32::try_from(enc.bytes().len())
+                .map_err(|_| CodecError::LimitExceeded("archive tensor stream exceeds u32"))?;
+            bytes::write_le_u32(&mut out, stream_len);
             out.extend_from_slice(enc.bytes());
             entries.push((name.clone(), t.rows(), t.cols()));
         }

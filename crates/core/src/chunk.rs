@@ -9,6 +9,9 @@
 use llm265_tensor::Tensor;
 use llm265_videocodec::Frame;
 
+use crate::pool;
+use crate::CodecError;
+
 /// A chunk: one frame plus the affine map that restores values.
 #[derive(Debug, Clone)]
 pub struct Chunk {
@@ -27,10 +30,19 @@ pub struct Chunk {
 /// Splits `t` into row-band chunks of at most `max_pixels` values each and
 /// quantizes each band to 8 bits with its own min–max affine map.
 ///
+/// Bands are quantized on the deterministic [`pool`] (`threads == 0`
+/// resolves to the machine's parallelism): each band's affine map and
+/// pixels depend only on its own tensor rows, so the output is identical
+/// at every thread count.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Internal`] if a pool worker panics.
+///
 /// # Panics
 ///
 /// Panics if `t` is empty or `max_pixels < t.cols()`.
-pub fn partition(t: &Tensor, max_pixels: usize) -> Vec<Chunk> {
+pub fn partition(t: &Tensor, max_pixels: usize, threads: usize) -> Result<Vec<Chunk>, CodecError> {
     assert!(!t.is_empty(), "cannot chunk an empty tensor");
     assert!(
         max_pixels >= t.cols(),
@@ -39,14 +51,12 @@ pub fn partition(t: &Tensor, max_pixels: usize) -> Vec<Chunk> {
         t.cols()
     );
     let rows_per_chunk = (max_pixels / t.cols()).max(1).min(t.rows());
-    let mut chunks = Vec::with_capacity(t.rows().div_ceil(rows_per_chunk));
-    let mut row0 = 0;
-    while row0 < t.rows() {
+    let n_chunks = t.rows().div_ceil(rows_per_chunk);
+    pool::run_ordered(n_chunks, threads, |i| {
+        let row0 = i * rows_per_chunk;
         let rows = rows_per_chunk.min(t.rows() - row0);
-        chunks.push(quantize_band(t, row0, rows));
-        row0 += rows;
-    }
-    chunks
+        quantize_band(t, row0, rows)
+    })
 }
 
 fn quantize_band(t: &Tensor, row0: usize, rows: usize) -> Chunk {
@@ -114,7 +124,7 @@ mod tests {
     #[test]
     fn partition_covers_all_rows_without_overlap() {
         let t = sample_tensor(100, 32, 1);
-        let chunks = partition(&t, 32 * 24);
+        let chunks = partition(&t, 32 * 24, 1).expect("partition");
         let mut next = 0;
         for c in &chunks {
             assert_eq!(c.row0, next);
@@ -131,14 +141,14 @@ mod tests {
     #[test]
     fn single_chunk_when_tensor_fits() {
         let t = sample_tensor(16, 16, 2);
-        let chunks = partition(&t, 1 << 20);
+        let chunks = partition(&t, 1 << 20, 1).expect("partition");
         assert_eq!(chunks.len(), 1);
     }
 
     #[test]
     fn quantization_error_bounded_by_half_step() {
         let t = sample_tensor(32, 32, 3);
-        let chunks = partition(&t, 1 << 20);
+        let chunks = partition(&t, 1 << 20, 1).expect("partition");
         let c = &chunks[0];
         let mut out = Tensor::zeros(32, 32);
         dequantize_into(&mut out, &c.frame, c.row0, c.lo, c.scale);
@@ -153,7 +163,7 @@ mod tests {
     #[test]
     fn constant_tensor_roundtrips_exactly() {
         let t = Tensor::full(8, 8, 0.125);
-        let chunks = partition(&t, 1 << 20);
+        let chunks = partition(&t, 1 << 20, 1).expect("partition");
         assert_eq!(chunks[0].scale, 0.0);
         let mut out = Tensor::zeros(8, 8);
         let c = &chunks[0];
@@ -166,7 +176,7 @@ mod tests {
         let mut t = Tensor::zeros(2, 2);
         t[(0, 0)] = -1.0;
         t[(1, 1)] = 3.0;
-        let chunks = partition(&t, 1 << 20);
+        let chunks = partition(&t, 1 << 20, 1).expect("partition");
         let c = &chunks[0];
         assert_eq!(c.frame.get(0, 0), 0);
         assert_eq!(c.frame.get(1, 1), 255);
@@ -177,7 +187,7 @@ mod tests {
     fn non_finite_values_do_not_poison_the_chunk() {
         let mut t = Tensor::zeros(2, 2);
         t[(0, 0)] = f32::NAN;
-        let chunks = partition(&t, 1 << 20);
+        let chunks = partition(&t, 1 << 20, 1).expect("partition");
         // Must not panic; chunk degrades to flat.
         assert_eq!(chunks.len(), 1);
     }
@@ -187,7 +197,7 @@ mod tests {
         // An outlier in one band must not destroy resolution in another.
         let mut t = sample_tensor(64, 16, 4);
         t[(0, 0)] = 100.0; // huge outlier in the first band
-        let chunks = partition(&t, 16 * 32); // two bands of 32 rows
+        let chunks = partition(&t, 16 * 32, 1).expect("partition"); // two bands of 32 rows
         assert_eq!(chunks.len(), 2);
         assert!(chunks[0].scale > 10.0 * chunks[1].scale);
     }

@@ -1,14 +1,40 @@
 //! The LLM.265 codec object.
+//!
+//! Encoding is structured as **probe → assemble**: a probe encodes every
+//! chunk at one QP (fanned over the deterministic [`pool`]) and keeps the
+//! per-chunk payloads plus the two summaries rate search needs — exact
+//! serialized size and reconstruction error. Assembly serializes a probe
+//! into the final stream. Rate searches cache probes per QP, so choosing
+//! a rate never re-encodes a QP twice and never decodes anything.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use llm265_bitstream::bytes;
 use llm265_tensor::channel::LossyCompressor;
 use llm265_tensor::{stats, Tensor};
-use llm265_videocodec::{decode_video, encode_video, CodecConfig, PipelineConfig, Profile};
+use llm265_videocodec::{decode_video, encode_video, CodecConfig, Frame, PipelineConfig, Profile};
 
 use crate::chunk::{self, Chunk};
+use crate::pool;
 use crate::{CodecError, EncodedTensor, RateTarget, TensorCodec};
 
 const MAGIC: u32 = 0x4C54_3635; // "LT65"
+
+/// Fixed stream header: magic + rows + cols + chunk count, 4 B each.
+const STREAM_HEADER_BYTES: usize = 16;
+/// Per-chunk record header: row0 + rows + lo + scale + payload length.
+const CHUNK_HEADER_BYTES: usize = 20;
+
+/// Upper end of the QP scale.
+const QP_MAX: f64 = 51.0;
+/// Rate searches stop once the QP bracket is this tight: the rate/quality
+/// difference across a quarter QP step is far below every target's slack.
+const QP_TOL: f64 = 0.25;
+/// Saturation bound for the log-ratio feasibility score.
+const SCORE_SAT: f64 = 60.0;
 
 /// Configuration of the LLM.265 tensor codec.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,8 +47,13 @@ pub struct Llm265Config {
     pub pipeline: PipelineConfig,
     /// Maximum pixels per frame chunk (hardware codecs bound frame sizes).
     pub max_chunk_pixels: usize,
-    /// QP bisection iterations for rate / distortion targets.
+    /// Iteration cap for the QP rate search (it usually terminates earlier
+    /// via the bracket-width tolerance).
     pub search_iters: usize,
+    /// Worker threads for chunk-parallel encode/decode; `0` means use the
+    /// machine's available parallelism. Encoded bytes are identical at
+    /// every thread count — see [`crate::pool`].
+    pub threads: usize,
 }
 
 impl Default for Llm265Config {
@@ -32,15 +63,60 @@ impl Default for Llm265Config {
             pipeline: PipelineConfig::default(),
             max_chunk_pixels: 1 << 16,
             search_iters: 9,
+            threads: 0,
         }
     }
 }
+
+/// One chunk's encode at a probed QP: the video payload plus the summary
+/// values the rate search reads.
+#[derive(Debug, Clone)]
+struct ChunkProbe {
+    /// Serialized intra-only video payload for this chunk's frame.
+    bytes: Vec<u8>,
+    /// Squared error of this chunk's reconstruction against the source
+    /// tensor rows, measured through the affine dequantizer.
+    sq_err: f64,
+}
+
+/// A full probe of one QP across every chunk. Caching these per probed
+/// QP is what makes the search incremental: feasibility checks, the
+/// final stream, and the channel adapters all read from here instead of
+/// re-encoding or decoding.
+#[derive(Debug, Clone)]
+struct QpProbe {
+    chunks: Vec<ChunkProbe>,
+    /// Exact serialized stream length (headers + payloads).
+    stream_bytes: usize,
+    /// Total squared reconstruction error across chunks.
+    sq_err: f64,
+}
+
+impl QpProbe {
+    fn bits(&self) -> u64 {
+        self.stream_bytes as u64 * 8
+    }
+}
+
+/// What a rate search must satisfy. The score of a probe (see [`score`])
+/// is ≤ 0 exactly when the probe meets the goal.
+#[derive(Debug, Clone, Copy)]
+enum SearchGoal {
+    /// Total stream size must not exceed this many bits.
+    MaxBits(f64),
+    /// Total squared reconstruction error must not exceed this.
+    MaxSquaredError(f64),
+}
+
+/// Cache of probes keyed by the probed QP's bit pattern.
+type ProbeCache = BTreeMap<u64, QpProbe>;
 
 /// The LLM.265 tensor codec: chunking + 8-bit quantization + the intra-only
 /// video codec (see crate docs).
 #[derive(Debug, Clone, Default)]
 pub struct Llm265Codec {
     config: Llm265Config,
+    encode_counter: Option<Arc<AtomicU64>>,
 }
 
 impl Llm265Codec {
@@ -52,7 +128,10 @@ impl Llm265Codec {
     /// Creates a codec with an explicit configuration.
     #[must_use]
     pub fn with_config(config: Llm265Config) -> Self {
-        Llm265Codec { config }
+        Llm265Codec {
+            config,
+            encode_counter: None,
+        }
     }
 
     /// The active configuration.
@@ -60,104 +139,312 @@ impl Llm265Codec {
         &self.config
     }
 
-    /// Encodes every chunk at one QP, returning the serialized stream.
-    fn encode_at_qp(&self, t: &Tensor, chunks: &[Chunk], qp: f64) -> EncodedTensor {
+    /// Installs a counter incremented once per chunk-level video encode —
+    /// a test/diagnostics hook for asserting how much work a rate search
+    /// performs (e.g. that lazy endpoint probing does not regress).
+    pub fn set_chunk_encode_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.encode_counter = Some(counter);
+    }
+
+    /// Encodes every chunk at `qp` — fanned over the deterministic pool —
+    /// and returns payloads plus feasibility summaries. Nothing is
+    /// serialized or decoded here: the stream size is computed from the
+    /// payload lengths and the error from the encoder's own
+    /// reconstruction, which is bit-exact with the decoder's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Internal`] if a worker thread panics.
+    fn probe_qp(&self, t: &Tensor, chunks: &[Chunk], qp: f64) -> Result<QpProbe, CodecError> {
         let cfg = CodecConfig {
             profile: self.config.profile.clone(),
             pipeline: self.config.pipeline,
             qp,
         };
-        let mut out = Vec::new();
-        bytes::write_le_u32(&mut out, MAGIC);
-        bytes::write_le_u32(&mut out, t.rows() as u32);
-        bytes::write_le_u32(&mut out, t.cols() as u32);
-        bytes::write_le_u32(&mut out, chunks.len() as u32);
-        for c in chunks {
+        let counter = self.encode_counter.as_deref();
+        let probes = pool::run_ordered(chunks.len(), self.config.threads, |i| {
+            if let Some(n) = counter {
+                n.fetch_add(1, Ordering::Relaxed);
+            }
+            let c = &chunks[i];
             let enc = encode_video(std::slice::from_ref(&c.frame), &cfg);
-            bytes::write_le_u32(&mut out, c.row0 as u32);
-            bytes::write_le_u32(&mut out, c.rows as u32);
-            bytes::write_le_u32(&mut out, c.lo.to_bits());
-            bytes::write_le_u32(&mut out, c.scale.to_bits());
-            bytes::write_le_u32(&mut out, enc.bytes.len() as u32);
-            out.extend_from_slice(&enc.bytes);
+            let sq_err = enc
+                .recon
+                .first()
+                .map_or(f64::INFINITY, |f| chunk_sq_err(t, c, f));
+            ChunkProbe {
+                bytes: enc.bytes,
+                sq_err,
+            }
+        })?;
+        let mut stream_bytes = STREAM_HEADER_BYTES;
+        let mut sq_err = 0.0;
+        for p in &probes {
+            stream_bytes += CHUNK_HEADER_BYTES + p.bytes.len();
+            sq_err += p.sq_err;
         }
-        EncodedTensor {
-            bytes: out,
-            rows: t.rows(),
-            cols: t.cols(),
+        Ok(QpProbe {
+            chunks: probes,
+            stream_bytes,
+            sq_err,
+        })
+    }
+
+    /// Returns the cached probe for `qp`, encoding it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Llm265Codec::probe_qp`] failures.
+    fn probe_cached<'c>(
+        &self,
+        cache: &'c mut ProbeCache,
+        t: &Tensor,
+        chunks: &[Chunk],
+        qp: f64,
+    ) -> Result<&'c QpProbe, CodecError> {
+        match cache.entry(qp.to_bits()) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(v) => Ok(v.insert(self.probe_qp(t, chunks, qp)?)),
         }
     }
 
-    /// Bisects QP for the chosen target. `feasible(enc)` must be monotone
-    /// in QP in the stated `increasing` sense.
+    /// Serializes a probe into the final tensor stream. This is the `u32`
+    /// wire boundary: oversize dimensions or payloads fail with
+    /// [`CodecError::LimitExceeded`] instead of silently truncating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::LimitExceeded`] when a header field does not
+    /// fit its 32-bit wire representation.
+    fn assemble(
+        &self,
+        t: &Tensor,
+        chunks: &[Chunk],
+        probe: &QpProbe,
+    ) -> Result<EncodedTensor, CodecError> {
+        let mut out = Vec::with_capacity(probe.stream_bytes);
+        bytes::write_le_u32(&mut out, MAGIC);
+        bytes::write_le_u32(&mut out, wire_u32(t.rows(), "tensor rows")?);
+        bytes::write_le_u32(&mut out, wire_u32(t.cols(), "tensor cols")?);
+        bytes::write_le_u32(&mut out, wire_u32(chunks.len(), "chunk count")?);
+        for (c, p) in chunks.iter().zip(&probe.chunks) {
+            bytes::write_le_u32(&mut out, wire_u32(c.row0, "chunk row offset")?);
+            bytes::write_le_u32(&mut out, wire_u32(c.rows, "chunk rows")?);
+            bytes::write_le_u32(&mut out, c.lo.to_bits());
+            bytes::write_le_u32(&mut out, c.scale.to_bits());
+            bytes::write_le_u32(&mut out, wire_u32(p.bytes.len(), "chunk payload length")?);
+            out.extend_from_slice(&p.bytes);
+        }
+        Ok(EncodedTensor {
+            bytes: out,
+            rows: t.rows(),
+            cols: t.cols(),
+        })
+    }
+
+    /// Probes `qp` (through the cache) and serializes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and assembly failures.
+    fn assemble_at(
+        &self,
+        cache: &mut ProbeCache,
+        t: &Tensor,
+        chunks: &[Chunk],
+        qp: f64,
+    ) -> Result<EncodedTensor, CodecError> {
+        let probe = self.probe_cached(cache, t, chunks, qp)?;
+        self.assemble(t, chunks, probe)
+    }
+
+    /// Encodes every chunk at one QP, returning the serialized stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and assembly failures.
+    fn encode_at_qp(
+        &self,
+        t: &Tensor,
+        chunks: &[Chunk],
+        qp: f64,
+    ) -> Result<EncodedTensor, CodecError> {
+        let probe = self.probe_qp(t, chunks, qp)?;
+        self.assemble(t, chunks, &probe)
+    }
+
+    /// Incremental QP search (the rate half of §3.2's "continuous QP").
+    ///
+    /// Replaces the eager bisection of earlier revisions:
+    ///
+    /// - every probed QP's per-chunk encodes are **cached**, so revisiting
+    ///   a QP (including the final assembly) costs nothing;
+    /// - feasibility comes from per-chunk **summaries** — payload sizes
+    ///   and encoder-reconstruction error — so probes neither serialize
+    ///   the stream nor decode it;
+    /// - the **expensive endpoint is lazy**: a QP-0 encode costs several
+    ///   times a mid-range one and is only probed if it is the answer.
+    ///   The cheap QP-51 probe anchors the search; a pessimistic
+    ///   pseudo-score stands in for the unprobed end;
+    /// - probes are placed by **safeguarded false position** (the
+    ///   Illinois variant) on the log-ratio score, which is near-linear
+    ///   in QP for both rate and distortion, and the loop stops once the
+    ///   bracket is [`QP_TOL`] wide.
+    ///
+    /// Returns the stream of the best feasible probed QP. When nothing is
+    /// feasible, the bits goal re-targets the finest QP within 5% of the
+    /// minimum achievable size (tiny tensors: headers dominate, quality
+    /// is nearly free) and the error goal returns the QP-0 best effort —
+    /// both matching the old bisection's behavior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and assembly failures.
     fn search_qp(
         &self,
         t: &Tensor,
         chunks: &[Chunk],
-        feasible: impl Fn(&EncodedTensor) -> bool,
-        prefer_low_qp: bool,
-    ) -> EncodedTensor {
-        // Feasibility boundary: for a bits budget, high QPs are feasible
-        // and we want the lowest feasible QP (most quality in budget). For
-        // an MSE budget, low QPs are feasible and we want the highest
-        // feasible QP (fewest bits within quality).
-        let (mut lo, mut hi) = (0.0_f64, 51.0_f64);
-        let lo_enc = self.encode_at_qp(t, chunks, lo);
-        let hi_enc = self.encode_at_qp(t, chunks, hi);
-        if prefer_low_qp {
-            // Feasible set = [boundary, 51]; want the boundary.
-            if feasible(&lo_enc) {
-                return lo_enc;
-            }
-            if !feasible(&hi_enc) {
-                // Nothing feasible — typical for tiny tensors whose fixed
-                // headers exceed the budget. Rather than returning the
-                // maximally coarse encode, find the *finest* QP whose size
-                // is within 5% of the minimum achievable: headers dominate
-                // there, so the extra quality is nearly free.
-                let cap = hi_enc.bits() as f64 * 1.05;
-                let (mut flo, mut fhi) = (0.0_f64, 51.0_f64);
-                let mut best = hi_enc;
-                for _ in 0..self.config.search_iters {
-                    let mid = 0.5 * (flo + fhi);
-                    let enc = self.encode_at_qp(t, chunks, mid);
-                    if enc.bits() as f64 <= cap {
-                        best = enc;
-                        fhi = mid; // try finer
-                    } else {
-                        flo = mid;
-                    }
+        goal: SearchGoal,
+        cache: &mut ProbeCache,
+    ) -> Result<EncodedTensor, CodecError> {
+        let prefer_low_qp = matches!(goal, SearchGoal::MaxBits(_));
+        // x-axis: the score is decreasing in x, and the preferred
+        // (highest-quality feasible) answer is the lowest feasible x.
+        // Bits: x = qp (low QP = quality). Error: x = 51 − qp.
+        let to_qp = move |x: f64| if prefer_low_qp { x } else { QP_MAX - x };
+
+        // QP 51 is the coarsest and by far the fastest encode — always
+        // probe it first.
+        let s_51 = score(self.probe_cached(cache, t, chunks, QP_MAX)?, goal);
+
+        let (x_lo, mut s_lo, x_hi, mut s_hi);
+        match goal {
+            SearchGoal::MaxBits(budget) => {
+                if s_51 > 0.0 {
+                    // Even the coarsest encode misses the budget (typical
+                    // for tiny tensors whose fixed headers exceed it).
+                    let cap = {
+                        let p = self.probe_cached(cache, t, chunks, QP_MAX)?;
+                        p.bits() as f64 * 1.05
+                    };
+                    // One level of recursion only: QP 51 satisfies `cap`
+                    // by construction, so the recursive call cannot take
+                    // this branch again.
+                    return self.search_qp(t, chunks, SearchGoal::MaxBits(cap), cache);
                 }
-                return best;
+                (x_lo, x_hi, s_hi) = (0.0, QP_MAX, s_51);
+                // Pseudo-score for the unprobed QP-0 end: 8-bit pixels
+                // plus entropy overhead keep real streams under ~9
+                // bits/value, and the floor keeps the end labeled
+                // infeasible so the bracket invariant holds.
+                s_lo = ((9.0 * t.len() as f64) / budget).log2().max(0.5);
             }
-        } else {
-            // Feasible set = [0, boundary]; want the boundary.
-            if feasible(&hi_enc) {
-                return hi_enc;
-            }
-            if !feasible(&lo_enc) {
-                return lo_enc;
+            SearchGoal::MaxSquaredError(_) => {
+                if s_51 <= 0.0 {
+                    // The cheapest possible encode already meets the
+                    // error budget.
+                    return self.assemble_at(cache, t, chunks, QP_MAX);
+                }
+                (x_lo, s_lo, x_hi) = (0.0, s_51, QP_MAX);
+                // Pseudo-score for the unprobed QP-0 end: squared error
+                // shrinks roughly 2^(−ΔQP/3), putting QP 0 about 17
+                // score units below QP 51; the cap keeps the end labeled
+                // feasible. If QP 0 turns out infeasible too, the loop
+                // converges onto it and returns it as the best effort.
+                s_hi = (s_51 - 17.0).min(-1.0);
             }
         }
-        let mut best: Option<EncodedTensor> = None;
+
+        let (mut x_lo, mut x_hi) = (x_lo, x_hi);
+        let mut hi_moved_last: Option<bool> = None;
         for _ in 0..self.config.search_iters {
-            let mid = 0.5 * (lo + hi);
-            let enc = self.encode_at_qp(t, chunks, mid);
-            if feasible(&enc) {
-                best = Some(enc);
-                if prefer_low_qp {
-                    hi = mid;
-                } else {
-                    lo = mid;
+            if x_hi - x_lo <= QP_TOL {
+                break;
+            }
+            let x = interpolate(x_lo, s_lo, x_hi, s_hi);
+            let s = score(self.probe_cached(cache, t, chunks, to_qp(x))?, goal);
+            if s <= 0.0 {
+                // Illinois safeguard: when the feasible end moves twice
+                // in a row, halve the stale end's score so plain false
+                // position cannot stall against one endpoint.
+                if hi_moved_last == Some(true) {
+                    s_lo *= 0.5;
                 }
-            } else if prefer_low_qp {
-                lo = mid;
+                (x_hi, s_hi) = (x, s);
+                hi_moved_last = Some(true);
             } else {
-                hi = mid;
+                if hi_moved_last == Some(false) {
+                    s_hi *= 0.5;
+                }
+                (x_lo, s_lo) = (x, s);
+                hi_moved_last = Some(false);
             }
         }
-        best.unwrap_or(if prefer_low_qp { hi_enc } else { lo_enc })
+        self.assemble_at(cache, t, chunks, to_qp(x_hi))
     }
+}
+
+/// Log-ratio feasibility score of a probe: ≤ 0 exactly when the probe
+/// meets the goal, near-linear in QP for both goals (rate and distortion
+/// are roughly exponential in QP), which is what makes false position
+/// converge in a handful of probes.
+fn score(p: &QpProbe, goal: SearchGoal) -> f64 {
+    match goal {
+        SearchGoal::MaxBits(budget) => (p.bits() as f64 / budget)
+            .log2()
+            .clamp(-SCORE_SAT, SCORE_SAT),
+        SearchGoal::MaxSquaredError(budget) => {
+            if p.sq_err <= 0.0 {
+                -SCORE_SAT
+            } else if budget <= 0.0 {
+                SCORE_SAT
+            } else {
+                (p.sq_err / budget).log2().clamp(-SCORE_SAT, SCORE_SAT)
+            }
+        }
+    }
+}
+
+/// One safeguarded false-position step: the secant zero crossing of the
+/// bracket scores, clamped 5% away from both ends so the bracket always
+/// shrinks even when the secant model is poor.
+fn interpolate(x_lo: f64, s_lo: f64, x_hi: f64, s_hi: f64) -> f64 {
+    let width = x_hi - x_lo;
+    let denom = s_lo - s_hi; // > 0 for a proper bracket
+    let x = if denom > 1e-12 {
+        x_lo + width * (s_lo / denom)
+    } else {
+        x_lo + 0.5 * width
+    };
+    x.clamp(x_lo + 0.05 * width, x_hi - 0.05 * width)
+}
+
+/// Narrows a host size to a `u32` wire field.
+///
+/// # Errors
+///
+/// Returns [`CodecError::LimitExceeded`] when the value does not fit —
+/// the encode-side guard that oversized shapes and payloads fail instead
+/// of truncating on serialization.
+fn wire_u32(v: usize, what: &'static str) -> Result<u32, CodecError> {
+    u32::try_from(v).map_err(|_| CodecError::LimitExceeded(what))
+}
+
+/// Squared error between a chunk's source rows and its reconstruction
+/// mapped back through the affine dequantizer. The encoder reconstruction
+/// is bit-exact with the decoder's output (pinned by videocodec tests),
+/// so this equals the decode-side error without a decode round trip.
+fn chunk_sq_err(t: &Tensor, c: &Chunk, recon: &Frame) -> f64 {
+    let mut sum = 0.0;
+    for y in 0..recon.height() {
+        let row = t.row(c.row0 + y);
+        for (x, &src) in row.iter().enumerate().take(recon.width()) {
+            let v = c.lo + f32::from(recon.get(x, y)) * c.scale;
+            let d = f64::from(src) - f64::from(v);
+            sum += d * d;
+        }
+    }
+    sum
 }
 
 impl TensorCodec for Llm265Codec {
@@ -178,13 +465,13 @@ impl TensorCodec for Llm265Codec {
                 self.config.max_chunk_pixels
             )));
         }
-        let chunks = chunk::partition(t, self.config.max_chunk_pixels);
+        let chunks = chunk::partition(t, self.config.max_chunk_pixels, self.config.threads)?;
         let enc = match target {
             RateTarget::Qp(qp) => {
                 if !(0.0..=51.0).contains(&qp) {
                     return Err(CodecError::InvalidInput(format!("qp {qp} out of range")));
                 }
-                self.encode_at_qp(t, &chunks, qp)
+                self.encode_at_qp(t, &chunks, qp)?
             }
             RateTarget::BitsPerValue(b) => {
                 if b <= 0.0 {
@@ -192,7 +479,9 @@ impl TensorCodec for Llm265Codec {
                         "bits/value target must be positive".into(),
                     ));
                 }
-                self.search_qp(t, &chunks, |e| e.bits_per_value() <= b, true)
+                let mut cache = ProbeCache::new();
+                let budget_bits = b * t.len() as f64;
+                self.search_qp(t, &chunks, SearchGoal::MaxBits(budget_bits), &mut cache)?
             }
             RateTarget::MaxNormalizedMse(m) => {
                 if m < 0.0 {
@@ -201,29 +490,29 @@ impl TensorCodec for Llm265Codec {
                     ));
                 }
                 let var = stats::variance(t.data()).max(1e-30);
-                let target_mse = m * var;
-                let src = t.clone();
+                // Total squared error budget: target normalized MSE ×
+                // variance × element count (feasibility on sums avoids a
+                // division per probe and matches `stats::tensor_mse` up
+                // to summation order).
+                let budget_sq = m * var * t.len() as f64;
+                let mut cache = ProbeCache::new();
                 self.search_qp(
                     t,
                     &chunks,
-                    move |e| {
-                        // lint:allow(panic): stream produced by encode_at_qp
-                        let dec = decode_tensor(e).expect("self-produced stream decodes");
-                        stats::tensor_mse(&src, &dec) <= target_mse
-                    },
-                    false,
-                )
+                    SearchGoal::MaxSquaredError(budget_sq),
+                    &mut cache,
+                )?
             }
         };
         Ok(enc)
     }
 
     fn decode(&self, e: &EncodedTensor) -> Result<Tensor, CodecError> {
-        decode_tensor(e)
+        decode_tensor(e, self.config.threads)
     }
 }
 
-fn decode_tensor(e: &EncodedTensor) -> Result<Tensor, CodecError> {
+fn decode_tensor(e: &EncodedTensor, threads: usize) -> Result<Tensor, CodecError> {
     let data = &e.bytes;
     let mut pos = 0usize;
     if bytes::read_le_u32(data, &mut pos)? != MAGIC {
@@ -235,8 +524,11 @@ fn decode_tensor(e: &EncodedTensor) -> Result<Tensor, CodecError> {
     if rows.checked_mul(cols).is_none_or(|n| n > (1 << 31)) {
         return Err(CodecError::LimitExceeded("tensor shape"));
     }
-    let mut out = Tensor::zeros(rows, cols);
-    let mut covered = 0usize;
+    // Pass 1 (serial): frame the chunk records so payload decodes can fan
+    // out. All structural validation that needs inter-chunk state lives
+    // here; growth is bounded by the actual stream length, not the
+    // (attacker-controlled) declared count.
+    let mut records: Vec<(usize, usize, f32, f32, &[u8])> = Vec::new();
     for _ in 0..n_chunks {
         let row0 = bytes::read_le_u32(data, &mut pos)? as usize;
         let c_rows = bytes::read_le_u32(data, &mut pos)? as usize;
@@ -251,14 +543,27 @@ fn decode_tensor(e: &EncodedTensor) -> Result<Tensor, CodecError> {
         if row0 + c_rows > rows {
             return Err(CodecError::Corrupt("chunk exceeds tensor rows"));
         }
-        let frames = decode_video(payload)?;
-        let frame = frames
-            .first()
+        records.push((row0, c_rows, lo, scale, payload));
+    }
+    // Pass 2: decode chunk payloads on the deterministic pool. Errors
+    // surface in task order, so a corrupt stream reports the same chunk
+    // at every thread count.
+    let frames = pool::try_run_ordered(records.len(), threads, |i| {
+        let (_, c_rows, _, _, payload) = records[i];
+        let frame = decode_video(payload)?
+            .into_iter()
+            .next()
             .ok_or(CodecError::Corrupt("chunk decoded to zero frames"))?;
         if frame.width() != cols || frame.height() != c_rows {
             return Err(CodecError::Corrupt("chunk frame size mismatch"));
         }
-        chunk::dequantize_into(&mut out, frame, row0, lo, scale);
+        Ok(frame)
+    })?;
+    // Pass 3 (serial): affine-restore the bands into the output tensor.
+    let mut out = Tensor::zeros(rows, cols);
+    let mut covered = 0usize;
+    for ((row0, c_rows, lo, scale, _), frame) in records.iter().zip(&frames) {
+        chunk::dequantize_into(&mut out, frame, *row0, *lo, *scale);
         covered += c_rows;
     }
     if covered != rows {
@@ -321,11 +626,12 @@ impl LossyCompressor for Llm265Channel {
 /// A rate-*tracking* LLM.265 channel for training loops.
 ///
 /// Training-time compression calls the codec on statistically similar
-/// tensors thousands of times (every gradient, every step). Bisecting QP
-/// from scratch each call costs ~11 encodes; this channel instead carries
-/// the last accepted QP forward and runs a small proportional controller
-/// (at most a handful of encodes per call), converging to the
-/// bits/value target within a few steps and staying there.
+/// tensors thousands of times (every gradient, every step). Searching QP
+/// from scratch each call costs several encodes; this channel instead
+/// carries the last accepted QP forward and runs a small proportional
+/// controller over cheap probes (the stream is only assembled once, for
+/// the accepted QP), converging to the bits/value target within a few
+/// steps and staying there.
 #[derive(Debug, Clone)]
 pub struct Llm265TrackingChannel {
     codec: Llm265Codec,
@@ -362,16 +668,27 @@ impl LossyCompressor for Llm265TrackingChannel {
     }
 
     fn transcode(&mut self, t: &Tensor) -> (Tensor, u64) {
-        let chunks = chunk::partition(t, self.codec.config.max_chunk_pixels);
+        let chunks = chunk::partition(
+            t,
+            self.codec.config.max_chunk_pixels,
+            self.codec.config.threads,
+        )
+        // lint:allow(panic): channel contract — callers feed non-empty tensors
+        .expect("partition of non-empty tensor");
+        let n = t.len() as f64;
         let mut qp = self.last_qp;
-        let mut best: Option<(f64, EncodedTensor)> = None;
+        let mut best: Option<(f64, QpProbe)> = None;
         for _ in 0..Self::MAX_TRIES {
-            let enc = self.codec.encode_at_qp(t, &chunks, qp);
-            let bpv = enc.bits_per_value();
+            let probe = self
+                .codec
+                .probe_qp(t, &chunks, qp)
+                // lint:allow(panic): probing fails only if a pool worker dies
+                .expect("probe of self-produced chunks");
+            let bpv = probe.bits() as f64 / n;
             if bpv <= self.target_bits {
                 let better = best.as_ref().is_none_or(|(b, _)| bpv > *b);
                 if better {
-                    best = Some((bpv, enc));
+                    best = Some((bpv, probe));
                     self.last_qp = qp;
                 }
                 if bpv >= 0.93 * self.target_bits {
@@ -384,25 +701,34 @@ impl LossyCompressor for Llm265TrackingChannel {
                 qp = (qp + 6.0 * (bpv / self.target_bits).log2().clamp(0.2, 1.5)).min(51.0);
             }
         }
-        let (_, enc) = best.unwrap_or_else(|| {
+        let (_, probe) = best.unwrap_or_else(|| {
             // Never got under the budget within the try limit: keep
             // coarsening until feasible or QP saturates (headers may make
             // the budget unreachable; QP 51 is then the best effort).
             let mut qp = qp;
             loop {
                 qp = (qp + 6.0).min(51.0);
-                let enc = self.codec.encode_at_qp(t, &chunks, qp);
-                let bpv = enc.bits_per_value();
+                let probe = self
+                    .codec
+                    .probe_qp(t, &chunks, qp)
+                    // lint:allow(panic): probing fails only if a pool worker dies
+                    .expect("probe of self-produced chunks");
+                let bpv = probe.bits() as f64 / n;
                 if bpv <= self.target_bits || qp >= 51.0 {
                     self.last_qp = qp;
-                    return (bpv, enc);
+                    return (bpv, probe);
                 }
             }
         });
+        let enc = self
+            .codec
+            .assemble(t, &chunks, &probe)
+            // lint:allow(panic): training tensors sit far below the u32 wire limits
+            .expect("assemble of self-produced probe");
         let out = self
             .codec
             .decode(&enc)
-            // lint:allow(panic): decoding a stream produced by encode_at_qp above
+            // lint:allow(panic): decoding a stream assembled above
             .expect("self-produced stream decodes");
         (out, enc.bits())
     }
@@ -533,6 +859,41 @@ mod tests {
         let out = codec.decode(&enc).unwrap();
         assert_eq!(out, t);
         assert!(enc.bits_per_value() < 0.2, "bpv {}", enc.bits_per_value());
+    }
+
+    #[test]
+    fn oversize_wire_fields_error_instead_of_truncating() {
+        assert!(wire_u32(usize::try_from(u32::MAX).unwrap(), "x").is_ok());
+        let too_big = usize::try_from(u64::from(u32::MAX) + 1).unwrap();
+        assert!(matches!(
+            wire_u32(too_big, "x"),
+            Err(CodecError::LimitExceeded("x"))
+        ));
+    }
+
+    #[test]
+    fn probe_summaries_match_the_assembled_stream() {
+        // The search trusts probe summaries instead of serializing or
+        // decoding; pin them to the ground truth.
+        let t = weight(9, 96);
+        let codec = Llm265Codec::with_config(Llm265Config {
+            max_chunk_pixels: 96 * 24,
+            threads: 1,
+            ..Llm265Config::default()
+        });
+        let chunks = chunk::partition(&t, 96 * 24, 1).unwrap();
+        let probe = codec.probe_qp(&t, &chunks, 28.0).unwrap();
+        let enc = codec.assemble(&t, &chunks, &probe).unwrap();
+        assert_eq!(probe.stream_bytes, enc.bytes().len());
+        let dec = codec.decode(&enc).unwrap();
+        let true_sq = stats::tensor_mse(&t, &dec) * t.len() as f64;
+        let rel = (probe.sq_err - true_sq).abs() / true_sq.max(1e-30);
+        assert!(
+            rel < 1e-9,
+            "probe sq_err {} vs decode {}",
+            probe.sq_err,
+            true_sq
+        );
     }
 }
 

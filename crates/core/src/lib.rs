@@ -44,6 +44,7 @@ pub mod archive;
 mod chunk;
 mod codec;
 pub mod gradient;
+pub mod pool;
 pub mod rate;
 
 pub use codec::{Llm265Channel, Llm265Codec, Llm265Config, Llm265TrackingChannel};

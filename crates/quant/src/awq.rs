@@ -113,8 +113,9 @@ impl AwqQuantizer {
 
     /// Wire size in bits: payload + group scales + per-channel scales.
     pub fn wire_bits(&self, w: &Tensor) -> u64 {
-        let groups = w.len().div_ceil(self.group) as u64;
-        w.len() as u64 * self.bits as u64 + groups * 32 + w.cols() as u64 * 32
+        // `self.group` is clamped to >= 1 at construction.
+        let groups = (w.len() as u64).div_ceil(self.group as u64);
+        w.len() as u64 * u64::from(self.bits) + groups * 32 + w.cols() as u64 * 32
     }
 }
 

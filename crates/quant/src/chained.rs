@@ -63,7 +63,7 @@ impl NumericStage {
 /// Derives per-value level indices (biased to unsigned bytes) from a
 /// symmetric group-wise RTN reconstruction.
 fn symbols_from_groups(orig: &Tensor, recon: &Tensor, bits: u32, group: usize) -> Vec<u8> {
-    let half = (1i32 << (bits - 1)) as f32;
+    let half: f32 = (1i32 << (bits - 1)) as f32;
     let mut out = Vec::with_capacity(orig.len());
     let data_o = orig.data();
     let data_r = recon.data();
@@ -192,8 +192,8 @@ impl LossyCompressor for ChainedCodec {
         let packed = self.lossless.codec().compress(&symbols);
         // Group/block scale metadata rides along uncompressed.
         let scale_bits = match self.numeric {
-            NumericStage::Rtn(_) => (t.len().div_ceil(128) as u64) * 32,
-            NumericStage::Mxfp(_) => (t.len().div_ceil(crate::mxfp::BLOCK) as u64) * 8,
+            NumericStage::Rtn(_) => (t.len() as u64).div_ceil(128) * 32,
+            NumericStage::Mxfp(_) => (t.len() as u64).div_ceil(crate::mxfp::BLOCK as u64) * 8,
         };
         (recon, packed.len() as u64 * 8 + scale_bits)
     }

@@ -159,8 +159,9 @@ impl GptqQuantizer {
 
     /// Wire size in bits (payload + one scale per group per row).
     pub fn wire_bits(&self, w: &Tensor) -> u64 {
-        let groups_per_row = w.cols().div_ceil(self.group) as u64;
-        w.len() as u64 * self.bits as u64 + w.rows() as u64 * groups_per_row * 32
+        // `self.group` is clamped to >= 1 at construction.
+        let groups_per_row = (w.cols() as u64).div_ceil(self.group as u64);
+        w.len() as u64 * u64::from(self.bits) + w.rows() as u64 * groups_per_row * 32
     }
 }
 

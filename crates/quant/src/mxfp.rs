@@ -132,7 +132,7 @@ impl MxfpQuantizer {
 
     /// Wire size in bits: elements plus one 8-bit scale per block.
     pub fn wire_bits(&self, t: &Tensor) -> u64 {
-        let blocks = t.len().div_ceil(BLOCK) as u64;
+        let blocks = (t.len() as u64).div_ceil(BLOCK as u64);
         t.len() as u64 * self.format.element_bits() as u64 + blocks * 8
     }
 

@@ -67,7 +67,7 @@ impl Nf4Quantizer {
 
     /// Wire size: 4 bits/value + one f32 absmax per block.
     pub fn wire_bits(&self, t: &Tensor) -> u64 {
-        let blocks = t.len().div_ceil(BLOCK) as u64;
+        let blocks = (t.len() as u64).div_ceil(BLOCK as u64);
         t.len() as u64 * 4 + blocks * 32
     }
 }

@@ -132,14 +132,14 @@ impl RtnQuantizer {
     /// (one f32 per scale for symmetric, two for asymmetric).
     pub fn wire_bits(&self, t: &Tensor) -> u64 {
         let n = t.len() as u64;
-        let group_len = match self.scheme {
+        let group_len: usize = match self.scheme {
             GroupScheme::PerTensor => t.len().max(1),
             GroupScheme::Groups(g) => g,
             GroupScheme::PerRow => t.cols().max(1),
-        } as u64;
-        let groups = n.div_ceil(group_len.max(1));
+        };
+        let groups = n.div_ceil((group_len as u64).max(1));
         let scale_bits = if self.asymmetric { 64 } else { 32 };
-        n * self.bits as u64 + groups * scale_bits
+        n * u64::from(self.bits) + groups * scale_bits
     }
 }
 

@@ -21,6 +21,11 @@ struct FrameDecoder<'a> {
     frame_inter: bool,
     mode_bits: u32,
     prev_mode: u8,
+    // Per-TU scratch (dequantized coefficients, DCT workspace and the
+    // reconstructed residual), reused across every TU of the frame.
+    deq: Vec<f64>,
+    dct_tmp: Vec<f64>,
+    rres: Vec<i32>,
 }
 
 impl<'a> FrameDecoder<'a> {
@@ -106,19 +111,23 @@ impl<'a> FrameDecoder<'a> {
         for ty in 0..per_side {
             for tx in 0..per_side {
                 let levels = parse_residual(dec, ctxs, tu, spatial);
-                let rres: Vec<i32> = if self.cfg.pipeline.transform {
-                    let deq = self.quant.dequantize_block(&levels);
-                    self.plans.get(tu).inverse(&deq)
+                if self.cfg.pipeline.transform {
+                    self.quant.dequantize_block_into(&levels, &mut self.deq);
+                    self.plans
+                        .get(tu)
+                        .inverse_into(&self.deq, &mut self.dct_tmp, &mut self.rres);
                 } else {
-                    levels
-                        .iter()
-                        .map(|&l| self.quant.dequantize(l).round() as i32)
-                        .collect()
-                };
+                    self.rres.clear();
+                    self.rres.extend(
+                        levels
+                            .iter()
+                            .map(|&l| self.quant.dequantize(l).round() as i32),
+                    );
+                }
                 for y in 0..tu {
                     for x in 0..tu {
                         let idx = (ty * tu + y) * size + tx * tu + x;
-                        block[idx] = (pred[idx] + rres[y * tu + x]).clamp(0, 255);
+                        block[idx] = (pred[idx] + self.rres[y * tu + x]).clamp(0, 255);
                     }
                 }
             }
@@ -247,6 +256,9 @@ pub(crate) fn decode_frame(
         frame_inter,
         mode_bits: 32 - (mode_count - 1).leading_zeros(),
         prev_mode: 0,
+        deq: Vec::new(),
+        dct_tmp: Vec::new(),
+        rres: Vec::new(),
     };
     let mut dec = CabacDecoder::new(payload);
     let mut ctxs = Contexts::new();

@@ -75,6 +75,36 @@ impl CoderState {
     }
 }
 
+/// Reusable buffers for the per-TU transform/quantize path. The decide
+/// loop runs this for every candidate of every CU at every quad-tree
+/// level, so fresh allocations here dominate the encode profile; the
+/// buffers carry no information between calls — each user overwrites
+/// them completely.
+#[derive(Default)]
+struct TuScratch {
+    /// Spatial residual staged by the caller, `tu * tu` values.
+    residual: Vec<i32>,
+    /// Forward-transform output / quantizer input.
+    coeffs: Vec<f64>,
+    /// Dequantized coefficients.
+    deq: Vec<f64>,
+    /// Row/column workspace shared by both DCT directions.
+    dct_tmp: Vec<f64>,
+    /// Reconstructed residual left for the caller.
+    rres: Vec<i32>,
+}
+
+/// Per-frame scratch: TU buffers plus the CU-sized staging blocks used
+/// by the decide loop.
+#[derive(Default)]
+struct Scratch {
+    tu: TuScratch,
+    /// Original pixels of the CU being residual-coded.
+    cu_orig: Vec<i32>,
+    /// Original pixels of the CU whose prediction is being decided.
+    leaf_orig: Vec<i32>,
+}
+
 /// Everything a single frame encode needs.
 struct FrameCoder<'a> {
     cfg: &'a CodecConfig,
@@ -86,6 +116,7 @@ struct FrameCoder<'a> {
     lambda: f64,
     frame_inter: bool,
     mode_bits: u32,
+    scratch: Scratch,
 }
 
 impl<'a> FrameCoder<'a> {
@@ -108,6 +139,7 @@ impl<'a> FrameCoder<'a> {
             lambda: lambda(cfg.qp),
             frame_inter,
             mode_bits: 32 - (n_modes - 1).leading_zeros(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -119,27 +151,33 @@ impl<'a> FrameCoder<'a> {
         }
     }
 
-    /// Transforms + quantizes one residual block, returning the levels and
-    /// the reconstructed residual (what dequantization will recover).
-    fn quantize_tu(&self, residual: &[i32], n: usize) -> (Vec<i32>, Vec<i32>) {
+    /// Transforms + quantizes the residual staged in `scratch.tu.residual`,
+    /// leaving the reconstructed residual (what dequantization will
+    /// recover) in `scratch.tu.rres` and returning the quantized levels —
+    /// owned, because they outlive the scratch inside [`LeafData`].
+    fn quantize_tu(&mut self, n: usize) -> Vec<i32> {
+        let tu = &mut self.scratch.tu;
         if self.cfg.pipeline.transform {
             let plan = self.plans.get(n);
-            let coeffs = plan.forward(residual);
-            let levels = self.quant.quantize_block(&coeffs);
-            let deq = self.quant.dequantize_block(&levels);
-            let recon = plan.inverse(&deq);
-            (levels, recon)
+            plan.forward_into(&tu.residual, &mut tu.dct_tmp, &mut tu.coeffs);
+            let levels = self.quant.quantize_block(&tu.coeffs);
+            self.quant.dequantize_block_into(&levels, &mut tu.deq);
+            plan.inverse_into(&tu.deq, &mut tu.dct_tmp, &mut tu.rres);
+            levels
         } else {
             // Transform skip: quantize the spatial residual directly.
-            let levels: Vec<i32> = residual
+            let levels: Vec<i32> = tu
+                .residual
                 .iter()
                 .map(|&r| self.quant.quantize(r as f64))
                 .collect();
-            let recon: Vec<i32> = levels
-                .iter()
-                .map(|&l| self.quant.dequantize(l).round() as i32)
-                .collect();
-            (levels, recon)
+            tu.rres.clear();
+            tu.rres.extend(
+                levels
+                    .iter()
+                    .map(|&l| self.quant.dequantize(l).round() as i32),
+            );
+            levels
         }
     }
 
@@ -147,7 +185,7 @@ impl<'a> FrameCoder<'a> {
     /// profile requires). Returns levels per TU, the reconstructed block,
     /// and the SSD distortion against the original.
     fn quantize_cu_residual(
-        &self,
+        &mut self,
         x0: usize,
         y0: usize,
         size: usize,
@@ -155,31 +193,37 @@ impl<'a> FrameCoder<'a> {
     ) -> (Vec<Vec<i32>>, Vec<i32>, f64) {
         let tu = size.min(self.cfg.profile.max_tu());
         let per_side = size / tu;
-        let mut orig = vec![0i32; size * size];
-        self.orig.read_block(x0, y0, size, &mut orig);
+        self.scratch.cu_orig.clear();
+        self.scratch.cu_orig.resize(size * size, 0);
+        self.orig
+            .read_block(x0, y0, size, &mut self.scratch.cu_orig);
 
         let mut tus = Vec::with_capacity(per_side * per_side);
         let mut recon = vec![0i32; size * size];
         for ty in 0..per_side {
             for tx in 0..per_side {
-                let mut residual = vec![0i32; tu * tu];
+                self.scratch.tu.residual.clear();
+                self.scratch.tu.residual.resize(tu * tu, 0);
                 for y in 0..tu {
                     for x in 0..tu {
                         let idx = (ty * tu + y) * size + tx * tu + x;
-                        residual[y * tu + x] = orig[idx] - pred[idx];
+                        self.scratch.tu.residual[y * tu + x] =
+                            self.scratch.cu_orig[idx] - pred[idx];
                     }
                 }
-                let (levels, rres) = self.quantize_tu(&residual, tu);
+                let levels = self.quantize_tu(tu);
                 for y in 0..tu {
                     for x in 0..tu {
                         let idx = (ty * tu + y) * size + tx * tu + x;
-                        recon[idx] = (pred[idx] + rres[y * tu + x]).clamp(0, 255);
+                        recon[idx] = (pred[idx] + self.scratch.tu.rres[y * tu + x]).clamp(0, 255);
                     }
                 }
                 tus.push(levels);
             }
         }
-        let dist: f64 = orig
+        let dist: f64 = self
+            .scratch
+            .cu_orig
             .iter()
             .zip(&recon)
             .map(|(&a, &b)| ((a - b) as f64).powi(2))
@@ -235,8 +279,11 @@ impl<'a> FrameCoder<'a> {
         size: usize,
         state: &mut CoderState,
     ) -> (LeafData, f64) {
-        let mut orig = vec![0i32; size * size];
-        self.orig.read_block(x0, y0, size, &mut orig);
+        self.scratch.leaf_orig.clear();
+        self.scratch.leaf_orig.resize(size * size, 0);
+        self.orig
+            .read_block(x0, y0, size, &mut self.scratch.leaf_orig);
+        let orig = &self.scratch.leaf_orig;
 
         // Candidate predictions.
         let mut cands: Vec<(CuKind, Vec<i32>)> = Vec::new();

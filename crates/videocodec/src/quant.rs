@@ -77,6 +77,13 @@ impl Quantizer {
     pub fn dequantize_block(&self, levels: &[i32]) -> Vec<f64> {
         levels.iter().map(|&l| self.dequantize(l)).collect()
     }
+
+    /// [`Self::dequantize_block`] into a caller-owned buffer, for hot
+    /// loops that process many blocks without reallocating.
+    pub fn dequantize_block_into(&self, levels: &[i32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(levels.iter().map(|&l| self.dequantize(l)));
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +172,9 @@ mod tests {
         for (i, &l) in levels.iter().enumerate() {
             assert_eq!(back[i], q.dequantize(l));
         }
+        let mut buf = vec![99.0; 7]; // stale contents must be overwritten
+        q.dequantize_block_into(&levels, &mut buf);
+        assert_eq!(buf, back);
     }
 
     #[test]

@@ -55,10 +55,26 @@ impl DctPlan {
     ///
     /// Panics if `block.len() != n * n`.
     pub fn forward(&self, block: &[i32]) -> Vec<f64> {
+        let mut tmp = Vec::new();
+        let mut out = Vec::new();
+        self.forward_into(block, &mut tmp, &mut out);
+        out
+    }
+
+    /// [`Self::forward`] into caller-owned buffers, for hot loops that
+    /// transform many blocks. `tmp` is workspace, `out` receives the
+    /// coefficients; both are resized as needed. The arithmetic (and so
+    /// the result, bit for bit) is identical to [`Self::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != n * n`.
+    pub fn forward_into(&self, block: &[i32], tmp: &mut Vec<f64>, out: &mut Vec<f64>) {
         let n = self.n;
         assert_eq!(block.len(), n * n);
         // Rows then columns; O(n^3), fine at n <= 32.
-        let mut tmp = vec![0.0f64; n * n];
+        tmp.clear();
+        tmp.resize(n * n, 0.0);
         for y in 0..n {
             for k in 0..n {
                 let mut acc = 0.0;
@@ -68,7 +84,8 @@ impl DctPlan {
                 tmp[y * n + k] = acc;
             }
         }
-        let mut out = vec![0.0f64; n * n];
+        out.clear();
+        out.resize(n * n, 0.0);
         for x in 0..n {
             for k in 0..n {
                 let mut acc = 0.0;
@@ -78,7 +95,6 @@ impl DctPlan {
                 out[k * n + x] = acc;
             }
         }
-        out
     }
 
     /// Inverse 2-D DCT, rounding to the nearest integer residual.
@@ -90,9 +106,23 @@ impl DctPlan {
     ///
     /// Panics if `coeffs.len() != n * n`.
     pub fn inverse(&self, coeffs: &[f64]) -> Vec<i32> {
+        let mut tmp = Vec::new();
+        let mut out = Vec::new();
+        self.inverse_into(coeffs, &mut tmp, &mut out);
+        out
+    }
+
+    /// [`Self::inverse`] into caller-owned buffers — same contract as
+    /// [`Self::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n * n`.
+    pub fn inverse_into(&self, coeffs: &[f64], tmp: &mut Vec<f64>, out: &mut Vec<i32>) {
         let n = self.n;
         assert_eq!(coeffs.len(), n * n);
-        let mut tmp = vec![0.0f64; n * n];
+        tmp.clear();
+        tmp.resize(n * n, 0.0);
         for x in 0..n {
             for i in 0..n {
                 let mut acc = 0.0;
@@ -102,7 +132,8 @@ impl DctPlan {
                 tmp[i * n + x] = acc;
             }
         }
-        let mut out = vec![0i32; n * n];
+        out.clear();
+        out.resize(n * n, 0);
         for y in 0..n {
             for i in 0..n {
                 let mut acc = 0.0;
@@ -112,7 +143,6 @@ impl DctPlan {
                 out[y * n + i] = acc.round() as i32;
             }
         }
-        out
     }
 }
 
@@ -231,6 +261,26 @@ mod tests {
         sorted.sort_by(|a, b| b.total_cmp(a));
         let top4: f64 = sorted.iter().take(4).sum();
         assert!(top4 / total > 0.95, "energy compaction {}", top4 / total);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_bit_for_bit() {
+        let mut rng = Pcg32::seed_from(3);
+        let mut tmp = Vec::new();
+        let mut coeffs_buf = Vec::new();
+        let mut back_buf = Vec::new();
+        for &n in &SIZES {
+            let plan = DctPlan::new(n);
+            let block: Vec<i32> = (0..n * n).map(|_| rng.below(256) as i32 - 128).collect();
+            let coeffs = plan.forward(&block);
+            // Buffers deliberately carry stale contents from the previous
+            // size; the _into contract is that they are fully overwritten.
+            plan.forward_into(&block, &mut tmp, &mut coeffs_buf);
+            assert_eq!(coeffs_buf, coeffs, "forward size {n}");
+            let back = plan.inverse(&coeffs);
+            plan.inverse_into(&coeffs_buf, &mut tmp, &mut back_buf);
+            assert_eq!(back_buf, back, "inverse size {n}");
+        }
     }
 
     #[test]

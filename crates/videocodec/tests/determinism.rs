@@ -59,3 +59,42 @@ fn repeated_decodes_are_identical() {
     let b = decode_video(&enc.bytes).expect("decode failed");
     assert_eq!(a, b);
 }
+
+/// The encoder's committed reconstruction must equal the decoder's output
+/// exactly. The tensor codec's rate search relies on this: it measures
+/// reconstruction error from `EncodedVideo::recon` without a decode
+/// round-trip, so any drift here silently skews every MSE-targeted
+/// search. Cover intra-only and inter paths at several QPs, including a
+/// fractional one.
+#[test]
+fn encoder_recon_is_bit_exact_with_decoder_output() {
+    let frames = [
+        textured_frame(17, 56, 40),
+        textured_frame(18, 56, 40),
+        textured_frame(17, 56, 40), // repeat favours inter prediction
+    ];
+    for qp in [8.0, 24.25, 38.0, 51.0] {
+        let cfg = CodecConfig::default().with_qp(qp);
+        let enc = encode_video(&frames, &cfg);
+        let dec = decode_video(&enc.bytes).expect("decode failed");
+        assert_eq!(enc.recon.len(), dec.len());
+        for (i, (r, d)) in enc.recon.iter().zip(&dec).enumerate() {
+            assert_eq!(r, d, "frame {i} at qp {qp}");
+        }
+    }
+}
+
+/// Non-CTU-aligned frame sizes exercise the padding/cropping path; the
+/// recon/decoder identity and run-to-run determinism must hold there too.
+#[test]
+fn odd_sizes_stay_deterministic_and_recon_exact() {
+    for (w, h) in [(33, 17), (1, 64), (80, 9)] {
+        let frames = [textured_frame(5, w, h)];
+        let cfg = CodecConfig::default().with_qp(28.0);
+        let a = encode_video(&frames, &cfg);
+        let b = encode_video(&frames, &cfg);
+        assert_eq!(a.bytes, b.bytes, "{w}x{h} stream differs across runs");
+        let dec = decode_video(&a.bytes).expect("decode failed");
+        assert_eq!(a.recon[0], dec[0], "{w}x{h} recon != decode");
+    }
+}
