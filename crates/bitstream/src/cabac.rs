@@ -139,24 +139,52 @@ impl CabacEncoder {
 
     /// Encodes `n` bypass bits, MSB first.
     ///
+    /// Fast path: bins are folded into groups with a single hoisted
+    /// renormalization per group instead of one check per bin. A bypass
+    /// bin halves `range`, and after renormalization `range` lies in
+    /// `[2^24, 2^32)`, so `8 - range.leading_zeros()` (between 1 and 8)
+    /// bins can always run straight-line before `range` can drop below
+    /// the renorm threshold — the skipped per-bin checks provably cannot
+    /// fire mid-group, making the output byte-identical to coding each
+    /// bin through [`Self::encode_bypass`] (pinned by a cross-coding
+    /// test).
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if `value` has bits above `n`.
     pub fn encode_bypass_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n == 64 || value < (1u64 << n));
-        for i in (0..n).rev() {
-            self.encode_bypass((value >> i) & 1 == 1);
+        let mut left = n;
+        while left > 0 {
+            debug_assert!(self.range >= TOP, "range invariant broken");
+            let group = left.min(8 - self.range.leading_zeros());
+            let mut range = self.range;
+            let mut add = 0u64;
+            for i in (left - group..left).rev() {
+                range >>= 1;
+                if (value >> i) & 1 == 1 {
+                    add += u64::from(range);
+                }
+            }
+            self.low += add;
+            self.range = range;
+            while self.range < TOP {
+                self.shift_low();
+                self.range <<= 8;
+            }
+            left -= group;
         }
     }
 
     /// Encodes an unsigned Exp-Golomb value in bypass mode (H.265 uses this
-    /// for large coefficient remainders).
+    /// for large coefficient remainders). Prefix zeros and the value field
+    /// each go through the batched [`Self::encode_bypass_bits`] fast path
+    /// (the combined field can reach 65 bits at `u32::MAX`, so it is not a
+    /// single call).
     pub fn encode_ue_bypass(&mut self, value: u32) {
         let v = value as u64 + 1;
         let len = 64 - v.leading_zeros();
-        for _ in 0..len - 1 {
-            self.encode_bypass(false);
-        }
+        self.encode_bypass_bits(0, len - 1);
         self.encode_bypass_bits(v, len);
     }
 
@@ -277,10 +305,35 @@ impl<'a> CabacDecoder<'a> {
     }
 
     /// Decodes `n` bypass bits, MSB first.
+    ///
+    /// Mirror of the encoder's batched fast path: bins run straight-line
+    /// in groups sized by the renorm horizon (`8 - range.leading_zeros()`
+    /// after renormalization), with `range`/`code` held in locals and one
+    /// hoisted renormalization per group. Decodes exactly the same bits
+    /// as bin-by-bin [`Self::decode_bypass`] calls.
     pub fn decode_bypass_bits(&mut self, n: u32) -> u64 {
         let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.decode_bypass() as u64;
+        let mut left = n;
+        while left > 0 {
+            debug_assert!(self.range >= TOP, "range invariant broken");
+            let group = left.min(8 - self.range.leading_zeros());
+            let mut range = self.range;
+            let mut code = self.code;
+            for _ in 0..group {
+                range >>= 1;
+                let bit = code >= range;
+                if bit {
+                    code -= range;
+                }
+                v = (v << 1) | u64::from(bit);
+            }
+            self.range = range;
+            self.code = code;
+            while self.range < TOP {
+                self.code = (self.code << 8) | self.next_byte() as u32;
+                self.range <<= 8;
+            }
+            left -= group;
         }
         v
     }
@@ -436,6 +489,95 @@ mod tests {
             assert_eq!(dec.decode_bit(&mut c0), i % 7 == 0);
             assert_eq!(dec.decode_bypass(), i % 2 == 0);
             assert_eq!(dec.decode_bit(&mut c1), i % 3 == 0);
+        }
+    }
+
+    /// Deterministic 64-bit LCG for adversarial bit patterns (no external
+    /// rng dependency in this crate).
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    #[test]
+    fn batched_bypass_is_byte_identical_to_bin_by_bin() {
+        // The batched fast path must produce the exact bytes of the
+        // bin-by-bin loop, across widths that straddle every renorm
+        // position — including max-magnitude (all-ones), alternating and
+        // sparse values, interleaved with adaptive context bits so the
+        // range enters each batch at varied positions.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut plan: Vec<(u64, u32, bool)> = Vec::new();
+        for round in 0..2000u32 {
+            let n = (lcg(&mut state) % 64 + 1) as u32;
+            let v = match round % 4 {
+                0 => lcg(&mut state),
+                1 => u64::MAX,              // all-ones
+                2 => 0xAAAA_AAAA_AAAA_AAAA, // alternating
+                _ => 1,                     // sparse
+            } & if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let ctx_bit = lcg(&mut state).is_multiple_of(3);
+            plan.push((v, n, ctx_bit));
+        }
+
+        let mut batched = CabacEncoder::new();
+        let mut serial = CabacEncoder::new();
+        let mut ctx_a = Prob::default();
+        let mut ctx_b = Prob::default();
+        for &(v, n, ctx_bit) in &plan {
+            batched.encode_bypass_bits(v, n);
+            for i in (0..n).rev() {
+                serial.encode_bypass((v >> i) & 1 == 1);
+            }
+            batched.encode_bit(&mut ctx_a, ctx_bit);
+            serial.encode_bit(&mut ctx_b, ctx_bit);
+        }
+        let bytes_batched = batched.finish();
+        let bytes_serial = serial.finish();
+        assert_eq!(bytes_batched, bytes_serial);
+
+        // Both decode styles must read the same values back.
+        let mut dec_batched = CabacDecoder::new(&bytes_batched);
+        let mut dec_serial = CabacDecoder::new(&bytes_batched);
+        let mut ctx_a = Prob::default();
+        let mut ctx_b = Prob::default();
+        for &(v, n, ctx_bit) in &plan {
+            assert_eq!(dec_batched.decode_bypass_bits(n), v);
+            let mut w = 0u64;
+            for _ in 0..n {
+                w = (w << 1) | u64::from(dec_serial.decode_bypass());
+            }
+            assert_eq!(w, v);
+            assert_eq!(dec_batched.decode_bit(&mut ctx_a), ctx_bit);
+            assert_eq!(dec_serial.decode_bit(&mut ctx_b), ctx_bit);
+        }
+    }
+
+    #[test]
+    fn batched_ue_bypass_is_byte_identical_to_bin_by_bin() {
+        let values = [0u32, 1, 2, 5, 31, 32, 1000, 1 << 20, u32::MAX];
+        let mut batched = CabacEncoder::new();
+        let mut serial = CabacEncoder::new();
+        for &value in &values {
+            batched.encode_ue_bypass(value);
+            // The pre-batching formulation: leading zeros bin by bin, then
+            // the value field MSB-first bin by bin.
+            let v = value as u64 + 1;
+            let len = 64 - v.leading_zeros();
+            for _ in 0..len - 1 {
+                serial.encode_bypass(false);
+            }
+            for i in (0..len).rev() {
+                serial.encode_bypass((v >> i) & 1 == 1);
+            }
+        }
+        let bytes = batched.finish();
+        assert_eq!(bytes, serial.finish());
+        let mut dec = CabacDecoder::new(&bytes);
+        for &value in &values {
+            assert_eq!(dec.decode_ue_bypass(), value);
         }
     }
 

@@ -108,8 +108,44 @@ enum SearchGoal {
     MaxSquaredError(f64),
 }
 
+impl SearchGoal {
+    /// Maps a search-axis position to a QP. The axis is oriented so the
+    /// score is decreasing in x and the preferred (highest-quality
+    /// feasible) answer is the *lowest* feasible x: bits searches walk QP
+    /// directly (low QP = quality), error searches walk `51 − qp`.
+    fn to_qp(self, x: f64) -> f64 {
+        match self {
+            SearchGoal::MaxBits(_) => x,
+            SearchGoal::MaxSquaredError(_) => QP_MAX - x,
+        }
+    }
+}
+
 /// Cache of probes keyed by the probed QP's bit pattern.
 type ProbeCache = BTreeMap<u64, QpProbe>;
+
+/// A remembered search bracket on the search's x-axis (where the score is
+/// decreasing and the best feasible answer is the lowest feasible x; see
+/// [`Llm265Codec::search_qp`]). Handing the previous call's bracket back
+/// to the search lets repeated same-shape tensors skip the lazy endpoint
+/// setup: both remembered ends are probed directly and expanded
+/// geometrically only if the crossing moved.
+#[derive(Debug, Clone, Copy)]
+struct QpBracket {
+    /// x of the last accepted (feasible) probe.
+    feasible: f64,
+    /// x of a nearby infeasible probe (always ≤ `feasible`).
+    infeasible: f64,
+}
+
+/// A live false-position bracket: positions and scores of both ends.
+#[derive(Debug, Clone, Copy)]
+struct Bracket {
+    x_lo: f64,
+    s_lo: f64,
+    x_hi: f64,
+    s_hi: f64,
+}
 
 /// The LLM.265 tensor codec: chunking + 8-bit quantization + the intra-only
 /// video codec (see crate docs).
@@ -291,11 +327,18 @@ impl Llm265Codec {
     ///   in QP for both rate and distortion, and the loop stops once the
     ///   bracket is [`QP_TOL`] wide.
     ///
-    /// Returns the stream of the best feasible probed QP. When nothing is
-    /// feasible, the bits goal re-targets the finest QP within 5% of the
-    /// minimum achievable size (tiny tensors: headers dominate, quality
-    /// is nearly free) and the error goal returns the QP-0 best effort —
-    /// both matching the old bisection's behavior.
+    /// Returns the stream of the best feasible probed QP, the QP itself,
+    /// and a [`QpBracket`] a later same-goal search can warm-start from.
+    /// When nothing is feasible, the bits goal re-targets the finest QP
+    /// within 5% of the minimum achievable size (tiny tensors: headers
+    /// dominate, quality is nearly free) and the error goal returns the
+    /// QP-0 best effort — both matching the old bisection's behavior.
+    ///
+    /// With `warm` set (the bracket a previous call returned), the lazy
+    /// endpoint setup is skipped entirely: both remembered ends are probed
+    /// directly, the bracket expands geometrically only if the crossing
+    /// moved, and the refinement starts at most a couple of QP wide. On
+    /// statistically similar tensors this saves several encodes per call.
     ///
     /// # Errors
     ///
@@ -306,19 +349,22 @@ impl Llm265Codec {
         chunks: &[Chunk],
         goal: SearchGoal,
         cache: &mut ProbeCache,
-    ) -> Result<EncodedTensor, CodecError> {
-        let prefer_low_qp = matches!(goal, SearchGoal::MaxBits(_));
-        // x-axis: the score is decreasing in x, and the preferred
-        // (highest-quality feasible) answer is the lowest feasible x.
-        // Bits: x = qp (low QP = quality). Error: x = 51 − qp.
-        let to_qp = move |x: f64| if prefer_low_qp { x } else { QP_MAX - x };
+        warm: Option<QpBracket>,
+    ) -> Result<(EncodedTensor, f64, QpBracket), CodecError> {
+        if let Some(w) = warm {
+            if let Some(found) = self.search_warm(t, chunks, goal, cache, w)? {
+                return Ok(found);
+            }
+            // Nothing feasible anywhere under the remembered bracket's
+            // coarse end: fall through — the cold path owns re-targeting
+            // and best-effort behavior.
+        }
 
         // QP 51 is the coarsest and by far the fastest encode — always
         // probe it first.
         let s_51 = score(self.probe_cached(cache, t, chunks, QP_MAX)?, goal);
 
-        let (x_lo, mut s_lo, x_hi, mut s_hi);
-        match goal {
+        let br = match goal {
             SearchGoal::MaxBits(budget) => {
                 if s_51 > 0.0 {
                     // Even the coarsest encode misses the budget (typical
@@ -330,39 +376,162 @@ impl Llm265Codec {
                     // One level of recursion only: QP 51 satisfies `cap`
                     // by construction, so the recursive call cannot take
                     // this branch again.
-                    return self.search_qp(t, chunks, SearchGoal::MaxBits(cap), cache);
+                    return self.search_qp(t, chunks, SearchGoal::MaxBits(cap), cache, None);
                 }
-                (x_lo, x_hi, s_hi) = (0.0, QP_MAX, s_51);
                 // Pseudo-score for the unprobed QP-0 end: 8-bit pixels
                 // plus entropy overhead keep real streams under ~9
                 // bits/value, and the floor keeps the end labeled
                 // infeasible so the bracket invariant holds.
-                s_lo = ((9.0 * t.len() as f64) / budget).log2().max(0.5);
+                Bracket {
+                    x_lo: 0.0,
+                    s_lo: ((9.0 * t.len() as f64) / budget).log2().max(0.5),
+                    x_hi: QP_MAX,
+                    s_hi: s_51,
+                }
             }
             SearchGoal::MaxSquaredError(_) => {
                 if s_51 <= 0.0 {
                     // The cheapest possible encode already meets the
                     // error budget.
-                    return self.assemble_at(cache, t, chunks, QP_MAX);
+                    return self.finish(cache, t, chunks, goal, 0.0, 0.0);
                 }
-                (x_lo, s_lo, x_hi) = (0.0, s_51, QP_MAX);
                 // Pseudo-score for the unprobed QP-0 end: squared error
                 // shrinks roughly 2^(−ΔQP/3), putting QP 0 about 17
                 // score units below QP 51; the cap keeps the end labeled
                 // feasible. If QP 0 turns out infeasible too, the loop
                 // converges onto it and returns it as the best effort.
-                s_hi = (s_51 - 17.0).min(-1.0);
+                Bracket {
+                    x_lo: 0.0,
+                    s_lo: s_51,
+                    x_hi: QP_MAX,
+                    s_hi: (s_51 - 17.0).min(-1.0),
+                }
+            }
+        };
+
+        let (x_lo, x_hi) = self.refine(t, chunks, goal, cache, br)?;
+        self.finish(cache, t, chunks, goal, x_lo, x_hi)
+    }
+
+    /// The warm half of [`Llm265Codec::search_qp`]: re-establishes a
+    /// bracket from a previous call's [`QpBracket`] with as few probes as
+    /// possible, then refines it. Returns `Ok(None)` when even the search
+    /// axis's coarse extreme is infeasible — the cold path handles that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe failures.
+    fn search_warm(
+        &self,
+        t: &Tensor,
+        chunks: &[Chunk],
+        goal: SearchGoal,
+        cache: &mut ProbeCache,
+        warm: QpBracket,
+    ) -> Result<Option<(EncodedTensor, f64, QpBracket)>, CodecError> {
+        let mut x_hi = warm.feasible.clamp(0.0, QP_MAX);
+        let mut s_hi = self.score_at(cache, t, chunks, goal, x_hi)?;
+        if s_hi > 0.0 {
+            // The remembered feasible end no longer is: expand upward
+            // (coarser) with geometrically growing steps.
+            let mut step = 2.0;
+            loop {
+                if x_hi >= QP_MAX {
+                    return Ok(None);
+                }
+                let (x_lo, s_lo) = (x_hi, s_hi);
+                x_hi = (x_hi + step).min(QP_MAX);
+                step *= 2.0;
+                s_hi = self.score_at(cache, t, chunks, goal, x_hi)?;
+                if s_hi <= 0.0 {
+                    let br = Bracket {
+                        x_lo,
+                        s_lo,
+                        x_hi,
+                        s_hi,
+                    };
+                    let (x_lo, x_hi) = self.refine(t, chunks, goal, cache, br)?;
+                    return self.finish(cache, t, chunks, goal, x_lo, x_hi).map(Some);
+                }
             }
         }
+        // The remembered feasible end still holds; walk the infeasible
+        // end, expanding downward (finer) while it keeps being feasible.
+        let mut x_lo = warm.infeasible.clamp(0.0, x_hi);
+        if x_hi - x_lo < QP_TOL {
+            x_lo = (x_hi - 4.0 * QP_TOL).max(0.0);
+        }
+        let mut s_lo;
+        let mut step = 2.0;
+        loop {
+            if x_hi <= 0.0 {
+                // The finest end of the axis is feasible: nothing to refine.
+                return self.finish(cache, t, chunks, goal, 0.0, 0.0).map(Some);
+            }
+            s_lo = self.score_at(cache, t, chunks, goal, x_lo)?;
+            if s_lo > 0.0 {
+                break;
+            }
+            (x_hi, s_hi) = (x_lo, s_lo);
+            x_lo = (x_lo - step).max(0.0);
+            step *= 2.0;
+        }
+        let br = Bracket {
+            x_lo,
+            s_lo,
+            x_hi,
+            s_hi,
+        };
+        let (x_lo, x_hi) = self.refine(t, chunks, goal, cache, br)?;
+        self.finish(cache, t, chunks, goal, x_lo, x_hi).map(Some)
+    }
 
-        let (mut x_lo, mut x_hi) = (x_lo, x_hi);
+    /// Probes the search-axis position `x` (through the cache) and scores
+    /// it against `goal`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe failures.
+    fn score_at(
+        &self,
+        cache: &mut ProbeCache,
+        t: &Tensor,
+        chunks: &[Chunk],
+        goal: SearchGoal,
+        x: f64,
+    ) -> Result<f64, CodecError> {
+        let p = self.probe_cached(cache, t, chunks, goal.to_qp(x))?;
+        Ok(score(p, goal))
+    }
+
+    /// Shrinks a bracket with safeguarded false position (the Illinois
+    /// variant) until it is [`QP_TOL`] wide or the probe budget runs out,
+    /// returning the final `(x_lo, x_hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe failures.
+    fn refine(
+        &self,
+        t: &Tensor,
+        chunks: &[Chunk],
+        goal: SearchGoal,
+        cache: &mut ProbeCache,
+        br: Bracket,
+    ) -> Result<(f64, f64), CodecError> {
+        let Bracket {
+            mut x_lo,
+            mut s_lo,
+            mut x_hi,
+            mut s_hi,
+        } = br;
         let mut hi_moved_last: Option<bool> = None;
         for _ in 0..self.config.search_iters {
             if x_hi - x_lo <= QP_TOL {
                 break;
             }
             let x = interpolate(x_lo, s_lo, x_hi, s_hi);
-            let s = score(self.probe_cached(cache, t, chunks, to_qp(x))?, goal);
+            let s = self.score_at(cache, t, chunks, goal, x)?;
             if s <= 0.0 {
                 // Illinois safeguard: when the feasible end moves twice
                 // in a row, halve the stale end's score so plain false
@@ -380,7 +549,35 @@ impl Llm265Codec {
                 hi_moved_last = Some(false);
             }
         }
-        self.assemble_at(cache, t, chunks, to_qp(x_hi))
+        Ok((x_lo, x_hi))
+    }
+
+    /// Assembles the search answer `x_hi` and packages the bracket handed
+    /// to the next warm start. The remembered width is clamped to
+    /// `[1, 2]` QP: wide enough that a slightly drifted crossing still
+    /// lands inside, narrow enough that it never points at the expensive
+    /// unprobed extreme a cold search avoids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and assembly failures.
+    fn finish(
+        &self,
+        cache: &mut ProbeCache,
+        t: &Tensor,
+        chunks: &[Chunk],
+        goal: SearchGoal,
+        x_lo: f64,
+        x_hi: f64,
+    ) -> Result<(EncodedTensor, f64, QpBracket), CodecError> {
+        let qp = goal.to_qp(x_hi);
+        let enc = self.assemble_at(cache, t, chunks, qp)?;
+        let width = (x_hi - x_lo).clamp(1.0, 2.0);
+        let bracket = QpBracket {
+            feasible: x_hi,
+            infeasible: (x_hi - width).max(0.0),
+        };
+        Ok((enc, qp, bracket))
     }
 }
 
@@ -481,7 +678,14 @@ impl TensorCodec for Llm265Codec {
                 }
                 let mut cache = ProbeCache::new();
                 let budget_bits = b * t.len() as f64;
-                self.search_qp(t, &chunks, SearchGoal::MaxBits(budget_bits), &mut cache)?
+                let (enc, _, _) = self.search_qp(
+                    t,
+                    &chunks,
+                    SearchGoal::MaxBits(budget_bits),
+                    &mut cache,
+                    None,
+                )?;
+                enc
             }
             RateTarget::MaxNormalizedMse(m) => {
                 if m < 0.0 {
@@ -496,12 +700,14 @@ impl TensorCodec for Llm265Codec {
                 // to summation order).
                 let budget_sq = m * var * t.len() as f64;
                 let mut cache = ProbeCache::new();
-                self.search_qp(
+                let (enc, _, _) = self.search_qp(
                     t,
                     &chunks,
                     SearchGoal::MaxSquaredError(budget_sq),
                     &mut cache,
-                )?
+                    None,
+                )?;
+                enc
             }
         };
         Ok(enc)
@@ -627,36 +833,45 @@ impl LossyCompressor for Llm265Channel {
 ///
 /// Training-time compression calls the codec on statistically similar
 /// tensors thousands of times (every gradient, every step). Searching QP
-/// from scratch each call costs several encodes; this channel instead
-/// carries the last accepted QP forward and runs a small proportional
-/// controller over cheap probes (the stream is only assembled once, for
-/// the accepted QP), converging to the bits/value target within a few
-/// steps and staying there.
+/// from scratch each call pays the lazy endpoint setup every time; this
+/// channel instead hands each search the [`QpBracket`] the previous one
+/// returned, so repeated same-shape tensors re-establish the bracket with
+/// two cached-cheap probes and refine from at most a couple of QP wide.
 #[derive(Debug, Clone)]
 pub struct Llm265TrackingChannel {
     codec: Llm265Codec,
     target_bits: f64,
     last_qp: f64,
+    warm: Option<QpBracket>,
 }
 
 impl Llm265TrackingChannel {
-    const MAX_TRIES: usize = 4;
-
     /// Creates a tracking channel for a bits/value target.
     ///
     /// # Panics
     ///
     /// Panics if `target_bits` is not positive.
     pub fn at_bits(target_bits: f64) -> Self {
+        Llm265TrackingChannel::with_codec(Llm265Codec::new(), target_bits)
+    }
+
+    /// Creates a tracking channel around an explicit codec (e.g. one with
+    /// a thread count or an encode counter installed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_bits` is not positive.
+    pub fn with_codec(codec: Llm265Codec, target_bits: f64) -> Self {
         assert!(target_bits > 0.0, "bits target must be positive");
         Llm265TrackingChannel {
-            codec: Llm265Codec::new(),
+            codec,
             target_bits,
             last_qp: 30.0,
+            warm: None,
         }
     }
 
-    /// The QP the controller is currently sitting at.
+    /// The QP the last search settled on.
     pub fn current_qp(&self) -> f64 {
         self.last_qp
     }
@@ -675,56 +890,21 @@ impl LossyCompressor for Llm265TrackingChannel {
         )
         // lint:allow(panic): channel contract — callers feed non-empty tensors
         .expect("partition of non-empty tensor");
-        let n = t.len() as f64;
-        let mut qp = self.last_qp;
-        let mut best: Option<(f64, QpProbe)> = None;
-        for _ in 0..Self::MAX_TRIES {
-            let probe = self
-                .codec
-                .probe_qp(t, &chunks, qp)
-                // lint:allow(panic): probing fails only if a pool worker dies
-                .expect("probe of self-produced chunks");
-            let bpv = probe.bits() as f64 / n;
-            if bpv <= self.target_bits {
-                let better = best.as_ref().is_none_or(|(b, _)| bpv > *b);
-                if better {
-                    best = Some((bpv, probe));
-                    self.last_qp = qp;
-                }
-                if bpv >= 0.93 * self.target_bits {
-                    break; // close enough under the budget
-                }
-                // Under-spending: move to a finer QP (~1 bit per 6 QP).
-                qp = (qp - 6.0 * (self.target_bits / bpv.max(0.05)).log2().min(1.5)).max(0.0);
-            } else {
-                // Over budget: move to a coarser QP.
-                qp = (qp + 6.0 * (bpv / self.target_bits).log2().clamp(0.2, 1.5)).min(51.0);
-            }
-        }
-        let (_, probe) = best.unwrap_or_else(|| {
-            // Never got under the budget within the try limit: keep
-            // coarsening until feasible or QP saturates (headers may make
-            // the budget unreachable; QP 51 is then the best effort).
-            let mut qp = qp;
-            loop {
-                qp = (qp + 6.0).min(51.0);
-                let probe = self
-                    .codec
-                    .probe_qp(t, &chunks, qp)
-                    // lint:allow(panic): probing fails only if a pool worker dies
-                    .expect("probe of self-produced chunks");
-                let bpv = probe.bits() as f64 / n;
-                if bpv <= self.target_bits || qp >= 51.0 {
-                    self.last_qp = qp;
-                    return (bpv, probe);
-                }
-            }
-        });
-        let enc = self
+        let mut cache = ProbeCache::new();
+        let budget_bits = self.target_bits * t.len() as f64;
+        let (enc, qp, bracket) = self
             .codec
-            .assemble(t, &chunks, &probe)
-            // lint:allow(panic): training tensors sit far below the u32 wire limits
-            .expect("assemble of self-produced probe");
+            .search_qp(
+                t,
+                &chunks,
+                SearchGoal::MaxBits(budget_bits),
+                &mut cache,
+                self.warm.take(),
+            )
+            // lint:allow(panic): probing fails only if a pool worker dies
+            .expect("search over self-produced chunks");
+        self.last_qp = qp;
+        self.warm = Some(bracket);
         let out = self
             .codec
             .decode(&enc)
@@ -927,5 +1107,38 @@ mod tracking_tests {
     #[should_panic(expected = "positive")]
     fn tracking_channel_rejects_bad_target() {
         let _ = Llm265TrackingChannel::at_bits(0.0);
+    }
+
+    /// The warm start is the whole point of the tracking channel: on the
+    /// second same-shape tensor the search must re-enter from the
+    /// remembered bracket and probe strictly fewer QPs than the cold
+    /// search did. The counter hook counts chunk encodes, and the tensors
+    /// here are single-chunk, so it counts probes exactly.
+    #[test]
+    fn tracking_channel_warm_start_skips_probes() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut codec = Llm265Codec::with_config(Llm265Config {
+            threads: 1,
+            ..Llm265Config::default()
+        });
+        codec.set_chunk_encode_counter(Arc::clone(&counter));
+        let mut ch = Llm265TrackingChannel::with_codec(codec, 3.0);
+        let mut rng = Pcg32::seed_from(5);
+        let a = llm_gradient(48, 48, &GradientProfile::default(), &mut rng);
+        let b = llm_gradient(48, 48, &GradientProfile::default(), &mut rng);
+
+        let _ = ch.transcode(&a);
+        let cold = counter.swap(0, Ordering::Relaxed);
+        let (out, bits) = ch.transcode(&b);
+        let warmed = counter.swap(0, Ordering::Relaxed);
+
+        assert!(
+            warmed < cold,
+            "warm start probed {warmed} QPs, cold search probed {cold}"
+        );
+        assert!(warmed <= 8, "warm start should stay cheap, probed {warmed}");
+        // And it still answers correctly: under budget, correct shape.
+        assert_eq!(out.shape(), b.shape());
+        assert!(bits as f64 / b.len() as f64 <= 3.0 + 1e-9);
     }
 }

@@ -74,8 +74,8 @@ impl<'a> FrameDecoder<'a> {
         // Prediction kind + parameters.
         let is_inter = self.frame_inter && dec.decode_bit(&mut ctxs.inter_flag);
         let pred: Vec<i32> = if is_inter {
-            let dx = parse_signed_eg(dec);
-            let dy = parse_signed_eg(dec);
+            let dx = parse_signed_eg(dec)?;
+            let dy = parse_signed_eg(dec)?;
             let mv = MotionVector {
                 dx: dx.clamp(-128, 127) as i8,
                 dy: dy.clamp(-128, 127) as i8,
@@ -110,7 +110,7 @@ impl<'a> FrameDecoder<'a> {
         let mut block = vec![0i32; size * size];
         for ty in 0..per_side {
             for tx in 0..per_side {
-                let levels = parse_residual(dec, ctxs, tu, spatial);
+                let levels = parse_residual(dec, ctxs, tu, spatial)?;
                 if self.cfg.pipeline.transform {
                     self.quant.dequantize_block_into(&levels, &mut self.deq);
                     self.plans
@@ -137,21 +137,24 @@ impl<'a> FrameDecoder<'a> {
     }
 }
 
-fn parse_signed_eg(dec: &mut CabacDecoder<'_>) -> i32 {
+fn parse_signed_eg(dec: &mut CabacDecoder<'_>) -> Result<i32, DecodeError> {
     let mut m = 1u32;
     let mut base = 0u32;
     while m < 31 && dec.decode_bypass() {
         base += 1 << m;
         m += 1;
     }
-    // `m <= 31`, so the suffix fits u32 and `mapped >> 1` fits i32; the
-    // masks are value-preserving and state those widths.
-    let mapped = base + (dec.decode_bypass_bits(m) & 0xFFFF_FFFF) as u32;
-    if mapped & 1 == 0 {
+    // `m <= 31`, so the suffix always fits u32; `try_from` states that
+    // width contract explicitly instead of silently truncating.
+    let suffix = u32::try_from(dec.decode_bypass_bits(m))
+        .map_err(|_| DecodeError::Corrupt("motion suffix exceeds 32 bits"))?;
+    let mapped = base + suffix;
+    // `mapped >> 1` fits i32; the mask is value-preserving and states that.
+    Ok(if mapped & 1 == 0 {
         ((mapped >> 1) & 0x7FFF_FFFF) as i32
     } else {
         -((((mapped + 1) >> 1) & 0x7FFF_FFFF) as i32)
-    }
+    })
 }
 
 /// Decodes a bitstream produced by [`crate::encode_video`].

@@ -103,6 +103,8 @@ struct Scratch {
     cu_orig: Vec<i32>,
     /// Original pixels of the CU whose prediction is being decided.
     leaf_orig: Vec<i32>,
+    /// Prediction block reused across the intra mode sweep.
+    pred: Vec<i32>,
 }
 
 /// Everything a single frame encode needs.
@@ -289,26 +291,27 @@ impl<'a> FrameCoder<'a> {
         let mut cands: Vec<(CuKind, Vec<i32>)> = Vec::new();
         if self.cfg.pipeline.intra {
             let refs = RefSamples::gather(&self.recon, x0, y0, size);
-            let mut scored: Vec<(u64, u8, Vec<i32>)> = self
-                .cfg
-                .profile
-                .modes()
-                .iter()
-                .enumerate()
-                .map(|(i, &mode)| {
-                    let pred = refs.predict(mode);
-                    let sad: u64 = orig
-                        .iter()
-                        .zip(&pred)
-                        .map(|(&a, &b)| u64::from((a - b).unsigned_abs()))
-                        .sum();
-                    // At most 35 modes, so the index fits a byte.
-                    (sad, (i & 0xFF) as u8, pred)
-                })
-                .collect();
-            scored.sort_by_key(|&(sad, i, _)| (sad, i));
-            for (_, i, pred) in scored.into_iter().take(RD_CANDIDATES) {
-                cands.push((CuKind::Intra(i), pred));
+            // SAD-score every mode through one reused prediction buffer
+            // (dozens of modes per leaf — a fresh block per mode used to
+            // dominate the sweep's profile), then materialize only the
+            // few RD survivors.
+            let mut pred_buf = std::mem::take(&mut self.scratch.pred);
+            let modes = self.cfg.profile.modes();
+            let mut scored: Vec<(u64, u8)> = Vec::with_capacity(modes.len());
+            for (i, &mode) in modes.iter().enumerate() {
+                refs.predict_into(mode, &mut pred_buf);
+                let sad: u64 = orig
+                    .iter()
+                    .zip(&pred_buf)
+                    .map(|(&a, &b)| u64::from((a - b).unsigned_abs()))
+                    .sum();
+                // At most 35 modes, so the index fits a byte.
+                scored.push((sad, (i & 0xFF) as u8));
+            }
+            self.scratch.pred = pred_buf;
+            scored.sort_by_key(|&(sad, i)| (sad, i));
+            for &(_, i) in scored.iter().take(RD_CANDIDATES) {
+                cands.push((CuKind::Intra(i), refs.predict(modes[usize::from(i)])));
             }
         } else {
             cands.push((CuKind::Flat, vec![128; size * size]));
@@ -443,19 +446,18 @@ pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
     } else {
         (v.unsigned_abs() << 1) - 1
     };
+    // Count the unary prefix arithmetically, then emit prefix, terminator
+    // and suffix in one batched bypass call (at most 62 bins).
     let mut m = 1u32;
     let mut rem = mapped;
-    loop {
-        if m < 31 && rem >= (1 << m) {
-            sink.bypass(true);
-            rem -= 1 << m;
-            m += 1;
-        } else {
-            sink.bypass(false);
-            sink.bypass_bits(u64::from(rem), m);
-            return;
-        }
+    let mut ones = 0u32;
+    while m < 31 && rem >= (1 << m) {
+        rem -= 1 << m;
+        m += 1;
+        ones += 1;
     }
+    let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
+    sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
 }
 
 /// Encodes one frame (already padded to the CTU size). Returns the frame

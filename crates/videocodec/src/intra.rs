@@ -163,34 +163,44 @@ impl RefSamples {
 
     /// Computes the prediction block (row-major `n × n`) for `mode`.
     pub fn predict(&self, mode: PredMode) -> Vec<i32> {
+        let mut out = Vec::new();
+        self.predict_into(mode, &mut out);
+        out
+    }
+
+    /// [`Self::predict`] into a caller-owned buffer, for the encoder's
+    /// mode sweep which evaluates dozens of modes per leaf and would
+    /// otherwise allocate a block per mode.
+    pub fn predict_into(&self, mode: PredMode, out: &mut Vec<i32>) {
+        out.clear();
+        out.resize(self.n * self.n, 0);
         match mode {
-            PredMode::Dc => self.predict_dc(),
-            PredMode::Planar => self.predict_planar(),
-            PredMode::Angular(m) => self.predict_angular(m),
-            PredMode::Paeth => self.predict_paeth(),
-            PredMode::Smooth => self.predict_smooth(true, true),
-            PredMode::SmoothV => self.predict_smooth(true, false),
-            PredMode::SmoothH => self.predict_smooth(false, true),
+            PredMode::Dc => self.predict_dc(out),
+            PredMode::Planar => self.predict_planar(out),
+            PredMode::Angular(m) => self.predict_angular(m, out),
+            PredMode::Paeth => self.predict_paeth(out),
+            PredMode::Smooth => self.predict_smooth(true, true, out),
+            PredMode::SmoothV => self.predict_smooth(true, false, out),
+            PredMode::SmoothH => self.predict_smooth(false, true, out),
         }
     }
 
-    fn predict_dc(&self) -> Vec<i32> {
+    fn predict_dc(&self, out: &mut [i32]) {
         let n = self.n;
         let sum: i32 = self.top[..n].iter().sum::<i32>() + self.left[..n].iter().sum::<i32>();
         // Blocks are at most 32×32, so the size always fits i32.
         let ni = i32::try_from(n).unwrap_or(i32::MAX);
         let dc = (sum + ni) / (2 * ni);
-        vec![dc; n * n]
+        out.fill(dc);
     }
 
-    fn predict_planar(&self) -> Vec<i32> {
+    fn predict_planar(&self, out: &mut [i32]) {
         let n = self.n;
         // Blocks are at most 32×32, so the size always fits i32.
         let ni = i32::try_from(n).unwrap_or(i32::MAX);
         let shift = n.trailing_zeros() + 1;
         let tr = self.top[n]; // first top-right sample
         let bl = self.left[n]; // first bottom-left sample
-        let mut out = vec![0i32; n * n];
         for y in 0..n {
             let yi = i32::try_from(y).unwrap_or(i32::MAX);
             for x in 0..n {
@@ -200,10 +210,9 @@ impl RefSamples {
                 out[y * n + x] = (h + v + ni) >> shift;
             }
         }
-        out
     }
 
-    fn predict_angular(&self, mode: u8) -> Vec<i32> {
+    fn predict_angular(&self, mode: u8, out: &mut [i32]) {
         assert!((2..=34).contains(&mode), "angular mode {mode} out of range");
         let n = self.n;
         let angle = ANGLES[mode as usize - 2];
@@ -219,7 +228,10 @@ impl RefSamples {
 
         // ref_arr[i + n] corresponds to HEVC's ref[i - 1 + ...]; we build
         // ref[x] for x in -n..=2n with ref[0] = corner, ref[k] = main[k-1].
-        let mut ref_arr = vec![0i32; 3 * n + 1];
+        // Blocks are at most 32×32, so the fixed-size stack array always
+        // covers `3n + 1` entries.
+        let mut ref_store = [0i32; 3 * 32 + 1];
+        let ref_arr = &mut ref_store[..3 * n + 1];
         // Blocks are at most 32×32, so the offset always fits i32.
         let off = i32::try_from(n).unwrap_or(i32::MAX); // ref_arr[(x + off)] = ref[x]
         ref_arr[n] = self.corner;
@@ -240,7 +252,6 @@ impl RefSamples {
             }
         }
 
-        let mut out = vec![0i32; n * n];
         for j in 0..n {
             // j indexes rows for vertical modes, columns for horizontal.
             let pos = (i32::try_from(j).unwrap_or(i32::MAX) + 1) * angle;
@@ -258,12 +269,10 @@ impl RefSamples {
                 out[y * n + x] = v;
             }
         }
-        out
     }
 
-    fn predict_paeth(&self) -> Vec<i32> {
+    fn predict_paeth(&self, out: &mut [i32]) {
         let n = self.n;
-        let mut out = vec![0i32; n * n];
         for y in 0..n {
             for x in 0..n {
                 let t = self.top[x];
@@ -280,13 +289,12 @@ impl RefSamples {
                 };
             }
         }
-        out
     }
 
     /// Linear-weight smooth predictor ("AV1-like"; AV1 proper uses a
     /// quadratic weight table — the behaviour is equivalent for our
     /// purposes and documented in DESIGN.md).
-    fn predict_smooth(&self, use_v: bool, use_h: bool) -> Vec<i32> {
+    fn predict_smooth(&self, use_v: bool, use_h: bool, out: &mut [i32]) {
         let n = self.n;
         let bl = self.left[n]; // bottom-left anchor
         let tr = self.top[n]; // top-right anchor
@@ -296,7 +304,6 @@ impl RefSamples {
             // 256 at i = 0 decaying linearly to 64 at i = n-1.
             (256 - (192 * i32::try_from(i).unwrap_or(i32::MAX)) / ni).max(64)
         };
-        let mut out = vec![0i32; n * n];
         for y in 0..n {
             for x in 0..n {
                 let mut acc = 0i32;
@@ -312,7 +319,6 @@ impl RefSamples {
                 out[y * n + x] = (acc + den / 2) / den;
             }
         }
-        out
     }
 }
 

@@ -73,6 +73,13 @@ impl Quantizer {
         coeffs.iter().map(|&c| self.quantize(c)).collect()
     }
 
+    /// [`Self::quantize_block`] into a caller-owned buffer, for hot loops
+    /// that process many blocks without reallocating.
+    pub fn quantize_block_into(&self, coeffs: &[f64], out: &mut Vec<i32>) {
+        out.clear();
+        out.extend(coeffs.iter().map(|&c| self.quantize(c)));
+    }
+
     /// Dequantizes a whole level block.
     pub fn dequantize_block(&self, levels: &[i32]) -> Vec<f64> {
         levels.iter().map(|&l| self.dequantize(l)).collect()
@@ -175,6 +182,9 @@ mod tests {
         let mut buf = vec![99.0; 7]; // stale contents must be overwritten
         q.dequantize_block_into(&levels, &mut buf);
         assert_eq!(buf, back);
+        let mut lbuf = vec![7i32; 3]; // stale contents must be overwritten
+        q.quantize_block_into(&coeffs, &mut lbuf);
+        assert_eq!(lbuf, levels);
     }
 
     #[test]

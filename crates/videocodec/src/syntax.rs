@@ -15,6 +15,7 @@
 use llm265_bitstream::cabac::{CabacDecoder, CabacEncoder, Prob};
 
 use crate::scan;
+use crate::DecodeError;
 
 /// Maximum truncated-Rice prefix before escaping to exp-Golomb.
 const RICE_MAX_PREFIX: u32 = 4;
@@ -44,6 +45,12 @@ impl BinSink for CabacEncoder {
 
     fn bypass(&mut self, b: bool) {
         self.encode_bypass(b);
+    }
+
+    fn bypass_bits(&mut self, v: u64, n: u32) {
+        // Batched fast path: byte-identical to the default bin-by-bin
+        // loop (see `CabacEncoder::encode_bypass_bits`).
+        self.encode_bypass_bits(v, n);
     }
 }
 
@@ -76,6 +83,11 @@ impl BinSink for BitCounter {
 
     fn bypass(&mut self, _b: bool) {
         self.bits += 1.0;
+    }
+
+    fn bypass_bits(&mut self, _v: u64, n: u32) {
+        // Bypass bins cost exactly one bit each; no need to walk them.
+        self.bits += f64::from(n);
     }
 }
 
@@ -186,15 +198,15 @@ pub fn parse_residual(
     ctxs: &mut Contexts,
     n: usize,
     spatial: bool,
-) -> Vec<i32> {
+) -> Result<Vec<i32>, DecodeError> {
     let scan_order = scan::diagonal(n);
     let mut levels = vec![0i32; n * n];
 
     let cbf_ctx = spatial as usize;
     if !dec.decode_bit(&mut ctxs.cbf[cbf_ctx]) {
-        return levels;
+        return Ok(levels);
     }
-    let last = parse_last_pos(dec, ctxs) as usize;
+    let last = parse_last_pos(dec, ctxs)? as usize;
     let last = last.min(n * n - 1);
 
     let mut rice_k: u32 = if spatial { 3 } else { 0 };
@@ -211,7 +223,7 @@ pub fn parse_residual(
         if dec.decode_bit(&mut ctxs.gt1[(p == 0) as usize]) {
             mag = 2;
             if dec.decode_bit(&mut ctxs.gt2) {
-                mag = 3 + parse_remainder(dec, rice_k);
+                mag = 3 + parse_remainder(dec, rice_k)?;
             }
         }
         if mag > (3 << rice_k) && rice_k < RICE_MAX_K {
@@ -223,7 +235,7 @@ pub fn parse_residual(
         let mag = i32::try_from(mag).unwrap_or(i32::MAX);
         levels[usize::from(y) * n + usize::from(x)] = if neg { -mag } else { mag };
     }
-    levels
+    Ok(levels)
 }
 
 /// Codes the last significant scan position: the bit-length of `pos + 1`
@@ -240,7 +252,7 @@ fn code_last_pos<S: BinSink>(sink: &mut S, ctxs: &mut Contexts, pos: u32) {
     }
 }
 
-fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> u32 {
+fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> Result<u32, DecodeError> {
     let mut len = 1u32;
     while dec.decode_bit(&mut ctxs.last_prefix[((len - 1).min(11)) as usize]) {
         len += 1;
@@ -250,70 +262,74 @@ fn parse_last_pos(dec: &mut CabacDecoder<'_>, ctxs: &mut Contexts) -> u32 {
         }
     }
     let suffix = if len > 1 {
-        // `len <= 21`, so the suffix fits u32; the mask states that.
-        (dec.decode_bypass_bits(len - 1) & 0xFFFF_FFFF) as u32
+        // `len <= 21`, so the suffix always fits u32; `try_from` states
+        // that width contract explicitly instead of silently truncating.
+        u32::try_from(dec.decode_bypass_bits(len - 1))
+            .map_err(|_| DecodeError::Corrupt("last-position suffix exceeds 32 bits"))?
     } else {
         0
     };
-    ((1u32 << (len - 1)) | suffix) - 1
+    Ok(((1u32 << (len - 1)) | suffix) - 1)
 }
 
 /// Codes a level remainder with truncated-Rice + exp-Golomb escape
-/// (H.265's `coeff_abs_level_remaining` binarization).
+/// (H.265's `coeff_abs_level_remaining` binarization). The whole Rice
+/// code — unary quotient, terminator and `k` suffix bits — is assembled
+/// into a single batched bypass call (at most `3 + 1 + 8 = 12` bins).
 pub fn code_remainder<S: BinSink>(sink: &mut S, r: u32, k: u32) {
     let q = r >> k;
     if q < RICE_MAX_PREFIX {
-        for _ in 0..q {
-            sink.bypass(true);
-        }
-        sink.bypass(false);
-        sink.bypass_bits(u64::from(r & ((1 << k) - 1)), k);
+        let prefix = ((1u64 << q) - 1) << 1; // q one-bits, then the 0.
+        sink.bypass_bits((prefix << k) | u64::from(r & ((1 << k) - 1)), q + 1 + k);
     } else {
-        for _ in 0..RICE_MAX_PREFIX {
-            sink.bypass(true);
-        }
+        sink.bypass_bits((1u64 << RICE_MAX_PREFIX) - 1, RICE_MAX_PREFIX);
         code_eg(sink, r - (RICE_MAX_PREFIX << k), k + 1);
     }
 }
 
 /// Parses a truncated-Rice remainder.
-pub fn parse_remainder(dec: &mut CabacDecoder<'_>, k: u32) -> u32 {
+pub fn parse_remainder(dec: &mut CabacDecoder<'_>, k: u32) -> Result<u32, DecodeError> {
     let mut q = 0u32;
     while q < RICE_MAX_PREFIX && dec.decode_bypass() {
         q += 1;
     }
     if q < RICE_MAX_PREFIX {
-        // `k <= RICE_MAX_K = 8`, so the low bits fit u32.
-        let low = (dec.decode_bypass_bits(k) & 0xFFFF_FFFF) as u32;
-        (q << k) | low
+        // `k <= RICE_MAX_K = 8`, so the low bits always fit u32.
+        let low = u32::try_from(dec.decode_bypass_bits(k))
+            .map_err(|_| DecodeError::Corrupt("rice suffix exceeds 32 bits"))?;
+        Ok((q << k) | low)
     } else {
-        (RICE_MAX_PREFIX << k) + parse_eg(dec, k + 1)
+        Ok((RICE_MAX_PREFIX << k) + parse_eg(dec, k + 1)?)
     }
 }
 
-/// k-th order exp-Golomb in bypass bits.
-fn code_eg<S: BinSink>(sink: &mut S, mut v: u32, mut m: u32) {
-    loop {
-        if m < 31 && v >= (1 << m) {
-            sink.bypass(true);
-            v -= 1 << m;
-            m += 1;
-        } else {
-            sink.bypass(false);
-            sink.bypass_bits(v as u64, m);
-            return;
-        }
+/// k-th order exp-Golomb in bypass bits. The interleaved bin-by-bin loop
+/// is split into an arithmetic prefix count followed by one batched
+/// bypass call carrying prefix, terminator and suffix (at most 62 bins).
+fn code_eg<S: BinSink>(sink: &mut S, v: u32, m0: u32) {
+    let mut rem = v;
+    let mut m = m0;
+    let mut ones = 0u32;
+    while m < 31 && rem >= (1 << m) {
+        rem -= 1 << m;
+        m += 1;
+        ones += 1;
     }
+    let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
+    sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
 }
 
-fn parse_eg(dec: &mut CabacDecoder<'_>, mut m: u32) -> u32 {
+fn parse_eg(dec: &mut CabacDecoder<'_>, mut m: u32) -> Result<u32, DecodeError> {
     let mut base = 0u32;
     while m < 31 && dec.decode_bypass() {
         base += 1 << m;
         m += 1;
     }
-    // `m <= 31`, so the suffix fits u32; the mask states that.
-    base + (dec.decode_bypass_bits(m) & 0xFFFF_FFFF) as u32
+    // `m <= 31`, so the suffix always fits u32; `try_from` states that
+    // width contract explicitly instead of silently truncating.
+    let suffix = u32::try_from(dec.decode_bypass_bits(m))
+        .map_err(|_| DecodeError::Corrupt("exp-golomb suffix exceeds 32 bits"))?;
+    Ok(base + suffix)
 }
 
 #[cfg(test)]
@@ -328,7 +344,7 @@ mod tests {
         let bytes = enc.finish();
         let mut dec = CabacDecoder::new(&bytes);
         let mut ctxs = Contexts::new();
-        let parsed = parse_residual(&mut dec, &mut ctxs, n, spatial);
+        let parsed = parse_residual(&mut dec, &mut ctxs, n, spatial).expect("parse");
         assert_eq!(parsed, levels);
         bytes.len() as f64 * 8.0 / (n * n) as f64
     }
@@ -350,7 +366,10 @@ mod tests {
         let mut dec = CabacDecoder::new(&bytes);
         let mut ctxs = Contexts::new();
         for _ in 0..blocks {
-            assert_eq!(parse_residual(&mut dec, &mut ctxs, 8, false), levels);
+            assert_eq!(
+                parse_residual(&mut dec, &mut ctxs, 8, false).expect("parse"),
+                levels
+            );
         }
     }
 
@@ -427,7 +446,7 @@ mod tests {
             let bytes = enc.finish();
             let mut dec = CabacDecoder::new(&bytes);
             for &v in &values {
-                assert_eq!(parse_remainder(&mut dec, k), v, "k={k}");
+                assert_eq!(parse_remainder(&mut dec, k).expect("parse"), v, "k={k}");
             }
         }
     }
@@ -444,7 +463,7 @@ mod tests {
         let mut dec = CabacDecoder::new(&bytes);
         let mut ctxs = Contexts::new();
         for &v in &values {
-            assert_eq!(parse_last_pos(&mut dec, &mut ctxs), v);
+            assert_eq!(parse_last_pos(&mut dec, &mut ctxs).expect("parse"), v);
         }
     }
 
@@ -492,7 +511,7 @@ mod tests {
             let bytes = enc.finish();
             let mut dec = CabacDecoder::new(&bytes);
             for &v in &values {
-                assert_eq!(parse_eg(&mut dec, m), v);
+                assert_eq!(parse_eg(&mut dec, m).expect("parse"), v);
             }
         }
     }

@@ -9,9 +9,194 @@
 //! rounding), so squared error in the coefficient domain equals squared
 //! error in the pixel domain — which is what makes RD optimisation in the
 //! coefficient domain legitimate.
+//!
+//! # Deterministic lane kernels
+//!
+//! Both matrix passes run as rank-1 (`axpy`) updates over contiguous
+//! rows: every output coefficient accumulates its own sum in exactly the
+//! textbook triple-loop order, and the lane backends ([`ScalarLanes`],
+//! SSE2, AVX2) only advance several *independent* outputs per
+//! instruction. No sum is ever split across lanes and no reduction tree
+//! exists, so scalar and SIMD produce bit-identical coefficients — the
+//! encoded bytes match the golden hashes on every machine. The backend is
+//! picked once per plan by [`detect_lane_backend`]; see DESIGN.md
+//! ("Deterministic SIMD") for why AVX2 is additionally compile-time gated
+//! under the workspace's no-`unsafe` policy.
 
 /// Supported transform sizes.
 pub const SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Which vector unit executes the lane kernels. Variants exist only where
+/// the corresponding intrinsics compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneBackend {
+    /// Portable fixed-shape 4-wide unrolled scalar lanes.
+    Scalar,
+    /// 128-bit SSE2 lanes (part of the x86-64 baseline).
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    /// 256-bit AVX2 lanes; compiled only when the build statically enables
+    /// the feature (e.g. `RUSTFLAGS=-Ctarget-cpu=x86-64-v3`), so the lane
+    /// shape matches the instructions LLVM may actually emit.
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    Avx2,
+}
+
+/// Picks the widest compiled-in lane backend the running CPU supports.
+///
+/// Pure backend selector: the choice never alters any kernel's
+/// arithmetic — every backend executes the identical per-output operation
+/// sequence — it only decides how many independent outputs advance per
+/// instruction. This is what keeps runtime CPU detection out of the
+/// determinism lint's way.
+fn detect_lane_backend() -> LaneBackend {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return LaneBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return LaneBackend::Sse2;
+        }
+    }
+    LaneBackend::Scalar
+}
+
+/// A lane backend: applies the rank-1 update `acc[j] += s · v[j]` with
+/// element-wise ("vertical") operations only. Every implementation
+/// performs the identical per-lane IEEE multiply then add — no fused
+/// multiply-add, no horizontal combine — so each output's rounding
+/// sequence matches the scalar kernel bit for bit. The backends differ
+/// only in their blocking shape: each mirrors one vector register of its
+/// ISA level, which is what LLVM turns into the corresponding packed
+/// `mulpd`/`addpd` forms (the crate-wide `forbid(unsafe_code)` rules out
+/// calling the `core::arch` intrinsics directly — see DESIGN.md).
+trait Lanes: Copy {
+    /// `acc[j] += s * v[j]` for all `j`; slice lengths are equal and a
+    /// multiple of 4 (every supported transform size is).
+    fn axpy(self, acc: &mut [f64], s: f64, v: &[f64]);
+}
+
+/// Portable reference lanes: one output per step, the textbook loop.
+#[derive(Clone, Copy)]
+struct ScalarLanes;
+
+impl Lanes for ScalarLanes {
+    #[inline]
+    fn axpy(self, acc: &mut [f64], s: f64, v: &[f64]) {
+        for (a, x) in acc.iter_mut().zip(v) {
+            *a += s * *x;
+        }
+    }
+}
+
+/// SSE2-shaped lanes: explicit 2-wide groups matching one 128-bit
+/// register (2 × f64), the x86-64 baseline vector width.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+struct Sse2Lanes;
+
+#[cfg(target_arch = "x86_64")]
+impl Lanes for Sse2Lanes {
+    #[inline]
+    fn axpy(self, acc: &mut [f64], s: f64, v: &[f64]) {
+        for (a, x) in acc.chunks_exact_mut(2).zip(v.chunks_exact(2)) {
+            a[0] += s * x[0];
+            a[1] += s * x[1];
+        }
+    }
+}
+
+/// AVX2-shaped lanes: explicit 4-wide groups matching one 256-bit
+/// register (4 × f64). Compiled only when the build statically enables
+/// the feature (e.g. `RUSTFLAGS=-Ctarget-cpu=x86-64-v3`) so that the
+/// blocking shape and the instruction set LLVM emits for it agree.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[derive(Clone, Copy)]
+struct Avx2Lanes;
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+impl Lanes for Avx2Lanes {
+    #[inline]
+    fn axpy(self, acc: &mut [f64], s: f64, v: &[f64]) {
+        for (a, x) in acc.chunks_exact_mut(4).zip(v.chunks_exact(4)) {
+            a[0] += s * x[0];
+            a[1] += s * x[1];
+            a[2] += s * x[2];
+            a[3] += s * x[3];
+        }
+    }
+}
+
+/// Both forward passes as rank-1 updates over contiguous rows. Each
+/// output coefficient starts at 0.0 and accumulates in ascending `i`
+/// order — the same add sequence as the textbook triple loop, so the
+/// result is bit-identical to it on every backend.
+fn forward_passes<L: Lanes>(
+    plan: &DctPlan,
+    block: &[i32],
+    tmp: &mut [f64],
+    out: &mut [f64],
+    lanes: L,
+) {
+    let n = plan.n;
+    // Pass 1 (rows): tmp[y][k] = sum_i block[y][i] * basis[k][i].
+    for y in 0..n {
+        let row = &mut tmp[y * n..(y + 1) * n];
+        for i in 0..n {
+            lanes.axpy(
+                row,
+                block[y * n + i] as f64,
+                &plan.basis_t[i * n..(i + 1) * n],
+            );
+        }
+    }
+    // Pass 2 (columns): out[k][x] = sum_i tmp[i][x] * basis[k][i].
+    for k in 0..n {
+        let row = &mut out[k * n..(k + 1) * n];
+        for i in 0..n {
+            lanes.axpy(row, plan.basis[k * n + i], &tmp[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// Both inverse passes as rank-1 updates; same bit-exactness contract as
+/// [`forward_passes`].
+fn inverse_passes<L: Lanes>(
+    plan: &DctPlan,
+    coeffs: &[f64],
+    tmp: &mut [f64],
+    out: &mut [i32],
+    lanes: L,
+) {
+    let n = plan.n;
+    // Pass 1 (columns): tmp[i][x] = sum_k coeffs[k][x] * basis[k][i].
+    for i in 0..n {
+        let row = &mut tmp[i * n..(i + 1) * n];
+        for k in 0..n {
+            lanes.axpy(row, plan.basis[k * n + i], &coeffs[k * n..(k + 1) * n]);
+        }
+    }
+    // Pass 2 (rows): out[y][i] = round(sum_k tmp[y][k] * basis[k][i]).
+    // The f64 accumulator row lives on the stack (n <= 32).
+    let mut acc = [0.0f64; 32];
+    for y in 0..n {
+        acc[..n].fill(0.0);
+        for k in 0..n {
+            lanes.axpy(
+                &mut acc[..n],
+                tmp[y * n + k],
+                &plan.basis[k * n..(k + 1) * n],
+            );
+        }
+        for (o, a) in out[y * n..(y + 1) * n].iter_mut().zip(&acc[..n]) {
+            *o = a.round() as i32;
+        }
+    }
+}
 
 /// Precomputed orthonormal DCT-II basis for one size.
 #[derive(Debug, Clone)]
@@ -19,6 +204,10 @@ pub struct DctPlan {
     n: usize,
     // basis[k*n + i] = alpha_k * cos(pi/n * (i + 0.5) * k)
     basis: Vec<f64>,
+    // Transposed basis, basis_t[i*n + k] = basis[k*n + i]: lets the lane
+    // kernels read each rank-1 update's row contiguously.
+    basis_t: Vec<f64>,
+    backend: LaneBackend,
 }
 
 impl DctPlan {
@@ -41,12 +230,36 @@ impl DctPlan {
                     alpha * (std::f64::consts::PI / n as f64 * (i as f64 + 0.5) * k as f64).cos();
             }
         }
-        DctPlan { n, basis }
+        let mut basis_t = vec![0.0; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                basis_t[i * n + k] = basis[k * n + i];
+            }
+        }
+        DctPlan {
+            n,
+            basis,
+            basis_t,
+            backend: detect_lane_backend(),
+        }
     }
 
     /// Transform size.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// Name of the lane backend this plan executes on (`"scalar"`,
+    /// `"sse2"` or `"avx2"`). Diagnostic only: every backend produces
+    /// bit-identical coefficients.
+    pub fn simd_backend(&self) -> &'static str {
+        match self.backend {
+            LaneBackend::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            LaneBackend::Sse2 => "sse2",
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            LaneBackend::Avx2 => "avx2",
+        }
     }
 
     /// Forward 2-D DCT of an `n × n` spatial block (row-major).
@@ -72,28 +285,18 @@ impl DctPlan {
     pub fn forward_into(&self, block: &[i32], tmp: &mut Vec<f64>, out: &mut Vec<f64>) {
         let n = self.n;
         assert_eq!(block.len(), n * n);
-        // Rows then columns; O(n^3), fine at n <= 32.
+        // Rows then columns; O(n^3), fine at n <= 32. Accumulators start
+        // at 0.0 (clear + resize fills every slot).
         tmp.clear();
         tmp.resize(n * n, 0.0);
-        for y in 0..n {
-            for k in 0..n {
-                let mut acc = 0.0;
-                for i in 0..n {
-                    acc += block[y * n + i] as f64 * self.basis[k * n + i];
-                }
-                tmp[y * n + k] = acc;
-            }
-        }
         out.clear();
         out.resize(n * n, 0.0);
-        for x in 0..n {
-            for k in 0..n {
-                let mut acc = 0.0;
-                for i in 0..n {
-                    acc += tmp[i * n + x] * self.basis[k * n + i];
-                }
-                out[k * n + x] = acc;
-            }
+        match self.backend {
+            LaneBackend::Scalar => forward_passes(self, block, tmp, out, ScalarLanes),
+            #[cfg(target_arch = "x86_64")]
+            LaneBackend::Sse2 => forward_passes(self, block, tmp, out, Sse2Lanes),
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            LaneBackend::Avx2 => forward_passes(self, block, tmp, out, Avx2Lanes),
         }
     }
 
@@ -123,25 +326,14 @@ impl DctPlan {
         assert_eq!(coeffs.len(), n * n);
         tmp.clear();
         tmp.resize(n * n, 0.0);
-        for x in 0..n {
-            for i in 0..n {
-                let mut acc = 0.0;
-                for k in 0..n {
-                    acc += coeffs[k * n + x] * self.basis[k * n + i];
-                }
-                tmp[i * n + x] = acc;
-            }
-        }
         out.clear();
         out.resize(n * n, 0);
-        for y in 0..n {
-            for i in 0..n {
-                let mut acc = 0.0;
-                for k in 0..n {
-                    acc += tmp[y * n + k] * self.basis[k * n + i];
-                }
-                out[y * n + i] = acc.round() as i32;
-            }
+        match self.backend {
+            LaneBackend::Scalar => inverse_passes(self, coeffs, tmp, out, ScalarLanes),
+            #[cfg(target_arch = "x86_64")]
+            LaneBackend::Sse2 => inverse_passes(self, coeffs, tmp, out, Sse2Lanes),
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            LaneBackend::Avx2 => inverse_passes(self, coeffs, tmp, out, Avx2Lanes),
         }
     }
 }
@@ -295,5 +487,46 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn unsupported_size_panics() {
         let _ = DctPlan::new(5);
+    }
+
+    fn plan_with_backend(n: usize, backend: LaneBackend) -> DctPlan {
+        let mut plan = DctPlan::new(n);
+        plan.backend = backend;
+        plan
+    }
+
+    fn compiled_backends() -> Vec<LaneBackend> {
+        let mut v = vec![LaneBackend::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        v.push(LaneBackend::Sse2);
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        v.push(LaneBackend::Avx2);
+        v
+    }
+
+    #[test]
+    fn every_compiled_backend_matches_scalar_bit_for_bit() {
+        let mut rng = Pcg32::seed_from(9);
+        for &n in &SIZES {
+            let block: Vec<i32> = (0..n * n).map(|_| rng.below(256) as i32 - 128).collect();
+            let scalar = plan_with_backend(n, LaneBackend::Scalar);
+            let coeffs = scalar.forward(&block);
+            let back = scalar.inverse(&coeffs);
+            let coeff_bits: Vec<u64> = coeffs.iter().map(|c| c.to_bits()).collect();
+            for backend in compiled_backends() {
+                let plan = plan_with_backend(n, backend);
+                let c = plan.forward(&block);
+                let c_bits: Vec<u64> = c.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(c_bits, coeff_bits, "forward {backend:?} size {n}");
+                assert_eq!(plan.inverse(&c), back, "inverse {backend:?} size {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn detected_backend_is_compiled_in_and_named() {
+        let plan = DctPlan::new(8);
+        assert!(compiled_backends().contains(&plan.backend));
+        assert!(["scalar", "sse2", "avx2"].contains(&plan.simd_backend()));
     }
 }

@@ -1,0 +1,192 @@
+//! Randomized and adversarial round-trips of the residual syntax layer.
+//!
+//! Two properties are pinned here, at every TU size and in both transform
+//! and spatial modes:
+//!
+//! 1. **Round-trip**: `parse_residual` inverts `code_residual` exactly,
+//!    including extreme magnitudes (`±i32::MAX` exercises the truncated
+//!    Rice → exp-Golomb escape all the way out) and pure sign patterns.
+//! 2. **Batched = bin-by-bin**: the `CabacEncoder` fast path that folds
+//!    whole bypass runs (`encode_bypass_bits`) produces byte-identical
+//!    streams to the naive one-bin-at-a-time decomposition. A wrapper
+//!    sink forces the default `BinSink::bypass_bits` loop so both code
+//!    paths run against the same syntax.
+
+use llm265_bitstream::cabac::{CabacDecoder, CabacEncoder, Prob};
+use llm265_videocodec::syntax::{code_residual, parse_residual, BinSink, Contexts};
+
+/// All TU sizes the codec profiles can emit.
+const TU_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// A sink that refuses the batched bypass fast path: `bypass_bits` falls
+/// back to the trait's default bin-by-bin decomposition, so every bypass
+/// bin goes through `encode_bypass` individually.
+struct BinByBin(CabacEncoder);
+
+impl BinSink for BinByBin {
+    fn bit(&mut self, ctx: &mut Prob, b: bool) {
+        self.0.encode_bit(ctx, b);
+    }
+
+    fn bypass(&mut self, b: bool) {
+        self.0.encode_bypass(b);
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Adversarial level blocks for an `n × n` TU.
+fn patterns(n: usize) -> Vec<Vec<i32>> {
+    let nn = n * n;
+    let mut out: Vec<Vec<i32>> = Vec::new();
+    // Max-magnitude, alternating signs: every level takes the deepest
+    // escape path and every sign bin flips.
+    out.push(
+        (0..nn)
+            .map(|i| if i % 2 == 0 { i32::MAX } else { -i32::MAX })
+            .collect(),
+    );
+    // All-sign-flip at minimal magnitude: sign bypass bins dominate.
+    out.push((0..nn).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect());
+    // Sparse: a few nonzeros straddling the scan.
+    let mut sparse = vec![0i32; nn];
+    sparse[0] = 7;
+    sparse[nn / 2] = -12_345;
+    sparse[nn - 1] = 1;
+    out.push(sparse);
+    // Empty TU: coded-block flag only.
+    out.push(vec![0i32; nn]);
+    // Dense mixed magnitudes with zero runs.
+    let mut s = 0x1234_5678_9abc_def0u64 ^ nn as u64;
+    out.push(
+        (0..nn)
+            .map(|_| {
+                let r = lcg(&mut s);
+                if r.is_multiple_of(5) {
+                    return 0;
+                }
+                let mag = ((r >> 8) % 300) as i32;
+                if r & 1 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect(),
+    );
+    // Escape-heavy: magnitudes far past the Rice prefix cap, so the
+    // exp-Golomb suffix path runs with large widths.
+    let mut s = 0xdead_beefu64 ^ nn as u64;
+    out.push(
+        (0..nn)
+            .map(|_| {
+                let r = lcg(&mut s);
+                let mag = 3 + ((r >> 5) % 100_000) as i32;
+                if r & 1 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect(),
+    );
+    out
+}
+
+#[test]
+fn batched_and_bin_by_bin_residual_streams_are_byte_identical() {
+    for &n in &TU_SIZES {
+        for &spatial in &[false, true] {
+            let mut fast = CabacEncoder::new();
+            let mut slow = BinByBin(CabacEncoder::new());
+            let mut ctx_fast = Contexts::new();
+            let mut ctx_slow = Contexts::new();
+            // One continuous stream per configuration so the adaptive
+            // contexts evolve across blocks on both sides.
+            for levels in patterns(n) {
+                code_residual(&mut fast, &mut ctx_fast, &levels, n, spatial);
+                code_residual(&mut slow, &mut ctx_slow, &levels, n, spatial);
+            }
+            let a = fast.finish();
+            let b = slow.0.finish();
+            assert_eq!(a, b, "streams diverge at n={n} spatial={spatial}");
+        }
+    }
+}
+
+#[test]
+fn adversarial_levels_roundtrip_at_every_tu_size() {
+    for &n in &TU_SIZES {
+        for &spatial in &[false, true] {
+            let pats = patterns(n);
+            let mut enc = CabacEncoder::new();
+            let mut ectx = Contexts::new();
+            for levels in &pats {
+                code_residual(&mut enc, &mut ectx, levels, n, spatial);
+            }
+            let bytes = enc.finish();
+            let mut dec = CabacDecoder::new(&bytes);
+            let mut dctx = Contexts::new();
+            for levels in &pats {
+                let got = parse_residual(&mut dec, &mut dctx, n, spatial).expect("parse");
+                assert_eq!(&got, levels, "roundtrip failed at n={n} spatial={spatial}");
+            }
+        }
+    }
+}
+
+/// Proptest-style sweep: many random blocks with a magnitude mix skewed
+/// toward the syntax's edge cases, each round checking both properties.
+#[test]
+fn random_levels_roundtrip_and_match_bin_by_bin() {
+    let mut seed = 42u64;
+    for round in 0..48 {
+        let n = TU_SIZES[(lcg(&mut seed) % 4) as usize];
+        let spatial = lcg(&mut seed) & 1 == 0;
+        let levels: Vec<i32> = (0..n * n)
+            .map(|_| {
+                let r = lcg(&mut seed);
+                match r % 7 {
+                    0 | 1 => 0,
+                    2 => i32::MAX,
+                    3 => -i32::MAX,
+                    4 => ((r >> 33) % 1_000) as i32,
+                    5 => -(((r >> 33) % 1_000) as i32),
+                    _ => {
+                        if r & 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        let mut fast = CabacEncoder::new();
+        let mut slow = BinByBin(CabacEncoder::new());
+        let mut ctx_fast = Contexts::new();
+        let mut ctx_slow = Contexts::new();
+        code_residual(&mut fast, &mut ctx_fast, &levels, n, spatial);
+        code_residual(&mut slow, &mut ctx_slow, &levels, n, spatial);
+        let bytes = fast.finish();
+        assert_eq!(
+            bytes,
+            slow.0.finish(),
+            "round {round}: batched != bin-by-bin (n={n} spatial={spatial})"
+        );
+
+        let mut dec = CabacDecoder::new(&bytes);
+        let mut dctx = Contexts::new();
+        let got = parse_residual(&mut dec, &mut dctx, n, spatial).expect("parse");
+        assert_eq!(
+            got, levels,
+            "round {round}: roundtrip failed (n={n} spatial={spatial})"
+        );
+    }
+}

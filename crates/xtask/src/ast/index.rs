@@ -81,21 +81,36 @@ impl Index {
         self.by_name.get(name).map_or(&[], Vec::as_slice)
     }
 
+    /// Like [`Index::resolve`], but keeps only definitions with bodies.
+    /// Bodiless trait-method *declarations* are never call targets — the
+    /// call dispatches to an impl — and counting them toward a candidate
+    /// cap would make a name with one trait declaration plus `cap` impls
+    /// silently unresolvable, dropping every impl from the closure.
+    #[must_use]
+    pub fn resolve_defined(&self, name: &str) -> Vec<usize> {
+        self.resolve(name)
+            .iter()
+            .copied()
+            .filter(|&t| self.fns[t].item.body.is_some())
+            .collect()
+    }
+
     /// The call-graph closure reachable from the given function indices,
     /// resolving calls by name. A name that maps to more than
-    /// `max_candidates` definitions is treated as unresolvable (common
-    /// names like `new` would otherwise connect everything to everything).
+    /// `max_candidates` bodied definitions is treated as unresolvable
+    /// (common names like `new` would otherwise connect everything to
+    /// everything).
     #[must_use]
     pub fn reachable(&self, roots: &[usize], max_candidates: usize) -> BTreeSet<usize> {
         let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
         let mut frontier: Vec<usize> = roots.to_vec();
         while let Some(id) = frontier.pop() {
             for call in &self.fns[id].calls {
-                let targets = self.resolve(call);
+                let targets = self.resolve_defined(call);
                 if targets.is_empty() || targets.len() > max_candidates {
                     continue;
                 }
-                for &t in targets {
+                for t in targets {
                     if seen.insert(t) {
                         frontier.push(t);
                     }
@@ -116,11 +131,11 @@ impl Index {
             let mut next = Vec::new();
             for &id in &frontier {
                 for call in &self.fns[id].calls {
-                    let targets = self.resolve(call);
+                    let targets = self.resolve_defined(call);
                     if targets.is_empty() || targets.len() > max_candidates {
                         continue;
                     }
-                    for &t in targets {
+                    for t in targets {
                         if seen.insert(t) {
                             prev.insert(t, id);
                             next.push(t);
@@ -305,6 +320,31 @@ mod tests {
         // `new` resolves to 3 candidates; with max 2 it is unresolvable.
         assert_eq!(idx.reachable(&[root], 2).len(), 1);
         assert_eq!(idx.reachable(&[root], 3).len(), 4);
+    }
+
+    /// A trait's bodiless declaration must not count toward the candidate
+    /// cap: one declaration plus `cap` impls would otherwise make the
+    /// name unresolvable and silently drop every impl from the closure.
+    #[test]
+    fn bodiless_trait_declarations_are_not_candidates() {
+        let idx = index_of(&[(
+            "a.rs",
+            "trait Lanes { fn axpy(&self); }\n\
+             impl Lanes for A { fn axpy(&self) { deep() } }\n\
+             impl Lanes for B { fn axpy(&self) {} }\n\
+             impl Lanes for C { fn axpy(&self) {} }\n\
+             fn deep() {}\n\
+             fn decode_root() { axpy() }\n",
+        )]);
+        assert_eq!(idx.resolve("axpy").len(), 4);
+        assert_eq!(idx.resolve_defined("axpy").len(), 3);
+        let root = idx.resolve("decode_root")[0];
+        let seen = idx.reachable(&[root], 3);
+        // Root + the three bodied impls + `deep` through the first impl.
+        assert_eq!(seen.len(), 5, "closure missed trait impls");
+        let deep = idx.resolve("deep")[0];
+        let chain = idx.call_chain(root, deep, 3).expect("chain through impl");
+        assert_eq!(chain, vec!["decode_root", "axpy", "deep"]);
     }
 
     #[test]

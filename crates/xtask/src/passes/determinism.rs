@@ -30,6 +30,23 @@
 //! task runs, never *where* its result lands. `spawn` is exempt inside
 //! such a body because the shape itself is the proof; a blanket
 //! `lint:allow` is not needed and not used there.
+//!
+//! A fourth hazard is **runtime CPU feature detection**
+//! (`is_x86_feature_detected!`): deterministic on one machine, different
+//! across machines. It is legitimate in exactly one shape — a *pure
+//! backend selector* like `transform::detect_lane_backend`, a function
+//! that inspects features and returns an enum variant, steering *which*
+//! lane kernel runs while every kernel produces identical bytes. The pass
+//! recognizes that shape structurally: the body must contain no numeric
+//! literals and no arithmetic operators (recursively), so it provably
+//! computes nothing that could reach the bitstream. Detection mixed with
+//! arithmetic on a codec path is flagged.
+//!
+//! Call resolution filters out bodiless trait-method *declarations*
+//! before applying the candidate cap: a trait with one declaration plus
+//! `MAX_CANDIDATES` impls would otherwise make the method name silently
+//! unresolvable and drop every impl (e.g. the `Lanes::axpy` kernels) from
+//! the closure.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -91,11 +108,13 @@ pub fn check_workspace(ws: &Workspace, index: &Index) -> Vec<Violation> {
     let mut frontier = roots.clone();
     while let Some(id) = frontier.pop() {
         for call in &index.fns[id].calls {
-            let targets = index.resolve(call);
+            // Bodiless trait declarations are not call targets and must
+            // not count toward the cap (see module docs).
+            let targets = index.resolve_defined(call);
             if targets.is_empty() || targets.len() > MAX_CANDIDATES {
                 continue;
             }
-            for &t in targets {
+            for t in targets {
                 if seen.insert(t) {
                     prev.insert(t, id);
                     frontier.push(t);
@@ -127,6 +146,16 @@ pub fn check_workspace(ws: &Workspace, index: &Index) -> Vec<Violation> {
             &entry.item.name,
             &chain,
             pool_idiom,
+            &mut reported,
+            &mut out,
+        );
+        let selector = is_pure_selector(&body.trees);
+        scan_feature_detect(
+            &body.trees,
+            file,
+            &entry.item.name,
+            &chain,
+            selector,
             &mut reported,
             &mut out,
         );
@@ -193,6 +222,73 @@ fn scan_idiom(trees: &[Tree], flags: &mut IdiomFlags) {
             }
             Tree::Leaf(_) => {}
         }
+    }
+}
+
+/// Puncts that count as arithmetic for the pure-backend-selector check.
+/// The lexer joins multi-char operators, so compound assignments and
+/// shifts appear as single tokens here.
+const ARITH_PUNCTS: &[&str] = &[
+    "+", "-", "*", "/", "%", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=",
+];
+
+/// A *pure backend selector* inspects CPU features and returns a variant:
+/// structurally, its body contains no numeric literals and no arithmetic
+/// operators anywhere (recursing through every group). Such a function
+/// provably computes nothing that could reach the bitstream, so runtime
+/// feature detection inside it can only steer which (bit-identical by
+/// contract) kernel runs.
+fn is_pure_selector(trees: &[Tree]) -> bool {
+    trees.iter().all(|t| match t {
+        Tree::Group(g) => is_pure_selector(&g.trees),
+        Tree::Leaf(tok) => match tok.kind {
+            Kind::Int | Kind::Float => false,
+            Kind::Punct => !ARITH_PUNCTS.contains(&tok.text.as_str()),
+            _ => true,
+        },
+    })
+}
+
+/// Flags `is_x86_feature_detected` on a codec path unless the containing
+/// function is a pure backend selector (see [`is_pure_selector`]).
+#[allow(clippy::too_many_arguments)]
+fn scan_feature_detect<'t>(
+    trees: &'t [Tree],
+    file: &SourceFile,
+    fn_name: &str,
+    chain: &str,
+    selector: bool,
+    reported: &mut BTreeSet<(String, usize, &'t str)>,
+    out: &mut Vec<Violation>,
+) {
+    for t in trees {
+        if let Tree::Group(g) = t {
+            scan_feature_detect(&g.trees, file, fn_name, chain, selector, reported, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident || tok.text != "is_x86_feature_detected" {
+            continue;
+        }
+        if selector {
+            // Proven by shape: a selector that computes nothing cannot
+            // leak machine-dependent bits into the stream.
+            continue;
+        }
+        if file.is_allowed(tok.line, "determinism") {
+            continue;
+        }
+        if !reported.insert((file.path.clone(), tok.line, "is_x86_feature_detected")) {
+            continue;
+        }
+        out.push(Violation::new(
+            "determinism",
+            &file.path,
+            tok.line + 1,
+            format!(
+                "`is_x86_feature_detected` in `{fn_name}` (codec path: {chain}): CPU features differ across machines; keep detection in a pure backend selector (no numeric literals or arithmetic — it may only pick among bit-identical kernels) or justify with lint:allow(determinism)"
+            ),
+        ));
     }
 }
 
@@ -383,5 +479,87 @@ mod tests {
             "pub fn encode_x() { let m: std::collections::BTreeMap<u8,u8> = Default::default(); m.len(); }\n",
         )]);
         assert!(check_workspace(&ws, &idx).is_empty());
+    }
+
+    /// The `transform::detect_lane_backend` shape: cfg-gated feature
+    /// probes that only return enum variants. No numeric literals, no
+    /// arithmetic — recognized structurally, no `lint:allow` needed.
+    #[test]
+    fn pure_backend_selector_may_detect_features() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn encode_block() { let b = detect_backend(); }\n\
+             fn detect_backend() -> Backend {\n\
+                 #[cfg(target_arch = \"x86_64\")]\n\
+                 {\n\
+                     if std::arch::is_x86_feature_detected!(\"avx2\") {\n\
+                         return Backend::Avx2;\n\
+                     }\n\
+                 }\n\
+                 Backend::Scalar\n\
+             }\n",
+        )]);
+        assert!(check_workspace(&ws, &idx).is_empty());
+    }
+
+    /// Detection mixed with arithmetic is not a selector: the branch
+    /// could compute different bytes per machine.
+    #[test]
+    fn feature_detection_with_arithmetic_is_flagged() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn encode_block() {\n\
+                 let wide = std::arch::is_x86_feature_detected!(\"avx2\");\n\
+                 let lanes = if wide { 4 + 0 } else { 1 };\n\
+             }\n",
+        )]);
+        let v = check_workspace(&ws, &idx);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("is_x86_feature_detected"));
+        assert!(v[0].message.contains("pure backend selector"));
+    }
+
+    /// A numeric literal alone (even without operators) disqualifies the
+    /// selector shape — constants can reach the bitstream too.
+    #[test]
+    fn feature_detection_with_numeric_literal_is_flagged() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn decode_block() {\n\
+                 if is_x86_feature_detected!(\"sse2\") { scale(2.0); }\n\
+             }\n",
+        )]);
+        let v = check_workspace(&ws, &idx);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    /// Off codec paths (and allowed sites) detection is not our business.
+    #[test]
+    fn feature_detection_off_codec_path_is_quiet() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "pub fn report_cpu() { let n = 1 + is_x86_feature_detected!(\"avx2\") as u32; }\n\
+             pub fn encode_y() {\n    // lint:allow(determinism): logging only, result unused\n    let _ = is_x86_feature_detected!(\"avx2\") && 1 + 1 == 2;\n}\n",
+        )]);
+        assert!(check_workspace(&ws, &idx).is_empty());
+    }
+
+    /// Trait-method declarations must not clog call resolution: one
+    /// bodiless declaration plus three impls still resolves, so hazards
+    /// inside an impl are found through the trait call.
+    #[test]
+    fn trait_impls_stay_in_the_closure_despite_declaration() {
+        let (ws, idx) = ws(&[(
+            "a.rs",
+            "trait Lanes { fn axpy(&self); }\n\
+             impl Lanes for A { fn axpy(&self) { let m = HashMap::new(); } }\n\
+             impl Lanes for B { fn axpy(&self) {} }\n\
+             impl Lanes for C { fn axpy(&self) {} }\n\
+             pub fn encode_rows() { l.axpy() }\n",
+        )]);
+        let v = check_workspace(&ws, &idx);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("HashMap"));
+        assert!(v[0].message.contains("encode_rows → axpy"));
     }
 }
