@@ -232,6 +232,12 @@ impl ByteCodec for Deflate {
                 if dist == 0 || dist > out.len() {
                     return Err(DecodeError::Corrupt("deflate distance out of range"));
                 }
+                // A declared match must fit the remaining output: without
+                // this cap a hostile token stream grows `out` far past `n`
+                // before the final length check.
+                if len > n.saturating_sub(out.len()) {
+                    return Err(DecodeError::LimitExceeded("deflate match length"));
+                }
                 let start = out.len() - dist;
                 // Byte-at-a-time so overlapping matches (RLE) replicate.
                 for i in 0..len {

@@ -198,6 +198,12 @@ impl ByteCodec for Huffman {
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         let mut r = BitReader::new(data);
         let n = r.read_bits(57)? as usize;
+        // Every symbol costs at least one bit, so a declared length beyond
+        // the total bit count is impossible; reject it before sizing
+        // anything by it.
+        if n > data.len().saturating_mul(8) {
+            return Err(DecodeError::LimitExceeded("huffman declared length"));
+        }
         let first = r.read_bits(8)? as usize;
         let last = r.read_bits(8)? as usize;
         if first > last {

@@ -142,6 +142,12 @@ impl ByteCodec for Lz4 {
                 mlen += read_len_ext(data, &mut pos)?;
             }
             let mlen = mlen + MIN_MATCH;
+            // A declared match must fit the remaining output: without this
+            // cap a hostile length extension grows `out` far past `n`
+            // before the loop condition is rechecked.
+            if mlen > n - out.len() {
+                return Err(DecodeError::LimitExceeded("lz4 match length"));
+            }
             // Overlapping copies are the point of LZ: copy byte-by-byte.
             let start = out.len() - dist;
             for i in 0..mlen {

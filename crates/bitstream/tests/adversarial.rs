@@ -118,6 +118,49 @@ fn cabac_hostile_declared_length_is_rejected_not_allocated() {
 }
 
 #[test]
+fn lz4_hostile_match_length_is_rejected_not_amplified() {
+    // Declared output of 8 bytes, then a sequence whose match-length
+    // extension asks for ~725 more: the decoder must refuse instead of
+    // growing `out` far past the declared length.
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&8u64.to_le_bytes());
+    evil.push(0x4F); // 4 literals, match nibble 15 (extended)
+    evil.extend_from_slice(b"abcd");
+    evil.extend_from_slice(&1u16.to_le_bytes()); // distance 1
+    evil.extend_from_slice(&[255, 255, 200]); // match extension: +710
+    match Lz4.decompress(&evil) {
+        Err(CodecError::LimitExceeded(_)) => {}
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn huffman_hostile_declared_length_is_rejected_not_allocated() {
+    // All-ones header bits declare ~2^57 symbols from a 10-byte stream;
+    // every symbol costs at least one bit, so this is impossible and must
+    // be rejected before anything is sized by it.
+    match Huffman.decompress(&[0xFF; 10]) {
+        Err(CodecError::LimitExceeded(_)) => {}
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn deflate_hostile_match_length_is_rejected_not_amplified() {
+    // A valid LZ77-mode stream whose declared length is then shrunk to 2:
+    // the first match would overshoot the remaining output, which must be
+    // an error instead of unbounded growth before the final length check.
+    let data = vec![b'a'; 4096];
+    let mut evil = Deflate.compress(&data);
+    assert_eq!(evil[8], 2, "expected LZ77 block mode");
+    evil[..8].copy_from_slice(&2u64.to_le_bytes());
+    match Deflate.decompress(&evil) {
+        Err(CodecError::LimitExceeded(_)) => {}
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
 fn cabac_truncated_header_is_truncation_error() {
     for len in 0..8 {
         match CabacBytes.decompress(&vec![0u8; len]) {

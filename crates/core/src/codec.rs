@@ -730,6 +730,9 @@ fn decode_tensor(e: &EncodedTensor, threads: usize) -> Result<Tensor, CodecError
     if rows.checked_mul(cols).is_none_or(|n| n > (1 << 31)) {
         return Err(CodecError::LimitExceeded("tensor shape"));
     }
+    if n_chunks > data.len() / CHUNK_HEADER_BYTES {
+        return Err(CodecError::LimitExceeded("tensor chunk count"));
+    }
     // Pass 1 (serial): frame the chunk records so payload decodes can fan
     // out. All structural validation that needs inter-chunk state lives
     // here; growth is bounded by the actual stream length, not the
@@ -769,6 +772,12 @@ fn decode_tensor(e: &EncodedTensor, threads: usize) -> Result<Tensor, CodecError
     let mut out = Tensor::zeros(rows, cols);
     let mut covered = 0usize;
     for ((row0, c_rows, lo, scale, _), frame) in records.iter().zip(&frames) {
+        // Re-established where it is consumed: pass 1 checked row0 against
+        // the declared rows and pass 2 checked the frame dimensions, but
+        // the restore indexes `out` with both, so bound them here too.
+        if *row0 + frame.height() > rows {
+            return Err(CodecError::Corrupt("restored chunk exceeds tensor rows"));
+        }
         chunk::dequantize_into(&mut out, frame, *row0, *lo, *scale);
         covered += c_rows;
     }

@@ -13,6 +13,10 @@ use super::tree::{to_text, Group, Tree};
 pub struct FnItem {
     /// Bare function name.
     pub name: String,
+    /// Whether the item carries a `pub` qualifier (`pub`, `pub(crate)`,
+    /// `pub(super)` all count — the dataflow passes treat any of them as
+    /// externally reachable).
+    pub is_pub: bool,
     /// Enclosing `impl`/`trait` type name, if any (generics stripped).
     pub self_ty: Option<String>,
     /// `(name, type)` pairs; receiver params (`self`, `&mut self`) and
@@ -293,6 +297,32 @@ fn parse_fn(
     let name = name_tok.text.clone();
     let line = forest[i].leaf().map_or(0, |t| t.line);
 
+    // Visibility: walk back over qualifiers (`const`, `async`, `unsafe`,
+    // `extern "C"`, `default`, and the `(crate)`/`(super)` group of a
+    // restricted `pub`) looking for a `pub` keyword.
+    let is_pub = {
+        let mut j = i;
+        let mut found = false;
+        while j > 0 {
+            let prev = &forest[j - 1];
+            if prev.is_ident("pub") {
+                found = true;
+                break;
+            }
+            let qualifier = prev.leaf().is_some_and(|t| {
+                matches!(
+                    t.text.as_str(),
+                    "const" | "async" | "unsafe" | "extern" | "default"
+                ) || t.kind == super::lex::Kind::Str
+            }) || matches!(prev, Tree::Group(g) if g.delim == '(');
+            if !qualifier {
+                break;
+            }
+            j -= 1;
+        }
+        found
+    };
+
     // Params: first `(…)` group at angle-depth 0 (generic bounds like
     // `T: Fn(u8)` hide parens at depth > 0).
     let mut angle = 0i32;
@@ -360,6 +390,7 @@ fn parse_fn(
     (
         Some(FnItem {
             name,
+            is_pub,
             self_ty: self_ty.map(str::to_string),
             params,
             ret,
@@ -506,6 +537,28 @@ mod tests {
         );
         let names: Vec<&str> = it.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, vec!["live", "tail"]);
+    }
+
+    #[test]
+    fn visibility_is_captured() {
+        let it = items(
+            "pub fn a() {}\n\
+             pub(crate) fn b() {}\n\
+             pub(super) const fn c() {}\n\
+             fn d() {}\n\
+             pub unsafe extern \"C\" fn e() {}\n",
+        );
+        let vis: Vec<(&str, bool)> = it.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            vis,
+            vec![
+                ("a", true),
+                ("b", true),
+                ("c", true),
+                ("d", false),
+                ("e", true)
+            ]
+        );
     }
 
     #[test]

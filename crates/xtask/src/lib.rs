@@ -5,7 +5,7 @@
 //! file). The gate is an AST analysis engine, not a line-regex scanner:
 //! every file is lexed into token trees and parsed into items exactly once
 //! ([`source::SourceFile`]), the items are merged into a workspace-wide
-//! call-graph index ([`ast::index::Index`]), and seven passes run as
+//! call-graph index ([`ast::index::Index`]), and nine passes run as
 //! visitors over that shared result:
 //!
 //! 1. **panic-freedom** ([`passes::panic_free`]) — denies
@@ -27,10 +27,17 @@
 //!    the call graphs of `encode*`/`decode*`/`quantize*` functions;
 //! 7. **error-discipline** ([`passes::error_discipline`]) — dropped
 //!    `Result`s, discarded `#[must_use]` values, and panics in unaudited
-//!    crates reachable from decode paths (with the call chain).
+//!    crates reachable from decode paths (with the call chain);
+//! 8. **wire-taint** ([`passes::wire_taint`]) — interprocedural dataflow
+//!    over the [`dataflow`] engine: values read from the wire must pass a
+//!    sanitizer before sizing an allocation, bounding a loop, or indexing
+//!    a slice, with a source → sink witness chain in every finding;
+//! 9. **panic-reach** ([`passes::panic_reach`]) — the transitive closure
+//!    of panicking constructs reachable from public decode APIs, with the
+//!    full root → site call chain.
 //!
 //! Escape hatches are per-site comments with a reason:
-//! `// lint:allow(panic|float-cmp|cast|determinism|error): <why>`.
+//! `// lint:allow(panic|float-cmp|cast|determinism|error|taint): <why>`.
 //! Comments, strings, and `#[cfg(test)]` items are stripped by the engine
 //! before any pass runs, so findings can never fire on prose or test code.
 //! Pre-existing findings live in `crates/xtask/baseline.toml`
@@ -40,6 +47,7 @@
 
 pub mod ast;
 pub mod baseline;
+pub mod dataflow;
 pub mod passes {
     pub mod cast_safety;
     pub mod determinism;
@@ -47,7 +55,9 @@ pub mod passes {
     pub mod float_cmp;
     pub mod hygiene;
     pub mod panic_free;
+    pub mod panic_reach;
     pub mod symmetry;
+    pub mod wire_taint;
 }
 pub mod report;
 pub mod source;
@@ -85,6 +95,8 @@ pub const PASSES: &[&str] = &[
     "cast-safety",
     "determinism",
     "error-discipline",
+    "wire-taint",
+    "panic-reach",
 ];
 
 /// Runs every pass over the workspace at `root`, then filters the findings
@@ -163,6 +175,23 @@ pub fn lint_workspace(ws: &Workspace) -> Report {
         .extend(passes::error_discipline::check_workspace(
             ws,
             &index,
+            PANIC_FREE_CRATES,
+        ));
+
+    report
+        .violations
+        .extend(passes::wire_taint::check_workspace(
+            ws,
+            &index,
+            PANIC_FREE_CRATES,
+        ));
+
+    report
+        .violations
+        .extend(passes::panic_reach::check_workspace(
+            ws,
+            &index,
+            PANIC_FREE_CRATES,
             PANIC_FREE_CRATES,
         ));
 

@@ -1,5 +1,6 @@
 //! `cargo run -p xtask -- lint [--format text|json] [--root PATH]
-//! [--baseline PATH] [--no-baseline] [--write-baseline]`
+//! [--baseline PATH] [--no-baseline] [--write-baseline] [--pass NAME]
+//! [--explain FINDING-ID] [--sweep]`
 
 #![forbid(unsafe_code)]
 
@@ -16,6 +17,9 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut use_baseline = true;
     let mut write_baseline = false;
+    let mut only_pass: Option<String> = None;
+    let mut explain: Option<String> = None;
+    let mut sweep = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,6 +47,28 @@ fn main() -> ExitCode {
             }
             "--no-baseline" => use_baseline = false,
             "--write-baseline" => write_baseline = true,
+            "--pass" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--pass needs a pass name ({})", xtask::PASSES.join(", "));
+                    return ExitCode::from(2);
+                };
+                if !xtask::PASSES.contains(&v.as_str()) {
+                    eprintln!(
+                        "unknown pass `{v}`; available: {}",
+                        xtask::PASSES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                only_pass = Some(v.clone());
+            }
+            "--explain" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--explain needs a finding id (pass@path:line)");
+                    return ExitCode::from(2);
+                };
+                explain = Some(v.clone());
+            }
+            "--sweep" => sweep = true,
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -57,6 +83,16 @@ fn main() -> ExitCode {
     if cmd != Some("lint") {
         print_help();
         return ExitCode::from(2);
+    }
+
+    // Report-only panic-reach sweep over the non-hot-path crates: debt
+    // inventory, never a gate failure.
+    if sweep {
+        return run_sweep(&root);
+    }
+
+    if let Some(id) = explain {
+        return run_explain(&root, &id);
     }
 
     let baseline_path =
@@ -108,7 +144,12 @@ fn main() -> ExitCode {
     };
 
     match xtask::run_lint(&root, baseline.as_ref()) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if let Some(pass) = &only_pass {
+                report.violations.retain(|v| v.pass == pass.as_str());
+                report.baselined.retain(|v| v.pass == pass.as_str());
+                report.passes_run.retain(|p| *p == pass.as_str());
+            }
             match format.as_str() {
                 "json" => println!("{}", report.to_json()),
                 _ => print!("{}", report.to_text()),
@@ -124,6 +165,82 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `--explain pass@path:line`: re-runs the gate without a baseline and
+/// prints the matching finding in full, witness chain included.
+fn run_explain(root: &std::path::Path, id: &str) -> ExitCode {
+    let report = match xtask::run_lint(root, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(v) = report.violations.iter().find(|v| v.id() == id) else {
+        eprintln!(
+            "no finding with id `{id}` (ids look like `wire-taint@crates/bitstream/src/lz4.rs:42`; \
+             run `lint --no-baseline --format json` to list current ids)"
+        );
+        return ExitCode::from(2);
+    };
+    println!("finding {id}");
+    println!("  pass:     {}", v.pass);
+    println!("  location: {}:{}", v.path, v.line);
+    println!("  message:  {}", v.message);
+    if !v.chain.is_empty() {
+        println!("  witness chain:");
+        for (i, hop) in v.chain.iter().enumerate() {
+            println!("    {}{hop}", "  ".repeat(i));
+        }
+    }
+    let allow = match v.pass {
+        "wire-taint" => "taint",
+        "panic-reach" | "panic-freedom" => "panic",
+        "float-cmp" => "float-cmp",
+        "cast-safety" => "cast",
+        "determinism" => "determinism",
+        "error-discipline" => "error",
+        _ => "",
+    };
+    if !allow.is_empty() {
+        println!("  suppress (with a reason): // lint:allow({allow}): <why>");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--sweep`: report-only panic-reachability over the crates outside the
+/// panic-free audit (model, bench). Always exits 0; the output is a debt
+/// inventory for ROADMAP.md, not a gate.
+fn run_sweep(root: &std::path::Path) -> ExitCode {
+    const SWEEP_CRATES: &[&str] = &["llm265-model", "llm265-bench"];
+    let ws = match xtask::source::Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint --sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let index = ws.build_index();
+    // The sweep walks from *every* public API: model/bench expose no
+    // decode-shaped functions, so the gate's root policy would make the
+    // inventory vacuously empty.
+    let findings = xtask::passes::panic_reach::check_workspace_with_policy(
+        &ws,
+        &index,
+        SWEEP_CRATES,
+        xtask::PANIC_FREE_CRATES,
+        xtask::passes::panic_reach::RootPolicy::AllPublicApis,
+    );
+    for v in &findings {
+        println!("{}:{}: [sweep] {}", v.path, v.line, v.message);
+    }
+    println!(
+        "sweep: {} panic-reach finding(s) across {} (report-only)",
+        findings.len(),
+        SWEEP_CRATES.join(", ")
+    );
+    ExitCode::SUCCESS
 }
 
 /// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
@@ -144,8 +261,12 @@ fn print_help() {
          \x20 --root PATH          workspace root (default: auto-detected)\n\
          \x20 --baseline PATH      ratchet file (default: crates/xtask/baseline.toml)\n\
          \x20 --no-baseline        report every finding as failing\n\
-         \x20 --write-baseline     regenerate the ratchet file from current findings\n\n\
+         \x20 --write-baseline     regenerate the ratchet file from current findings\n\
+         \x20 --pass NAME          run the gate but report one pass only\n\
+         \x20 --explain ID         explain one finding (ID = pass@path:line)\n\
+         \x20 --sweep              report-only panic-reach sweep of model/bench\n\n\
          Passes: panic-freedom, symmetry, float-cmp, hygiene, cast-safety,\n\
-         determinism, error-discipline (see crates/xtask/src/lib.rs)"
+         determinism, error-discipline, wire-taint, panic-reach\n\
+         (see crates/xtask/src/lib.rs)"
     );
 }

@@ -43,7 +43,7 @@ pub const DENIED_MACROS: &[(&str, &str)] = &[
 ];
 
 /// Buffer names that conventionally hold untrusted input.
-const INPUT_NAMES: &[&str] = &["data", "bytes", "input", "payload", "buf", "src", "stream"];
+pub const INPUT_NAMES: &[&str] = &["data", "bytes", "input", "payload", "buf", "src", "stream"];
 
 /// Function-name prefixes that mark untrusted-input parsing code.
 pub const DECODE_PREFIXES: &[&str] = &["decode", "parse", "decompress", "read"];

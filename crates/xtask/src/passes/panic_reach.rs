@@ -1,0 +1,273 @@
+//! Panic-reachability pass: the transitive closure of panicking
+//! constructs from every public decode-side API, with witness chains.
+//!
+//! The panic-freedom pass scans each file locally; the error-discipline
+//! pass follows decode calls into *unaudited* crates. This pass closes
+//! the remaining gap: starting from every externally reachable
+//! decode-shaped function (`decode*`/`parse*`/`decompress*`/`read*`,
+//! `pub` or a method) in the root crates, it walks the whole-workspace
+//! call graph and reports panicking constructs in the reachable helpers
+//! — `panic!`-family macros, `.unwrap()`/`.expect(…)`, and unguarded
+//! (or arithmetic) indexing of input-named buffers — each with the full
+//! root→site call chain, not just the leaf.
+//!
+//! Double-jeopardy rule: sites inside a root's own body belong to the
+//! local passes, and in the audited crates the macro/unwrap families are
+//! already denied file-wide by panic-freedom, so there this pass only
+//! adds the indexing family (which panic-freedom restricts to
+//! decode-named functions). In unaudited crates everything reachable is
+//! reported. `// lint:allow(panic): <reason>` applies as usual.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::ast::index::Index;
+use crate::ast::lex::Kind;
+use crate::ast::tree::Tree;
+use crate::dataflow::MAX_CANDIDATES;
+use crate::passes::panic_free::{DECODE_PREFIXES, DENIED_MACROS, INPUT_NAMES};
+use crate::report::Violation;
+use crate::source::Workspace;
+
+/// Which functions seed the reachability walk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// Gate mode: externally reachable decode-shaped functions.
+    DecodeApis,
+    /// Sweep mode: every public function and method — the model/bench
+    /// crates expose no decode-shaped APIs, so the debt inventory walks
+    /// from everything callers can reach.
+    AllPublicApis,
+}
+
+/// Gate mode: roots in `root_crates`, macro/unwrap findings suppressed
+/// inside `audited` crates (panic-freedom already denies them there).
+pub fn check_workspace(
+    ws: &Workspace,
+    index: &Index,
+    root_crates: &[&str],
+    audited: &[&str],
+) -> Vec<Violation> {
+    check_workspace_with_policy(ws, index, root_crates, audited, RootPolicy::DecodeApis)
+}
+
+/// [`check_workspace`] with an explicit root-selection policy.
+pub fn check_workspace_with_policy(
+    ws: &Workspace,
+    index: &Index,
+    root_crates: &[&str],
+    audited: &[&str],
+    policy: RootPolicy,
+) -> Vec<Violation> {
+    let roots: Vec<usize> = index
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            root_crates.contains(&e.krate.as_str())
+                && (e.item.is_pub || e.item.self_ty.is_some())
+                && (policy == RootPolicy::AllPublicApis
+                    || DECODE_PREFIXES.iter().any(|p| e.item.name.starts_with(p)))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let root_set: BTreeSet<usize> = roots.iter().copied().collect();
+    let closure = index.reachable(&roots, MAX_CANDIDATES);
+    let files: BTreeMap<&str, &crate::source::SourceFile> =
+        ws.files().map(|f| (f.path.as_str(), f)).collect();
+    let root_kind = match policy {
+        RootPolicy::DecodeApis => "public decode API",
+        RootPolicy::AllPublicApis => "public API",
+    };
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for &id in &closure {
+        let entry = &index.fns[id];
+        // A root's own body is the local passes' jurisdiction — but only
+        // in the audited crates; in a sweep over unaudited crates no
+        // other pass covers the root body, so it is scanned too.
+        if root_set.contains(&id) && audited.contains(&entry.krate.as_str()) {
+            continue;
+        }
+        let Some(body) = &entry.item.body else {
+            continue;
+        };
+        let indexing_only = audited.contains(&entry.krate.as_str());
+        let mut sites = Vec::new();
+        panic_sites(&body.trees, indexing_only, &mut sites);
+        if sites.is_empty() {
+            continue;
+        }
+        let chain = roots
+            .iter()
+            .find_map(|&r| index.call_chain(r, id, MAX_CANDIDATES))
+            .unwrap_or_else(|| vec![entry.item.name.clone()]);
+        for (line, what) in sites {
+            if files
+                .get(entry.path.as_str())
+                .is_some_and(|sf| sf.is_allowed(line, "panic"))
+            {
+                continue;
+            }
+            if !seen.insert((entry.path.clone(), line)) {
+                continue;
+            }
+            out.push(
+                Violation::new(
+                    "panic-reach",
+                    &entry.path,
+                    line + 1,
+                    format!(
+                        "{what} in `{}` is reachable from {root_kind} `{}` \
+                         (call chain: {}); return a CodecError instead",
+                        entry.item.name,
+                        chain.first().map_or("?", String::as_str),
+                        chain.join(" → "),
+                    ),
+                )
+                .with_chain(chain.clone()),
+            );
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Panicking constructs in one body: `(0-based line, description)`.
+fn panic_sites(trees: &[Tree], indexing_only: bool, out: &mut Vec<(usize, String)>) {
+    for (k, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            panic_sites(&g.trees, indexing_only, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if !indexing_only {
+            if DENIED_MACROS.iter().any(|(m, _)| name == *m)
+                && trees.get(k + 1).is_some_and(|t| t.is_punct("!"))
+                && trees.get(k + 2).and_then(Tree::group).is_some()
+            {
+                out.push((tok.line, format!("`{name}!`")));
+                continue;
+            }
+            if matches!(name, "unwrap" | "expect")
+                && k > 0
+                && trees[k - 1].is_punct(".")
+                && trees
+                    .get(k + 1)
+                    .and_then(Tree::group)
+                    .is_some_and(|g| g.delim == '(')
+            {
+                out.push((tok.line, format!("`.{name}()`")));
+                continue;
+            }
+        }
+        // Unguarded indexing of an input-named buffer (field accesses
+        // like `self.data[..]` are the owner's storage, not input).
+        if INPUT_NAMES.contains(&name)
+            && (k == 0 || !trees[k - 1].is_punct("."))
+            && trees
+                .get(k + 1)
+                .and_then(Tree::group)
+                .is_some_and(|g| g.delim == '[')
+        {
+            let idx = trees.get(k + 1).and_then(Tree::group).expect("checked");
+            let arithmetic = idx
+                .trees
+                .iter()
+                .any(|t| t.is_punct("+") || t.is_punct("-") || t.is_punct("*"));
+            let what = if arithmetic {
+                format!("unchecked arithmetic in index of `{name}[..]`")
+            } else {
+                format!("unguarded indexing of `{name}[..]`")
+            };
+            out.push((tok.line, what));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    const AUDITED: &[&str] = &["llm265-bitstream"];
+
+    fn ws(src: &str) -> Workspace {
+        let manifest = "[package]\nname = \"llm265-bitstream\"\n\n[lints]\nworkspace = true\n";
+        let file = SourceFile::from_contents("crates/bitstream/src/lib.rs", src);
+        Workspace {
+            crates: vec![CrateSrc::from_parts(
+                "llm265-bitstream",
+                manifest,
+                vec![file],
+            )],
+        }
+    }
+
+    fn check(src: &str) -> Vec<Violation> {
+        let w = ws(src);
+        let index = w.build_index();
+        check_workspace(&w, &index, AUDITED, AUDITED)
+    }
+
+    #[test]
+    fn cross_function_indexing_reports_the_chain() {
+        let v = check(
+            "pub fn decode_entry(data: &[u8]) -> u8 { entry_at(data, 1) }\n\
+             fn entry_at(data: &[u8], i: usize) -> u8 { data[i + 1] }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("entry_at"), "{}", v[0].message);
+        assert!(v[0].message.contains("decode_entry"), "{}", v[0].message);
+        assert!(v[0].message.contains("arithmetic"), "{}", v[0].message);
+        assert_eq!(v[0].chain, vec!["decode_entry", "entry_at"]);
+    }
+
+    #[test]
+    fn checked_helper_and_non_reachable_code_stay_quiet() {
+        let v = check(
+            "pub fn decode_entry(data: &[u8]) -> u8 { entry_at(data, 1) }\n\
+             fn entry_at(data: &[u8], i: usize) -> u8 { data.get(i + 1).copied().unwrap_or(0) }\n\
+             fn orphan(data: &[u8]) -> u8 { data[0] }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn root_body_sites_are_left_to_local_passes() {
+        // Indexing directly in the pub decode fn is panic-freedom's
+        // finding, not this pass's.
+        let v = check("pub fn decode_direct(data: &[u8]) -> u8 { data[0] }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unaudited_crates_report_unwrap_with_chain() {
+        let bs_manifest = "[package]\nname = \"llm265-bitstream\"\n\n[lints]\nworkspace = true\n";
+        let model_manifest = "[package]\nname = \"llm265-model\"\n\n[lints]\nworkspace = true\n";
+        let bs = SourceFile::from_contents(
+            "crates/bitstream/src/lib.rs",
+            "pub fn decode_x(data: &[u8]) -> u8 { helper_x(data) }\n",
+        );
+        let model = SourceFile::from_contents(
+            "crates/model/src/lib.rs",
+            "pub fn helper_x(data: &[u8]) -> u8 { data.first().copied().unwrap() }\n",
+        );
+        let w = Workspace {
+            crates: vec![
+                CrateSrc::from_parts("llm265-bitstream", bs_manifest, vec![bs]),
+                CrateSrc::from_parts("llm265-model", model_manifest, vec![model]),
+            ],
+        };
+        let index = w.build_index();
+        let v = check_workspace(&w, &index, AUDITED, AUDITED);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unwrap"), "{}", v[0].message);
+        assert_eq!(v[0].chain, vec!["decode_x", "helper_x"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Wire-taint pass: untrusted lengths must be sanitized before they
+//! size, bound, or index anything (interprocedural dataflow visitor).
+//!
+//! Every length, count, and offset in an LLM.265 stream is
+//! attacker-controlled. The per-file passes catch `data[i]` in a decode
+//! body; this pass catches the laundered variants — a wire-read length
+//! returned through a helper, or a tainted argument handed to a callee
+//! that allocates with it. The [`crate::dataflow`] engine computes
+//! per-function summaries across the whole workspace, then this pass
+//! replays each function in the audited crates unseeded and reports
+//! tainted values reaching `Vec::with_capacity`/`vec![..; n]`/
+//! `resize`/`reserve`, `for _ in 0..n` bounds, and slice indices, with a
+//! source→sink witness chain. Sanitizers (diverging `LimitExceeded`
+//! guards, `min`/`clamp` against a trusted bound, narrowing `try_from`)
+//! clear the taint; justified exceptions carry
+//! `// lint:allow(taint): <reason>`.
+
+use std::collections::BTreeMap;
+
+use crate::ast::index::Index;
+use crate::dataflow::{self, Summaries};
+use crate::passes::panic_free::DECODE_PREFIXES;
+use crate::report::Violation;
+use crate::source::Workspace;
+
+/// Runs the pass over the audited crates using a prebuilt index.
+pub fn check_workspace(ws: &Workspace, index: &Index, crates: &[&str]) -> Vec<Violation> {
+    let sums = dataflow::summarize(index);
+    let files: BTreeMap<&str, &crate::source::SourceFile> =
+        ws.files().map(|f| (f.path.as_str(), f)).collect();
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for (id, entry) in index.fns.iter().enumerate() {
+        if !crates.contains(&entry.krate.as_str()) {
+            continue;
+        }
+        // Same threat-model scoping as panic-freedom's indexing scan:
+        // decode-shaped functions consume untrusted bytes; encode paths
+        // hashing their own input are not wire-facing. Laundering helpers
+        // are still followed — summaries cover the whole workspace.
+        if !DECODE_PREFIXES
+            .iter()
+            .any(|p| entry.item.name.starts_with(p))
+        {
+            continue;
+        }
+        let analysis = dataflow::analyze(index, &sums, id, false);
+        for f in analysis.findings {
+            if f.origin.root_param().is_some() {
+                continue;
+            }
+            if files
+                .get(entry.path.as_str())
+                .is_some_and(|sf| sf.is_allowed(f.line, "taint"))
+            {
+                continue;
+            }
+            if !seen.insert((entry.path.clone(), f.line, f.what)) {
+                continue;
+            }
+            let chain = witness_chain(&sums, &entry.item.name, &f);
+            out.push(
+                Violation::new(
+                    "wire-taint",
+                    &entry.path,
+                    f.line + 1,
+                    format!(
+                        "tainted value reaches {} `{}` without a sanitizer (source → sink: {}); \
+                         guard with a diverging LimitExceeded check, `.min`/`.clamp` against a \
+                         trusted bound, or a narrowing try_from",
+                        f.what,
+                        f.detail,
+                        chain.join(" → "),
+                    ),
+                )
+                .with_chain(chain),
+            );
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Full source→sink chain: provenance hops (deepest read first), the
+/// reporting function, then any callee hops down to the sink.
+fn witness_chain(sums: &Summaries, fn_name: &str, f: &dataflow::Finding) -> Vec<String> {
+    let mut chain = dataflow::origin_chain(sums, &f.origin);
+    chain.push(fn_name.to_string());
+    chain.extend(f.sink_hops.iter().cloned());
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    fn ws(src: &str) -> Workspace {
+        let manifest = "[package]\nname = \"llm265-bitstream\"\n\n[lints]\nworkspace = true\n";
+        let file = SourceFile::from_contents("crates/bitstream/src/lib.rs", src);
+        Workspace {
+            crates: vec![CrateSrc::from_parts(
+                "llm265-bitstream",
+                manifest,
+                vec![file],
+            )],
+        }
+    }
+
+    fn check(src: &str) -> Vec<Violation> {
+        let w = ws(src);
+        let index = w.build_index();
+        check_workspace(&w, &index, &["llm265-bitstream"])
+    }
+
+    #[test]
+    fn laundered_length_reports_chain_with_hop() {
+        let v = check(
+            "fn wire_len(data: &[u8]) -> usize { usize::from(data[0]) }\n\
+             pub fn decode_block(data: &[u8]) -> Vec<u8> {\n    let n = wire_len(data);\n    Vec::with_capacity(n)\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("allocation size"), "{}", v[0].message);
+        assert!(
+            v[0].chain.iter().any(|h| h == "wire_len"),
+            "{:?}",
+            v[0].chain
+        );
+        assert!(
+            v[0].chain.iter().any(|h| h == "decode_block"),
+            "{:?}",
+            v[0].chain
+        );
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let v = check(
+            "pub fn decode_block(data: &[u8]) -> Vec<u8> {\n    let n = usize::from(data[0]);\n    // lint:allow(taint): capacity is a hint, not a hard allocation\n    Vec::with_capacity(n)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_quiet() {
+        let manifest = "[package]\nname = \"llm265-bench\"\n\n[lints]\nworkspace = true\n";
+        let file = SourceFile::from_contents(
+            "crates/bench/src/lib.rs",
+            "pub fn decode_block(data: &[u8]) -> Vec<u8> {\n    Vec::with_capacity(usize::from(data[0]))\n}\n",
+        );
+        let w = Workspace {
+            crates: vec![CrateSrc::from_parts("llm265-bench", manifest, vec![file])],
+        };
+        let index = w.build_index();
+        let v = check_workspace(&w, &index, &["llm265-bitstream"]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

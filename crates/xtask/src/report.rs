@@ -13,6 +13,9 @@ pub struct Violation {
     pub line: usize,
     /// What went wrong and how to fix it.
     pub message: String,
+    /// Interprocedural witness chain (source → … → sink) for dataflow
+    /// passes; empty for per-file findings.
+    pub chain: Vec<String>,
 }
 
 impl Violation {
@@ -22,7 +25,21 @@ impl Violation {
             path: path.to_string(),
             line,
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches a witness call chain (builder style).
+    #[must_use]
+    pub fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// Stable finding identifier, usable with `--explain`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}@{}:{}", self.pass, self.path, self.line)
     }
 }
 
@@ -112,12 +129,20 @@ fn write_violations(out: &mut String, violations: &[Violation]) {
         }
         let _ = write!(
             out,
-            "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"id\": \"{}\", \"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"chain\": [",
+            escape(&v.id()),
             escape(v.pass),
             escape(&v.path),
             v.line,
             escape(&v.message)
         );
+        for (j, hop) in v.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape(hop));
+        }
+        out.push_str("]}");
     }
     if !violations.is_empty() {
         out.push('\n');
@@ -175,6 +200,27 @@ mod tests {
         assert!(json.contains("x\\\"y.rs"));
         assert!(json.contains("line1\\nline2"));
         // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chain_and_id_round_trip_through_json() {
+        let mut r = Report::default();
+        r.violations.push(
+            Violation::new("wire-taint", "a.rs", 7, "tainted").with_chain(vec![
+                "read_ue()".to_string(),
+                "wire_len".to_string(),
+                "decode_block".to_string(),
+            ]),
+        );
+        assert_eq!(r.violations[0].id(), "wire-taint@a.rs:7");
+        let json = r.to_json();
+        assert!(json.contains("\"id\": \"wire-taint@a.rs:7\""));
+        assert!(
+            json.contains("\"chain\": [\"read_ue()\", \"wire_len\", \"decode_block\"]"),
+            "{json}"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -61,6 +61,8 @@ fn dirty_findings_land_on_the_expected_sites() {
     assert!(has("determinism", "videocodec/src/lib.rs", "HashMap"));
     assert!(has("symmetry", "videocodec/src/encoder.rs", "ghost"));
     assert!(has("hygiene", "llm265-videocodec (Cargo.toml)", "[lints]"));
+    assert!(has("wire-taint", "bitstream/src/lib.rs", "allocation size"));
+    assert!(has("panic-reach", "bitstream/src/lib.rs", "decode_entry"));
     // The determinism finding must explain the codec-path chain.
     let det = report
         .violations
@@ -68,6 +70,35 @@ fn dirty_findings_land_on_the_expected_sites() {
         .find(|v| v.pass == "determinism")
         .expect("determinism finding");
     assert!(det.message.contains("encode_config"), "{}", det.message);
+}
+
+#[test]
+fn dataflow_findings_carry_interprocedural_witness_chains() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    // Wire-taint: the chain must span the laundering helper, i.e. hold at
+    // least one function-call hop between the source and the sink fn.
+    let taint = report
+        .violations
+        .iter()
+        .find(|v| v.pass == "wire-taint")
+        .expect("wire-taint finding");
+    assert!(
+        taint.chain.iter().any(|h| h == "header_len"),
+        "{:?}",
+        taint.chain
+    );
+    assert!(
+        taint.chain.iter().any(|h| h == "decode_table"),
+        "{:?}",
+        taint.chain
+    );
+    // Panic-reach: the chain walks root → panicking helper.
+    let reach = report
+        .violations
+        .iter()
+        .find(|v| v.pass == "panic-reach")
+        .expect("panic-reach finding");
+    assert_eq!(reach.chain, vec!["decode_entry", "entry_at"]);
 }
 
 #[test]
@@ -158,20 +189,60 @@ fn lint_cmd(root: &PathBuf, extra: &[&str]) -> std::process::Output {
 fn cli_exit_codes_track_cleanliness() {
     let clean = lint_cmd(&fixture("clean"), &[]);
     assert_eq!(clean.status.code(), Some(0), "{clean:?}");
-    // No baseline file exists under the fixture root, so all 7 findings
+    // No baseline file exists under the fixture root, so all 9 findings
     // are new and the gate must fail.
     let dirty = lint_cmd(&fixture("dirty"), &["--no-baseline"]);
     assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
     let stdout = String::from_utf8_lossy(&dirty.stdout);
-    assert!(stdout.contains("7 violation(s) (0 baselined)"), "{stdout}");
+    assert!(stdout.contains("9 violation(s) (0 baselined)"), "{stdout}");
 }
 
 #[test]
-fn cli_json_format_reports_counts() {
+fn cli_json_format_reports_counts_ids_and_chains() {
     let out = lint_cmd(&fixture("dirty"), &["--no-baseline", "--format", "json"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"count\": 7"), "{stdout}");
+    assert!(stdout.contains("\"count\": 9"), "{stdout}");
+    assert!(stdout.contains("\"id\": \"wire-taint@"), "{stdout}");
+    assert!(
+        stdout.contains("\"chain\": [\"read of `data`\", \"header_len\", \"decode_table\"]"),
+        "{stdout}"
+    );
     assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+}
+
+#[test]
+fn cli_pass_filter_reports_one_pass_only() {
+    let out = lint_cmd(
+        &fixture("dirty"),
+        &["--no-baseline", "--pass", "wire-taint"],
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 violation(s) (0 baselined)"), "{stdout}");
+    assert!(stdout.contains("passes: wire-taint"), "{stdout}");
+    assert!(!stdout.contains("[panic-freedom]"), "{stdout}");
+    // An unknown pass name is a usage error.
+    let bad = lint_cmd(&fixture("dirty"), &["--pass", "no-such-pass"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+}
+
+#[test]
+fn cli_explain_prints_the_witness_chain() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    let taint = report
+        .violations
+        .iter()
+        .find(|v| v.pass == "wire-taint")
+        .expect("wire-taint finding");
+    let out = lint_cmd(&fixture("dirty"), &["--explain", &taint.id()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("witness chain"), "{stdout}");
+    assert!(stdout.contains("header_len"), "{stdout}");
+    assert!(stdout.contains("lint:allow(taint)"), "{stdout}");
+    // An unknown id is a usage error, with guidance on stderr.
+    let bad = lint_cmd(&fixture("dirty"), &["--explain", "wire-taint@nope.rs:1"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
 }
 
 #[test]
@@ -194,7 +265,7 @@ fn cli_write_baseline_then_gate_passes() {
     );
     assert_eq!(gated.status.code(), Some(0), "{gated:?}");
     let stdout = String::from_utf8_lossy(&gated.stdout);
-    assert!(stdout.contains("0 violation(s) (7 baselined)"), "{stdout}");
+    assert!(stdout.contains("0 violation(s) (9 baselined)"), "{stdout}");
 }
 
 #[test]

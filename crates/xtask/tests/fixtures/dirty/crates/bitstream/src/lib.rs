@@ -34,3 +34,43 @@ pub fn careless() {
 pub fn fallible() -> Result<u8, ()> {
     Ok(0)
 }
+
+/// Wire-taint: a length laundered through a helper still reaches the
+/// allocation, and the witness chain carries the helper hop.
+pub fn decode_table(data: &[u8]) -> Vec<u8> {
+    let n = header_len(data);
+    Vec::with_capacity(n)
+}
+
+/// The laundering hop: wire bytes in, a "plain" usize out.
+fn header_len(data: &[u8]) -> usize {
+    data.first().map_or(0, |&b| usize::from(b))
+}
+
+/// Cap for the sanitized twin.
+const MAX_TABLE: usize = 4096;
+
+/// The same flow capped against a named constant stays quiet.
+pub fn decode_table_capped(data: &[u8]) -> Vec<u8> {
+    let n = header_len(data).min(MAX_TABLE);
+    Vec::with_capacity(n)
+}
+
+/// Panic-reach: the indexing lives in a helper, so only the call-graph
+/// closure from the public decode API sees it.
+pub fn decode_entry(data: &[u8]) -> u8 {
+    entry_at(data, 1)
+}
+
+fn entry_at(data: &[u8], i: usize) -> u8 {
+    data[i + 1]
+}
+
+/// The bounds-checked twin stays quiet.
+pub fn decode_entry_checked(data: &[u8]) -> u8 {
+    entry_at_checked(data, 1)
+}
+
+fn entry_at_checked(data: &[u8], i: usize) -> u8 {
+    data.get(i + 1).copied().unwrap_or(0)
+}
