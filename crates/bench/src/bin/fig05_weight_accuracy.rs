@@ -104,7 +104,7 @@ fn variable_point(lm: &TrainedLm, avg_bits: f64) -> Point {
 }
 
 fn main() {
-    let lm = small_trained_lm(2026);
+    let lm = small_trained_lm(2026).expect("training data");
     let baseline_acc = lm.accuracy();
     println!("BF16 baseline accuracy: {}%", pct(baseline_acc));
 

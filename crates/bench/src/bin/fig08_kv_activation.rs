@@ -21,7 +21,7 @@ use llm265_quant::rtn::{GroupScheme, RtnQuantizer};
 use llm265_tensor::channel::LossyCompressor;
 
 fn main() {
-    let lm = small_trained_lm(31337);
+    let lm = small_trained_lm(31337).expect("training data");
     // Start from the weight-compressed model, as the paper does (§4.2
     // builds on §4.1's ~3-bit weights).
     let mut model = lm.model.clone();

@@ -44,7 +44,9 @@ fn run(
     let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(5));
     let mut opt = Adam::new(3e-3);
     let mut rng = Pcg32::seed_from(6);
-    let val = lang.sample_batch(8, 40, &mut Pcg32::seed_from(7));
+    let val = lang
+        .sample_batch(8, 40, &mut Pcg32::seed_from(7))
+        .expect("training data");
 
     let mut pp = PipelineTrainer::new(&mut model, STAGES);
     if let Some(a) = act {
@@ -56,7 +58,7 @@ fn run(
     let mut losses = Vec::new();
     let mut val_ppl = Vec::new();
     for step in 0..STEPS {
-        let batch = lang.sample_batch(4, 40, &mut rng);
+        let batch = lang.sample_batch(4, 40, &mut rng).expect("training data");
         let loss = pp.train_step(&batch, &mut opt);
         if (step + 1) % REPORT_EVERY == 0 {
             losses.push(loss);

@@ -29,7 +29,9 @@ fn run(
     let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(11));
     let mut opt = Adam::new(3e-3);
     let mut rng = Pcg32::seed_from(12);
-    let val = lang.sample_batch(8, 40, &mut Pcg32::seed_from(13));
+    let val = lang
+        .sample_batch(8, 40, &mut Pcg32::seed_from(13))
+        .expect("training data");
 
     let mut dp = DataParallelTrainer::new(&mut model, REPLICAS);
     if let Some(first) = make() {
@@ -42,7 +44,7 @@ fn run(
     let mut losses = Vec::new();
     for step in 0..STEPS {
         let shards: Vec<Batch> = (0..REPLICAS)
-            .map(|_| lang.sample_batch(1, 40, &mut rng))
+            .map(|_| lang.sample_batch(1, 40, &mut rng).expect("training data"))
             .collect();
         let loss = dp.train_step(&shards, &mut opt);
         if (step + 1) % REPORT_EVERY == 0 {

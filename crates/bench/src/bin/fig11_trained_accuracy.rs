@@ -32,7 +32,7 @@ fn train(make: &dyn Fn() -> Option<Box<dyn LossyCompressor>>) -> (TransformerLm,
     }
     for _ in 0..STEPS {
         let shards: Vec<Batch> = (0..REPLICAS)
-            .map(|_| lang.sample_batch(1, 40, &mut rng))
+            .map(|_| lang.sample_batch(1, 40, &mut rng).expect("training data"))
             .collect();
         dp.train_step(&shards, &mut opt);
     }
@@ -42,7 +42,7 @@ fn train(make: &dyn Fn() -> Option<Box<dyn LossyCompressor>>) -> (TransformerLm,
 
 fn main() {
     let lang = SyntheticLang::new(&LangConfig::tiny());
-    let tasks = probe_suite(&lang, 25, 404);
+    let tasks = probe_suite(&lang, 25, 404).expect("probe tasks");
 
     type MakeCompressor = Box<dyn Fn() -> Option<Box<dyn LossyCompressor>>>;
     let configs: Vec<(&str, MakeCompressor)> = vec![

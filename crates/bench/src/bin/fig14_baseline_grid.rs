@@ -90,7 +90,7 @@ fn main() {
     );
 
     // --- (b) Weight-compression accuracy vs bits.
-    let lm = small_trained_lm(9090);
+    let lm = small_trained_lm(9090).expect("training data");
     let mut table = Table::new(vec!["codec", "bits/value", "probe accuracy"]);
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for bits in [3u32, 4] {

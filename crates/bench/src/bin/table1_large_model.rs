@@ -56,7 +56,7 @@ impl LossyCompressor for AwqAdapter {
 }
 
 fn main() {
-    let lm = large_trained_lm(777);
+    let lm = large_trained_lm(777).expect("training data");
     // Three probe tasks stand in for PIQA / WinoGrande / HellaSwag.
     let task_names = ["grammar-0", "grammar-3", "copy-recall"];
     let tasks: Vec<_> = lm

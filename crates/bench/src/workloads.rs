@@ -5,7 +5,7 @@
 //! — small transformers whose *relative* compression behaviour mirrors
 //! the paper's), probe suites, and the compressed-accuracy pipeline.
 
-use llm265_model::data::{LangConfig, SyntheticLang};
+use llm265_model::data::{DataError, LangConfig, SyntheticLang};
 use llm265_model::optimizer::Adam;
 use llm265_model::tasks::{probe_suite, suite_accuracy, ProbeTask};
 use llm265_model::transformer::{TransformerConfig, TransformerLm};
@@ -54,7 +54,11 @@ impl TrainedLm {
 
 /// Trains the standard "7B-class stand-in" model: tiny transformer on the
 /// tiny grammar, enough steps to reach strong probe accuracy.
-pub fn small_trained_lm(seed: u64) -> TrainedLm {
+///
+/// # Errors
+///
+/// Propagates [`DataError`] from sampling over a malformed grammar.
+pub fn small_trained_lm(seed: u64) -> Result<TrainedLm, DataError> {
     train_lm(
         &TransformerConfig::tiny(),
         &LangConfig::tiny(),
@@ -64,7 +68,11 @@ pub fn small_trained_lm(seed: u64) -> TrainedLm {
 }
 
 /// Trains the "70B-class stand-in" model (wider, deeper, more steps).
-pub fn large_trained_lm(seed: u64) -> TrainedLm {
+///
+/// # Errors
+///
+/// Propagates [`DataError`] from sampling over a malformed grammar.
+pub fn large_trained_lm(seed: u64) -> Result<TrainedLm, DataError> {
     train_lm(
         &TransformerConfig::small(),
         &LangConfig::small(),
@@ -74,12 +82,16 @@ pub fn large_trained_lm(seed: u64) -> TrainedLm {
 }
 
 /// Trains a model and assembles its evaluation kit.
+///
+/// # Errors
+///
+/// Propagates [`DataError`] from sampling over a malformed grammar.
 pub fn train_lm(
     cfg: &TransformerConfig,
     lang_cfg: &LangConfig,
     steps: usize,
     seed: u64,
-) -> TrainedLm {
+) -> Result<TrainedLm, DataError> {
     let lang = SyntheticLang::new(lang_cfg);
     let mut rng = Pcg32::seed_from(seed);
     let mut model = TransformerLm::new(cfg, &mut rng);
@@ -89,17 +101,17 @@ pub fn train_lm(
         if step == steps * 2 / 3 {
             opt.set_lr(1e-3);
         }
-        let batch = lang.sample_batch(4, 48, &mut data_rng);
+        let batch = lang.sample_batch(4, 48, &mut data_rng)?;
         model.train_step(&batch, &mut opt);
     }
-    let eval_batch = lang.sample_batch(16, 48, &mut Pcg32::seed_from(seed ^ 0xEE));
-    let tasks = probe_suite(&lang, 25, seed ^ 0xF0);
-    TrainedLm {
+    let eval_batch = lang.sample_batch(16, 48, &mut Pcg32::seed_from(seed ^ 0xEE))?;
+    let tasks = probe_suite(&lang, 25, seed ^ 0xF0)?;
+    Ok(TrainedLm {
         model,
         lang,
         eval_batch,
         tasks,
-    }
+    })
 }
 
 /// The standard synthetic weight stack ("key-projection layers"), used by
@@ -115,7 +127,7 @@ mod tests {
 
     #[test]
     fn small_lm_trains_to_useful_accuracy() {
-        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 120, 1);
+        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 120, 1).expect("train");
         let acc = lm.accuracy();
         assert!(acc > 0.6, "trained accuracy {acc}");
         assert!(lm.perplexity() < 16.0, "ppl {}", lm.perplexity());
@@ -132,7 +144,7 @@ mod tests {
                 (t.clone(), t.len() as u64 * 16)
             }
         }
-        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 60, 2);
+        let lm = train_lm(&TransformerConfig::tiny(), &LangConfig::tiny(), 60, 2).expect("train");
         let clean = lm.accuracy();
         let (acc, bpv) = lm.compressed_accuracy(&mut F16ish);
         assert!(

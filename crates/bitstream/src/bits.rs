@@ -49,6 +49,10 @@ impl BitWriter {
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 57, "write_bits supports at most 57 bits per call");
         debug_assert!(n == 64 || value < (1u64 << n), "value wider than n bits");
+        // Between calls the accumulator holds fewer than 8 pending bits
+        // (the flush loop below drains whole bytes), so `nbits + n <= 64`
+        // and every shift amount stays in range.
+        debug_assert!(self.nbits < 8, "pending-bit invariant broken");
         self.acc = (self.acc << n) | value;
         self.nbits += n;
         while self.nbits >= 8 {
@@ -219,6 +223,24 @@ mod tests {
         for &(v, n) in &fields {
             assert_eq!(r.read_bits(n).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn max_width_write_after_max_pending_bits() {
+        // 7 pending bits then a 57-bit field hits the accumulator's exact
+        // 64-bit capacity: `acc << 57` with 7 bits resident, then a drain
+        // shift of `acc >> 56`. One more pending bit would overflow, so
+        // this pins the `nbits < 8` invariant at its boundary.
+        let mut w = BitWriter::new();
+        let wide = (1u64 << 57) - 1;
+        w.write_bits(0b010_1010, 7);
+        w.write_bits(wide, 57);
+        w.write_bits(wide - 1, 57);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(7).unwrap(), 0b010_1010);
+        assert_eq!(r.read_bits(57).unwrap(), wide);
+        assert_eq!(r.read_bits(57).unwrap(), wide - 1);
     }
 
     #[test]

@@ -158,9 +158,13 @@ impl CabacEncoder {
         while left > 0 {
             debug_assert!(self.range >= TOP, "range invariant broken");
             let group = left.min(8 - self.range.leading_zeros());
+            // `group <= left`, so the saturation never engages; it states
+            // the lower bound explicitly instead of relying on unchecked
+            // wrap-around in release builds.
+            let next = left.saturating_sub(group);
             let mut range = self.range;
             let mut add = 0u64;
-            for i in (left - group..left).rev() {
+            for i in (next..left).rev() {
                 range >>= 1;
                 if (value >> i) & 1 == 1 {
                     add += u64::from(range);
@@ -172,7 +176,7 @@ impl CabacEncoder {
                 self.shift_low();
                 self.range <<= 8;
             }
-            left -= group;
+            left = next;
         }
     }
 
@@ -438,6 +442,23 @@ mod tests {
         let mut dec = CabacDecoder::new(&bytes);
         assert_eq!(dec.decode_bypass_bits(8), 0b1011_0010);
         assert_eq!(dec.decode_bypass_bits(18), 0x3FFFF);
+    }
+
+    #[test]
+    fn bypass_bits_full_width_boundary() {
+        // n = 64 walks `left` down through every renorm-limited group,
+        // ending on the final group where the lower bound saturates at
+        // zero — the exact edge the batched grouping must not cross.
+        let values = [u64::MAX, 0, 0x8000_0000_0000_0001, 0x5555_5555_5555_5555];
+        let mut enc = CabacEncoder::new();
+        for &v in &values {
+            enc.encode_bypass_bits(v, 64);
+        }
+        let bytes = enc.finish();
+        let mut dec = CabacDecoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(dec.decode_bypass_bits(64), v);
+        }
     }
 
     #[test]

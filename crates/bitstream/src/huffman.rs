@@ -102,7 +102,10 @@ pub fn canonical_codes(lengths: &[u8; 256]) -> [(u16, u8); 256] {
     let mut prev_len = 0u8;
     for &s in &order {
         let len = lengths[usize::from(s)];
-        code <<= u32::from(len - prev_len);
+        // The order is sorted by length and lengths are capped at
+        // MAX_LEN, so the delta is in 0..=15; `.min` keeps a hostile
+        // length table from turning this into a 255-bit shift.
+        code <<= u32::from(len - prev_len).min(MAX_LEN);
         // Lengths are capped at MAX_LEN = 15, so codes fit in 15 bits.
         codes[usize::from(s)] = ((code & 0x7FFF) as u16, len);
         code += 1;
@@ -127,7 +130,9 @@ impl CanonicalDecoder {
             .collect();
         order.sort_by_key(|&s| (lengths[usize::from(s)], s));
         for &s in &order {
-            count[usize::from(lengths[usize::from(s)])] += 1;
+            // Lengths above MAX_LEN cannot occur (the wire format carries
+            // 4-bit lengths); the cap bounds the index for hostile input.
+            count[usize::from(lengths[usize::from(s)]).min(NUM_LENS - 1)] += 1;
         }
         let mut first_code = [0u32; NUM_LENS];
         let mut base = [0u32; NUM_LENS];
@@ -246,6 +251,23 @@ mod tests {
         roundtrip(b"x");
         roundtrip(b"xxxxxxxx");
         roundtrip(&(0..=255u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hostile_length_table_cannot_overshift_or_escape() {
+        // Lengths above MAX_LEN never come off the wire (the header
+        // carries 4-bit fields), but the table builders must stay total
+        // for any `[u8; 256]`: the caps bound the canonical-code shift
+        // delta and the per-length bucket index.
+        let mut lengths = [0u8; 256];
+        lengths[0] = 255; // delta from the previous length would be 239
+        lengths[1] = 16; // one past MAX_LEN
+        lengths[2] = 1;
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes[2], (0, 1), "valid entry still canonical");
+        let dec = CanonicalDecoder::new(&lengths);
+        let buckets: u32 = dec.count.iter().sum();
+        assert_eq!(buckets, 3, "every entry lands inside NUM_LENS");
     }
 
     #[test]

@@ -152,7 +152,9 @@ mod tests {
         let cfg = TransformerConfig::tiny();
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(1);
-        let batches: Vec<_> = (0..3).map(|_| lang.sample_batch(2, 20, &mut rng)).collect();
+        let batches: Vec<_> = (0..3)
+            .map(|_| lang.sample_batch(2, 20, &mut rng).expect("training data"))
+            .collect();
 
         let mut m1 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(7));
         let mut m2 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(7));
@@ -167,7 +169,9 @@ mod tests {
                 dp.train_step(std::slice::from_ref(b), &mut o2);
             }
         }
-        let eval = lang.sample_batch(4, 20, &mut Pcg32::seed_from(8));
+        let eval = lang
+            .sample_batch(4, 20, &mut Pcg32::seed_from(8))
+            .expect("training data");
         assert!((m1.eval_perplexity(&eval) - m2.eval_perplexity(&eval)).abs() < 1e-6);
     }
 
@@ -179,12 +183,16 @@ mod tests {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(2));
         let mut opt = Adam::new(3e-3);
         let mut rng = Pcg32::seed_from(3);
-        let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(4));
+        let eval = lang
+            .sample_batch(4, 24, &mut Pcg32::seed_from(4))
+            .expect("training data");
         let before = model.eval_perplexity(&eval);
         let steps = 12;
         let mut dp = DataParallelTrainer::new(&mut model, 4);
         for _ in 0..steps {
-            let shards: Vec<Batch> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+            let shards: Vec<Batch> = (0..4)
+                .map(|_| lang.sample_batch(2, 24, &mut rng).expect("training data"))
+                .collect();
             dp.train_step(&shards, &mut opt);
         }
         assert_eq!(
@@ -225,7 +233,9 @@ mod tests {
             Box::new(Stateful { calls: 0 }),
             Box::new(Stateful { calls: 0 }),
         ]);
-        let shards: Vec<Batch> = (0..2).map(|_| lang.sample_batch(1, 16, &mut rng)).collect();
+        let shards: Vec<Batch> = (0..2)
+            .map(|_| lang.sample_batch(1, 16, &mut rng).expect("training data"))
+            .collect();
         dp.train_step(&shards, &mut opt);
         assert_eq!(dp.stats().bits_per_value(), 2.0);
     }
@@ -237,7 +247,9 @@ mod tests {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
         let mut opt = Adam::new(1e-3);
         let mut dp = DataParallelTrainer::new(&mut model, 2);
-        let batch = lang.sample_batch(1, 16, &mut Pcg32::seed_from(10));
+        let batch = lang
+            .sample_batch(1, 16, &mut Pcg32::seed_from(10))
+            .expect("training data");
         dp.train_step(&[batch], &mut opt);
     }
 }

@@ -199,9 +199,11 @@ mod tests {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(1);
         let shards: Vec<Vec<Batch>> = (0..3)
-            .map(|_| vec![lang.sample_batch(2, 20, &mut rng)])
+            .map(|_| vec![lang.sample_batch(2, 20, &mut rng).expect("training data")])
             .collect();
-        let eval = lang.sample_batch(4, 20, &mut Pcg32::seed_from(2));
+        let eval = lang
+            .sample_batch(4, 20, &mut Pcg32::seed_from(2))
+            .expect("training data");
 
         let mut plain = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(5));
         let mut o1 = Adam::new(1e-3);
@@ -231,7 +233,9 @@ mod tests {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(6));
         let mut opt = Adam::new(3e-3);
         let mut rng = Pcg32::seed_from(7);
-        let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(8));
+        let eval = lang
+            .sample_batch(4, 24, &mut Pcg32::seed_from(8))
+            .expect("training data");
         let before = model.eval_perplexity(&eval);
         {
             let mut hy = HybridTrainer::new(&mut model, 2, 2)
@@ -239,8 +243,9 @@ mod tests {
                 .with_actgrad_compressors(Box::new(|| Box::new(Rtnish)))
                 .with_grad_compressors(Box::new(|| Box::new(Rtnish)));
             for _ in 0..25 {
-                let shards: Vec<Batch> =
-                    (0..2).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+                let shards: Vec<Batch> = (0..2)
+                    .map(|_| lang.sample_batch(2, 24, &mut rng).expect("training data"))
+                    .collect();
                 hy.train_step(&shards, &mut opt);
             }
             assert_eq!(hy.pp_stats().bits_per_value(), 8.0);
@@ -258,7 +263,9 @@ mod tests {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
         let mut opt = Adam::new(1e-3);
         let mut hy = HybridTrainer::new(&mut model, 2, 2);
-        let batch = lang.sample_batch(1, 16, &mut Pcg32::seed_from(10));
+        let batch = lang
+            .sample_batch(1, 16, &mut Pcg32::seed_from(10))
+            .expect("training data");
         hy.train_step(&[batch], &mut opt);
     }
 }

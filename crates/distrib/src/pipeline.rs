@@ -180,7 +180,9 @@ mod tests {
         let cfg = TransformerConfig::tiny();
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(1);
-        let batches: Vec<_> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
+        let batches: Vec<_> = (0..4)
+            .map(|_| lang.sample_batch(2, 24, &mut rng).expect("training data"))
+            .collect();
 
         let mut m1 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(5));
         let mut m2 = TransformerLm::new(&cfg, &mut Pcg32::seed_from(5));
@@ -197,7 +199,9 @@ mod tests {
             assert!(pp.act_stats().values > 0);
             assert_eq!(pp.act_stats().bits_per_value(), 16.0);
         }
-        let ppl_batch = lang.sample_batch(4, 24, &mut Pcg32::seed_from(9));
+        let ppl_batch = lang
+            .sample_batch(4, 24, &mut Pcg32::seed_from(9))
+            .expect("training data");
         let p1 = m1.eval_perplexity(&ppl_batch);
         let p2 = m2.eval_perplexity(&ppl_batch);
         assert!((p1 - p2).abs() < 1e-6, "{p1} vs {p2}");
@@ -209,7 +213,9 @@ mod tests {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut model = TransformerLm::new(&cfg, &mut Pcg32::seed_from(2));
         let mut opt = Adam::new(1e-3);
-        let batch = lang.sample_batch(3, 16, &mut Pcg32::seed_from(3));
+        let batch = lang
+            .sample_batch(3, 16, &mut Pcg32::seed_from(3))
+            .expect("training data");
         let mut pp = PipelineTrainer::new(&mut model, 2)
             .with_act_compressor(Box::new(CountingNoop(0)))
             .with_grad_compressor(Box::new(CountingNoop(0)));
@@ -237,14 +243,16 @@ mod tests {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(4));
         let mut opt = Adam::new(3e-3);
         let mut rng = Pcg32::seed_from(5);
-        let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(6));
+        let eval = lang
+            .sample_batch(4, 24, &mut Pcg32::seed_from(6))
+            .expect("training data");
         let before = model.eval_perplexity(&eval);
         {
             let mut pp = PipelineTrainer::new(&mut model, 2)
                 .with_act_compressor(Box::new(Rtnish))
                 .with_grad_compressor(Box::new(Rtnish));
             for _ in 0..30 {
-                let b = lang.sample_batch(4, 24, &mut rng);
+                let b = lang.sample_batch(4, 24, &mut rng).expect("training data");
                 pp.train_step(&b, &mut opt);
             }
         }

@@ -12,6 +12,43 @@
 //! - a small **noise floor** so the task never saturates.
 
 use llm265_tensor::rng::Pcg32;
+use std::fmt;
+
+/// Structural failures in synthetic-grammar sampling.
+///
+/// These were `.expect()` panics; surfacing them as values lets a long
+/// training or benchmark run report *which* invariant broke instead of
+/// aborting mid-epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A content token has no legal successors in the grammar table.
+    NoSuccessors(u16),
+    /// A sampled context came back empty (zero-length request).
+    EmptyContext,
+    /// Rejection sampling could not fill a task family within its budget.
+    SamplingStuck {
+        /// The task family that stalled.
+        family: &'static str,
+        /// Attempts spent before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::NoSuccessors(t) => {
+                write!(f, "token {t} has no successors in the grammar table")
+            }
+            DataError::EmptyContext => write!(f, "sampled context is empty"),
+            DataError::SamplingStuck { family, attempts } => {
+                write!(f, "{family} task sampling stuck after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
 
 /// Language parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,21 +149,30 @@ impl SyntheticLang {
     }
 
     /// Samples the next content token after `t` from the grammar.
-    pub fn sample_successor(&self, t: u16, rng: &mut Pcg32) -> u16 {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::NoSuccessors`] if the grammar table has no entry for
+    /// `t` — a malformed [`LangConfig`], not a sampling fluke.
+    pub fn sample_successor(&self, t: u16, rng: &mut Pcg32) -> Result<u16, DataError> {
         let set = &self.successors[t as usize];
         let u = rng.f64();
         let mut acc = 0.0;
         for (i, &s) in set.iter().enumerate() {
             acc += BRANCH_WEIGHTS[i] / BRANCH_WEIGHTS[..set.len()].iter().sum::<f64>();
             if u < acc {
-                return s;
+                return Ok(s);
             }
         }
-        *set.last().expect("branch >= 1")
+        set.last().copied().ok_or(DataError::NoSuccessors(t))
     }
 
     /// Samples one sequence of `len` tokens.
-    pub fn sample_seq(&self, len: usize, rng: &mut Pcg32) -> Vec<u16> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError::NoSuccessors`] from a malformed grammar.
+    pub fn sample_seq(&self, len: usize, rng: &mut Pcg32) -> Result<Vec<u16>, DataError> {
         let content = (self.config.vocab - 1) as u32;
         let mut seq: Vec<u16> = Vec::with_capacity(len);
         seq.push(rng.below(content) as u16);
@@ -147,42 +193,63 @@ impl SyntheticLang {
                     continue;
                 }
             }
-            let prev = *seq.last().expect("non-empty");
+            // `pos == seq.len() >= 1` here: the sequence was seeded above.
+            let prev = seq[pos - 1];
             let next = if prev == self.marker() || rng.chance(NOISE_PROB) {
                 rng.below(content) as u16
             } else {
-                self.sample_successor(prev, rng)
+                self.sample_successor(prev, rng)?
             };
             seq.push(next);
         }
         seq.truncate(len);
-        seq
+        Ok(seq)
     }
 
     /// Samples a batch of sequences.
-    pub fn sample_batch(&self, n: usize, len: usize, rng: &mut Pcg32) -> Vec<Vec<u16>> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError::NoSuccessors`] from a malformed grammar.
+    pub fn sample_batch(
+        &self,
+        n: usize,
+        len: usize,
+        rng: &mut Pcg32,
+    ) -> Result<Vec<Vec<u16>>, DataError> {
         (0..n).map(|_| self.sample_seq(len, rng)).collect()
     }
 
     /// Builds a multiple-choice item: a context whose last token is a
     /// content token, the grammar's most likely continuation, and a
     /// distractor that is *not* a legal successor.
-    pub fn choice_item(&self, ctx_len: usize, rng: &mut Pcg32) -> (Vec<u16>, u16, u16) {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::EmptyContext`] when `ctx_len == 0`, and
+    /// [`DataError::NoSuccessors`] for a malformed grammar.
+    pub fn choice_item(
+        &self,
+        ctx_len: usize,
+        rng: &mut Pcg32,
+    ) -> Result<(Vec<u16>, u16, u16), DataError> {
         let content = (self.config.vocab - 1) as u32;
         loop {
-            let ctx = self.sample_seq(ctx_len, rng);
-            let last = *ctx.last().expect("non-empty");
+            let ctx = self.sample_seq(ctx_len, rng)?;
+            let last = *ctx.last().ok_or(DataError::EmptyContext)?;
             if last == self.marker() {
                 continue;
             }
-            let good = self.successors[last as usize][0];
+            let good = *self.successors[last as usize]
+                .first()
+                .ok_or(DataError::NoSuccessors(last))?;
             let bad = loop {
                 let cand = rng.below(content) as u16;
                 if !self.successors[last as usize].contains(&cand) && cand != last {
                     break cand;
                 }
             };
-            return (ctx, good, bad);
+            return Ok((ctx, good, bad));
         }
     }
 
@@ -191,10 +258,19 @@ impl SyntheticLang {
     /// needs well-calibrated logits, so this item class is sensitive to
     /// small weight distortion — the property the compression experiments
     /// measure.
-    pub fn choice_item_hard(&self, ctx_len: usize, rng: &mut Pcg32) -> (Vec<u16>, u16, u16) {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::EmptyContext`] when `ctx_len == 0`, and
+    /// [`DataError::NoSuccessors`] for a malformed grammar.
+    pub fn choice_item_hard(
+        &self,
+        ctx_len: usize,
+        rng: &mut Pcg32,
+    ) -> Result<(Vec<u16>, u16, u16), DataError> {
         loop {
-            let ctx = self.sample_seq(ctx_len, rng);
-            let last = *ctx.last().expect("non-empty");
+            let ctx = self.sample_seq(ctx_len, rng)?;
+            let last = *ctx.last().ok_or(DataError::EmptyContext)?;
             if last == self.marker() {
                 continue;
             }
@@ -202,7 +278,7 @@ impl SyntheticLang {
             if set.len() < 2 {
                 continue;
             }
-            return (ctx, set[0], set[1]);
+            return Ok((ctx, set[0], set[1]));
         }
     }
 }
@@ -228,7 +304,7 @@ mod tests {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(1);
         for len in [2usize, 7, 33, 64] {
-            let seq = lang.sample_seq(len, &mut rng);
+            let seq = lang.sample_seq(len, &mut rng).expect("well-formed grammar");
             assert_eq!(seq.len(), len);
             assert!(seq.iter().all(|&t| (t as usize) < 32));
         }
@@ -239,7 +315,9 @@ mod tests {
         // Most steps follow the Markov backbone.
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(2);
-        let seq = lang.sample_seq(4000, &mut rng);
+        let seq = lang
+            .sample_seq(4000, &mut rng)
+            .expect("well-formed grammar");
         let mut legal = 0usize;
         let mut checked = 0usize;
         for w in seq.windows(2) {
@@ -258,7 +336,9 @@ mod tests {
     fn copy_pattern_present_and_correct() {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(3);
-        let seq = lang.sample_seq(4000, &mut rng);
+        let seq = lang
+            .sample_seq(4000, &mut rng)
+            .expect("well-formed grammar");
         let d = lang.config().copy_distance;
         let mut copies = 0usize;
         for (i, &t) in seq.iter().enumerate() {
@@ -275,7 +355,7 @@ mod tests {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(4);
         for _ in 0..50 {
-            let (ctx, good, bad) = lang.choice_item(16, &mut rng);
+            let (ctx, good, bad) = lang.choice_item(16, &mut rng).expect("well-formed grammar");
             assert_eq!(ctx.len(), 16);
             let last = *ctx.last().unwrap();
             assert!(lang.successors(last).contains(&good));
@@ -292,7 +372,9 @@ mod tests {
         let set: Vec<u16> = lang.successors(token).to_vec();
         let mut counts = vec![0usize; set.len()];
         for _ in 0..10_000 {
-            let s = lang.sample_successor(token, &mut rng);
+            let s = lang
+                .sample_successor(token, &mut rng)
+                .expect("well-formed grammar");
             let idx = set.iter().position(|&x| x == s).expect("legal successor");
             counts[idx] += 1;
         }

@@ -26,22 +26,25 @@
 //! # Example
 //!
 //! ```
-//! use llm265_model::data::{LangConfig, SyntheticLang};
+//! use llm265_model::data::{DataError, LangConfig, SyntheticLang};
 //! use llm265_model::transformer::{TransformerConfig, TransformerLm};
 //! use llm265_model::optimizer::Adam;
 //! use llm265_tensor::rng::Pcg32;
 //!
+//! # fn main() -> Result<(), DataError> {
 //! let lang = SyntheticLang::new(&LangConfig::tiny());
 //! let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(0));
 //! let mut opt = Adam::new(3e-3);
 //! let mut rng = Pcg32::seed_from(1);
-//! let before = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng));
+//! let before = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng)?);
 //! for _ in 0..30 {
-//!     let batch = lang.sample_batch(4, 32, &mut rng);
+//!     let batch = lang.sample_batch(4, 32, &mut rng)?;
 //!     model.train_step(&batch, &mut opt);
 //! }
-//! let after = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng));
+//! let after = model.eval_perplexity(&lang.sample_batch(4, 32, &mut rng)?);
 //! assert!(after < before, "training must reduce perplexity");
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

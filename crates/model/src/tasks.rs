@@ -14,7 +14,7 @@
 use llm265_tensor::rng::Pcg32;
 use llm265_tensor::Tensor;
 
-use crate::data::SyntheticLang;
+use crate::data::{DataError, SyntheticLang};
 use crate::mlp::MlpClassifier;
 use crate::optimizer::Adam;
 use crate::transformer::TransformerLm;
@@ -66,7 +66,17 @@ impl ProbeTask {
 /// Builds the eight-family probe suite: seven grammar-slice families
 /// (items whose context ends in token class `id % 7`) plus one copy-recall
 /// family that tests the long-range pattern.
-pub fn probe_suite(lang: &SyntheticLang, items_per_task: usize, seed: u64) -> Vec<ProbeTask> {
+///
+/// # Errors
+///
+/// [`DataError::SamplingStuck`] if rejection sampling cannot fill every
+/// grammar family within its attempt budget, plus any [`DataError`] the
+/// underlying samplers report for a malformed grammar.
+pub fn probe_suite(
+    lang: &SyntheticLang,
+    items_per_task: usize,
+    seed: u64,
+) -> Result<Vec<ProbeTask>, DataError> {
     let mut rng = Pcg32::seed_from(seed);
     let mut tasks: Vec<ProbeTask> = (0..7)
         .map(|class| ProbeTask {
@@ -82,9 +92,14 @@ pub fn probe_suite(lang: &SyntheticLang, items_per_task: usize, seed: u64) -> Ve
     let mut guard = 0usize;
     while tasks.iter().any(|t| t.items.len() < items_per_task) {
         guard += 1;
-        assert!(guard < items_per_task * 2000, "task sampling stuck");
-        let (ctx, good, bad) = lang.choice_item_hard(20, &mut rng);
-        let class = (*ctx.last().expect("non-empty") as usize) % 7;
+        if guard >= items_per_task * 2000 {
+            return Err(DataError::SamplingStuck {
+                family: "grammar",
+                attempts: guard,
+            });
+        }
+        let (ctx, good, bad) = lang.choice_item_hard(20, &mut rng)?;
+        let class = (*ctx.last().ok_or(DataError::EmptyContext)? as usize) % 7;
         let task = &mut tasks[class];
         if task.items.len() >= items_per_task {
             continue;
@@ -108,7 +123,7 @@ pub fn probe_suite(lang: &SyntheticLang, items_per_task: usize, seed: u64) -> Ve
     let d = lang.config().copy_distance;
     let mut copy_items = Vec::with_capacity(items_per_task);
     while copy_items.len() < items_per_task {
-        let mut ctx = lang.sample_seq(19, &mut rng);
+        let mut ctx = lang.sample_seq(19, &mut rng)?;
         ctx.push(lang.marker());
         let good = ctx[ctx.len() - d];
         let bad = loop {
@@ -133,7 +148,7 @@ pub fn probe_suite(lang: &SyntheticLang, items_per_task: usize, seed: u64) -> Ve
         name: "copy-recall".to_string(),
         items: copy_items,
     });
-    tasks
+    Ok(tasks)
 }
 
 /// Mean accuracy across a task suite.
@@ -262,7 +277,7 @@ mod tests {
     #[test]
     fn probe_suite_has_eight_balanced_tasks() {
         let lang = SyntheticLang::new(&LangConfig::tiny());
-        let suite = probe_suite(&lang, 10, 42);
+        let suite = probe_suite(&lang, 10, 42).expect("well-formed grammar");
         assert_eq!(suite.len(), 8);
         for t in &suite {
             assert_eq!(t.items.len(), 10, "{}", t.name);
@@ -277,8 +292,8 @@ mod tests {
     #[test]
     fn probe_suite_is_deterministic() {
         let lang = SyntheticLang::new(&LangConfig::tiny());
-        let a = probe_suite(&lang, 5, 7);
-        let b = probe_suite(&lang, 5, 7);
+        let a = probe_suite(&lang, 5, 7).expect("well-formed grammar");
+        let b = probe_suite(&lang, 5, 7).expect("well-formed grammar");
         for (ta, tb) in a.iter().zip(&b) {
             assert_eq!(ta.items, tb.items);
         }
@@ -288,7 +303,7 @@ mod tests {
     fn untrained_model_scores_near_chance() {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(1));
-        let suite = probe_suite(&lang, 12, 9);
+        let suite = probe_suite(&lang, 12, 9).expect("well-formed grammar");
         let acc = suite_accuracy(&model, &suite);
         assert!((0.2..=0.8).contains(&acc), "untrained accuracy {acc}");
     }

@@ -650,7 +650,9 @@ mod tests {
     fn untrained_perplexity_near_vocab_size() {
         let model = tiny_model(1);
         let lang = SyntheticLang::new(&LangConfig::tiny());
-        let batch = lang.sample_batch(4, 32, &mut Pcg32::seed_from(2));
+        let batch = lang
+            .sample_batch(4, 32, &mut Pcg32::seed_from(2))
+            .expect("grammar");
         let ppl = model.eval_perplexity(&batch);
         // Uniform predictions give ppl = vocab = 32; random init is close.
         assert!(ppl > 16.0 && ppl < 64.0, "ppl {ppl}");
@@ -662,10 +664,16 @@ mod tests {
         let lang = SyntheticLang::new(&LangConfig::tiny());
         let mut rng = Pcg32::seed_from(4);
         let mut opt = Adam::new(3e-3);
-        let first = model.train_step(&lang.sample_batch(4, 32, &mut rng), &mut opt);
+        let first = model.train_step(
+            &lang.sample_batch(4, 32, &mut rng).expect("grammar"),
+            &mut opt,
+        );
         let mut last = first;
         for _ in 0..40 {
-            last = model.train_step(&lang.sample_batch(4, 32, &mut rng), &mut opt);
+            last = model.train_step(
+                &lang.sample_batch(4, 32, &mut rng).expect("grammar"),
+                &mut opt,
+            );
         }
         assert!(
             last < first * 0.8,
@@ -732,7 +740,9 @@ mod tests {
         }
         let model = tiny_model(6);
         let lang = SyntheticLang::new(&LangConfig::tiny());
-        let batch = lang.sample_batch(2, 16, &mut Pcg32::seed_from(7));
+        let batch = lang
+            .sample_batch(2, 16, &mut Pcg32::seed_from(7))
+            .expect("grammar");
 
         let clean = model.eval_perplexity(&batch);
         let mut kv = Noop;
@@ -760,13 +770,13 @@ mod tests {
         let mut rng = Pcg32::seed_from(9);
         let mut opt = Adam::new(3e-3);
         for _ in 0..60 {
-            let batch = lang.sample_batch(4, 32, &mut rng);
+            let batch = lang.sample_batch(4, 32, &mut rng).expect("grammar");
             model.train_step(&batch, &mut opt);
         }
         let mut correct = 0;
         let trials = 40;
         for _ in 0..trials {
-            let (ctx, good, bad) = lang.choice_item(24, &mut rng);
+            let (ctx, good, bad) = lang.choice_item(24, &mut rng).expect("grammar");
             let s_good = model.continuation_logprob(&ctx, &[good]);
             let s_bad = model.continuation_logprob(&ctx, &[bad]);
             if s_good > s_bad {
@@ -825,10 +835,12 @@ mod generation_tests {
         let mut opt = Adam::new(3e-3);
         let mut rng = Pcg32::seed_from(2);
         for _ in 0..80 {
-            let batch = lang.sample_batch(4, 32, &mut rng);
+            let batch = lang.sample_batch(4, 32, &mut rng).expect("grammar");
             model.train_step(&batch, &mut opt);
         }
-        let prompt = lang.sample_seq(8, &mut Pcg32::seed_from(3));
+        let prompt = lang
+            .sample_seq(8, &mut Pcg32::seed_from(3))
+            .expect("grammar");
         let a = model.generate(&prompt, 16, 0.0, &mut Pcg32::seed_from(4));
         let b = model.generate(&prompt, 16, 0.0, &mut Pcg32::seed_from(99));
         assert_eq!(a, b, "greedy decode ignores the rng");
@@ -892,10 +904,12 @@ mod kv_cache_decode_tests {
         let mut opt = Adam::new(3e-3);
         let mut rng = Pcg32::seed_from(31);
         for _ in 0..40 {
-            let batch = lang.sample_batch(4, 32, &mut rng);
+            let batch = lang.sample_batch(4, 32, &mut rng).expect("grammar");
             model.train_step(&batch, &mut opt);
         }
-        let prompt = lang.sample_seq(6, &mut Pcg32::seed_from(32));
+        let prompt = lang
+            .sample_seq(6, &mut Pcg32::seed_from(32))
+            .expect("grammar");
         let full = model.generate(&prompt, 18, 0.0, &mut Pcg32::seed_from(33));
         let cached = model.generate_cached(&prompt, 18);
         assert_eq!(full, cached, "KV-cached decode must equal full decode");

@@ -272,3 +272,29 @@ pub(crate) fn decode_frame(
     }
     Ok(fd.recon)
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::code_signed_eg;
+    use llm265_bitstream::cabac::CabacEncoder;
+
+    #[test]
+    fn signed_eg_extreme_motion_roundtrips() {
+        // ±(i32::MAX - 1)-scale components map to the widest order-1
+        // codes whose unary prefix hits the 30-one cap with a full
+        // 31-bit suffix; one more prefix step would spill the batched
+        // bypass call. (Real motion vectors are i16-ranged; this pins
+        // the binarization itself at its arithmetic boundary.)
+        let values = [0, 1, -1, 123_456, -654_321, i32::MAX - 1, -i32::MAX];
+        let mut enc = CabacEncoder::new();
+        for &v in &values {
+            code_signed_eg(&mut enc, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = CabacDecoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(parse_signed_eg(&mut dec).expect("parse"), v);
+        }
+    }
+}

@@ -456,8 +456,17 @@ pub(crate) fn code_signed_eg<S: BinSink>(sink: &mut S, v: i32) {
         m += 1;
         ones += 1;
     }
-    let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
-    sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
+    // `ones` grows in lockstep with `m`, which the loop caps below 31.
+    debug_assert!(ones <= 30, "exp-Golomb prefix exceeds the order cap");
+    if m < 31 {
+        let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
+        sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
+    } else {
+        // Saturated prefix (truncated unary): the parser's own `m < 31`
+        // cap ends the prefix, so coding a terminator would desync it.
+        let prefix = (1u64 << ones) - 1;
+        sink.bypass_bits((prefix << m) | u64::from(rem), ones + m);
+    }
 }
 
 /// Encodes one frame (already padded to the CTU size). Returns the frame

@@ -199,6 +199,7 @@ impl RefSamples {
         // Blocks are at most 32×32, so the size always fits i32.
         let ni = i32::try_from(n).unwrap_or(i32::MAX);
         let shift = n.trailing_zeros() + 1;
+        debug_assert!(shift <= 6, "blocks are at most 32x32");
         let tr = self.top[n]; // first top-right sample
         let bl = self.left[n]; // first bottom-left sample
         for y in 0..n {
@@ -215,7 +216,11 @@ impl RefSamples {
     fn predict_angular(&self, mode: u8, out: &mut [i32]) {
         assert!((2..=34).contains(&mode), "angular mode {mode} out of range");
         let n = self.n;
+        debug_assert!((4..=32).contains(&n), "blocks are 4x4 to 32x32");
         let angle = ANGLES[mode as usize - 2];
+        // The HEVC angle table spans ±32; the projection arithmetic below
+        // relies on that to stay inside i32.
+        debug_assert!((-32..=32).contains(&angle), "angle table out of range");
         let vertical = mode >= 18;
 
         // Main reference runs along the prediction direction's source edge;
@@ -232,8 +237,9 @@ impl RefSamples {
         // covers `3n + 1` entries.
         let mut ref_store = [0i32; 3 * 32 + 1];
         let ref_arr = &mut ref_store[..3 * n + 1];
-        // Blocks are at most 32×32, so the offset always fits i32.
-        let off = i32::try_from(n).unwrap_or(i32::MAX); // ref_arr[(x + off)] = ref[x]
+        // Blocks are at most 32×32, so the conversion is exact and the
+        // projected indices below stay within i32.
+        let off = i32::try_from(n).unwrap_or(32); // ref_arr[(x + off)] = ref[x]
         ref_arr[n] = self.corner;
         ref_arr[n + 1..=3 * n].copy_from_slice(&main[..2 * n]);
         if angle < 0 {
@@ -366,6 +372,26 @@ mod tests {
                 pred.iter().all(|&p| (0..=255).contains(&p)),
                 "mode {mode:?} out of range"
             );
+        }
+    }
+
+    #[test]
+    fn extreme_block_sizes_stay_in_range_for_every_mode() {
+        // n = 4 and n = 32 are the size invariant's two boundaries: the
+        // planar shift hits its 6-bit cap, and the steepest negative
+        // angle (±32) projects the longest side-reference run through
+        // `x * inv_angle` at maximum magnitude. Extreme samples make any
+        // wrap visible as an out-of-range prediction.
+        let f = Frame::from_fn(64, 64, |x, y| if (x / 3 + y) % 2 == 0 { 0 } else { 255 });
+        for n in [4usize, 32] {
+            let refs = RefSamples::gather(&f, 32, 32, n);
+            for mode in PredMode::h265_set() {
+                let pred = refs.predict(mode);
+                assert!(
+                    pred.iter().all(|&p| (0..=255).contains(&p)),
+                    "mode {mode:?} at n={n} out of range"
+                );
+            }
         }
     }
 

@@ -315,8 +315,17 @@ fn code_eg<S: BinSink>(sink: &mut S, v: u32, m0: u32) {
         m += 1;
         ones += 1;
     }
-    let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
-    sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
+    // `ones` grows in lockstep with `m`, which the loop caps below 31.
+    debug_assert!(ones <= 30, "exp-Golomb prefix exceeds the order cap");
+    if m < 31 {
+        let prefix = ((1u64 << ones) - 1) << 1; // `ones` one-bits, then the 0.
+        sink.bypass_bits((prefix << m) | u64::from(rem), ones + 1 + m);
+    } else {
+        // Saturated prefix (truncated unary): the parser's own `m < 31`
+        // cap ends the prefix, so coding a terminator would desync it.
+        let prefix = (1u64 << ones) - 1;
+        sink.bypass_bits((prefix << m) | u64::from(rem), ones + m);
+    }
 }
 
 fn parse_eg(dec: &mut CabacDecoder<'_>, mut m: u32) -> Result<u32, DecodeError> {
@@ -347,6 +356,22 @@ mod tests {
         let parsed = parse_residual(&mut dec, &mut ctxs, n, spatial).expect("parse");
         assert_eq!(parsed, levels);
         bytes.len() as f64 * 8.0 / (n * n) as f64
+    }
+
+    #[test]
+    fn exp_golomb_prefix_cap_boundary() {
+        // The largest order-1 value that still round-trips drives the
+        // prefix counter to its exact cap: `m` climbs to 31 and `ones` to
+        // 30 before the `m < 31` guard stops the loop, and the 31-bit
+        // suffix is full. One more prefix step would spill the batch.
+        let top = u32::MAX - 2; // sum(2^1..=2^30) + (2^31 - 1)
+        let mut enc = CabacEncoder::new();
+        code_eg(&mut enc, top, 1);
+        code_eg(&mut enc, 0, 1);
+        let bytes = enc.finish();
+        let mut dec = CabacDecoder::new(&bytes);
+        assert_eq!(parse_eg(&mut dec, 1).expect("parse top"), top);
+        assert_eq!(parse_eg(&mut dec, 1).expect("parse zero"), 0);
     }
 
     #[test]

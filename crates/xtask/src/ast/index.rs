@@ -42,6 +42,8 @@ pub struct Index {
     pub field_types: BTreeMap<String, BTreeSet<String>>,
     /// Const/static name → declared type.
     pub const_types: BTreeMap<String, String>,
+    /// Const/static name → initializer trees (for interval evaluation).
+    pub const_inits: BTreeMap<String, Vec<Tree>>,
 }
 
 impl Index {
@@ -72,6 +74,9 @@ impl Index {
         }
         for c in &items.consts {
             self.const_types.insert(c.name.clone(), c.ty.clone());
+            if !c.init.is_empty() {
+                self.const_inits.insert(c.name.clone(), c.init.clone());
+            }
         }
     }
 

@@ -48,6 +48,9 @@ pub struct ConstItem {
     pub name: String,
     /// Compact type text.
     pub ty: String,
+    /// Initializer trees (between `=` and `;`); empty when absent. The
+    /// interval domain folds these to values (`const TOP: u32 = 1 << 24`).
+    pub init: Vec<Tree>,
 }
 
 /// Everything item parsing extracted from one file.
@@ -157,9 +160,18 @@ fn parse_into(forest: &[Tree], self_ty: Option<&str>, out: &mut FileItems) {
                         .find(|&k| forest[k].is_punct("=") || forest[k].is_punct(";"))
                         .unwrap_or(forest.len());
                     let ty: Vec<Tree> = forest[i + 3..ty_end].to_vec();
+                    let init = if forest.get(ty_end).is_some_and(|t| t.is_punct("=")) {
+                        let init_end = (ty_end + 1..forest.len())
+                            .find(|&k| forest[k].is_punct(";"))
+                            .unwrap_or(forest.len());
+                        forest[ty_end + 1..init_end].to_vec()
+                    } else {
+                        Vec::new()
+                    };
                     out.consts.push(ConstItem {
                         name,
                         ty: to_text(&ty),
+                        init,
                     });
                 }
                 i = skip_item(forest, i);

@@ -29,6 +29,8 @@
 //! constructors; one-sided comparisons count as full guards; a sanitizer
 //! anywhere in an expression clears the whole expression.
 
+pub mod interval;
+
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -866,19 +868,19 @@ impl Scan<'_> {
 }
 
 /// First statement-terminator (`;` or a match-arm `,`) at this level.
-fn stmt_end(trees: &[Tree], from: usize) -> usize {
+pub(crate) fn stmt_end(trees: &[Tree], from: usize) -> usize {
     (from..trees.len())
         .find(|&j| trees[j].is_punct(";") || trees[j].is_punct(","))
         .unwrap_or(trees.len())
 }
 
 /// Index of the next `{ … }` group at this level.
-fn find_block(trees: &[Tree], from: usize) -> Option<usize> {
+pub(crate) fn find_block(trees: &[Tree], from: usize) -> Option<usize> {
     (from..trees.len()).find(|&j| matches!(&trees[j], Tree::Group(g) if g.delim == '{'))
 }
 
 /// The body's tail expression: everything after the last top-level `;`.
-fn tail_expr(trees: &[Tree]) -> &[Tree] {
+pub(crate) fn tail_expr(trees: &[Tree]) -> &[Tree] {
     match trees.iter().rposition(|t| t.is_punct(";")) {
         Some(k) => &trees[k + 1..],
         None => trees,
@@ -887,7 +889,7 @@ fn tail_expr(trees: &[Tree]) -> &[Tree] {
 
 /// Whether a `[ … ]` group at `k` is an index (follows a value) rather
 /// than an array literal, attribute, or pattern.
-fn is_index_position(trees: &[Tree], k: usize) -> bool {
+pub(crate) fn is_index_position(trees: &[Tree], k: usize) -> bool {
     let Some(prev) = k.checked_sub(1).map(|p| &trees[p]) else {
         return false;
     };
@@ -915,7 +917,7 @@ fn collect_ranges<'t>(trees: &'t [Tree], out: &mut Vec<(&'t [Tree], &'t [Tree])>
 }
 
 /// Splits a call argument list on top-level commas.
-fn split_args(trees: &[Tree]) -> Vec<&[Tree]> {
+pub(crate) fn split_args(trees: &[Tree]) -> Vec<&[Tree]> {
     let mut out = Vec::new();
     let mut start = 0;
     for (k, t) in trees.iter().enumerate() {
@@ -931,13 +933,13 @@ fn split_args(trees: &[Tree]) -> Vec<&[Tree]> {
 }
 
 /// The first argument of a call argument list.
-fn first_arg(trees: &[Tree]) -> &[Tree] {
+pub(crate) fn first_arg(trees: &[Tree]) -> &[Tree] {
     split_args(trees).first().copied().unwrap_or(&[])
 }
 
 /// Binding names in a pattern: every lowercase ident that is not a
 /// keyword (constructors like `Some` are uppercase by convention).
-fn pattern_names(pat: &[Tree]) -> Vec<String> {
+pub(crate) fn pattern_names(pat: &[Tree]) -> Vec<String> {
     fn go(pat: &[Tree], out: &mut Vec<String>) {
         for t in pat {
             match t {
@@ -1012,7 +1014,7 @@ fn bare_input(trees: &[Tree]) -> Option<Origin> {
 }
 
 /// Compact single-line rendering of an expression for messages.
-fn compact(trees: &[Tree]) -> String {
+pub(crate) fn compact(trees: &[Tree]) -> String {
     let text = to_text(trees);
     let mut out: String = text.chars().take(60).collect();
     if text.chars().count() > 60 {

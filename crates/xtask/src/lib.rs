@@ -5,7 +5,7 @@
 //! file). The gate is an AST analysis engine, not a line-regex scanner:
 //! every file is lexed into token trees and parsed into items exactly once
 //! ([`source::SourceFile`]), the items are merged into a workspace-wide
-//! call-graph index ([`ast::index::Index`]), and nine passes run as
+//! call-graph index ([`ast::index::Index`]), and ten passes run as
 //! visitors over that shared result:
 //!
 //! 1. **panic-freedom** ([`passes::panic_free`]) — denies
@@ -34,10 +34,15 @@
 //!    a slice, with a source → sink witness chain in every finding;
 //! 9. **panic-reach** ([`passes::panic_reach`]) — the transitive closure
 //!    of panicking constructs reachable from public decode APIs, with the
-//!    full root → site call chain.
+//!    full root → site call chain;
+//! 10. **range-proof** ([`passes::range_proof`]) — an interval abstract
+//!     domain over the [`dataflow`] engine: per-variable `[lo, hi]`
+//!     bounds with widening at loop heads and narrowing on guards, flags
+//!     arithmetic whose proven result interval escapes the destination
+//!     type, seeded by the contract table `crates/xtask/ranges.toml`.
 //!
 //! Escape hatches are per-site comments with a reason:
-//! `// lint:allow(panic|float-cmp|cast|determinism|error|taint): <why>`.
+//! `// lint:allow(panic|float-cmp|cast|determinism|error|taint|range): <why>`.
 //! Comments, strings, and `#[cfg(test)]` items are stripped by the engine
 //! before any pass runs, so findings can never fire on prose or test code.
 //! Pre-existing findings live in `crates/xtask/baseline.toml`
@@ -56,6 +61,7 @@ pub mod passes {
     pub mod hygiene;
     pub mod panic_free;
     pub mod panic_reach;
+    pub mod range_proof;
     pub mod symmetry;
     pub mod wire_taint;
 }
@@ -97,6 +103,7 @@ pub const PASSES: &[&str] = &[
     "error-discipline",
     "wire-taint",
     "panic-reach",
+    "range-proof",
 ];
 
 /// Runs every pass over the workspace at `root`, then filters the findings
@@ -107,16 +114,42 @@ pub const PASSES: &[&str] = &[
 /// Returns a message when the workspace cannot be loaded.
 pub fn run_lint(root: &Path, baseline: Option<&baseline::Baseline>) -> Result<Report, String> {
     let ws = Workspace::load(root)?;
-    let mut report = lint_workspace(&ws);
+    let contracts = passes::range_proof::load_contracts(root)?;
+    let index = ws.build_index();
+    passes::range_proof::validate_contracts(&index, &contracts)?;
+    let mut report = lint_workspace_indexed(&ws, &index, &contracts);
     if let Some(b) = baseline {
         report.apply_baseline(b);
     }
     Ok(report)
 }
 
-/// Runs every pass over an in-memory workspace (fixture-testable).
+/// Runs every pass over an in-memory workspace (fixture-testable) with
+/// an empty contract table.
 pub fn lint_workspace(ws: &Workspace) -> Report {
+    lint_workspace_with(ws, &[])
+}
+
+/// [`lint_workspace`] with an explicit `ranges.toml` contract table.
+///
+/// The workspace is lexed, parsed, and indexed exactly once here; the
+/// shared artifacts — the call-graph [`ast::index::Index`], the taint
+/// summaries ([`dataflow::summarize`]), and the interval context built
+/// inside the range-proof pass — are handed to every pass instead of
+/// being recomputed per pass.
+pub fn lint_workspace_with(ws: &Workspace, contracts: &[dataflow::interval::Contract]) -> Report {
     let index = ws.build_index();
+    lint_workspace_indexed(ws, &index, contracts)
+}
+
+/// [`lint_workspace_with`] over a prebuilt index (the CLI validates the
+/// contract table against the same index before running the gate).
+pub fn lint_workspace_indexed(
+    ws: &Workspace,
+    index: &ast::index::Index,
+    contracts: &[dataflow::interval::Contract],
+) -> Report {
+    let sums = dataflow::summarize(index);
     let mut report = Report {
         passes_run: PASSES.to_vec(),
         files_scanned: ws.files().count(),
@@ -161,20 +194,20 @@ pub fn lint_workspace(ws: &Workspace) -> Report {
             for file in &krate.files {
                 report
                     .violations
-                    .extend(passes::cast_safety::check_file(file, &index));
+                    .extend(passes::cast_safety::check_file(file, index));
             }
         }
     }
 
     report
         .violations
-        .extend(passes::determinism::check_workspace(ws, &index));
+        .extend(passes::determinism::check_workspace(ws, index));
 
     report
         .violations
         .extend(passes::error_discipline::check_workspace(
             ws,
-            &index,
+            index,
             PANIC_FREE_CRATES,
         ));
 
@@ -182,7 +215,8 @@ pub fn lint_workspace(ws: &Workspace) -> Report {
         .violations
         .extend(passes::wire_taint::check_workspace(
             ws,
-            &index,
+            index,
+            &sums,
             PANIC_FREE_CRATES,
         ));
 
@@ -190,9 +224,18 @@ pub fn lint_workspace(ws: &Workspace) -> Report {
         .violations
         .extend(passes::panic_reach::check_workspace(
             ws,
-            &index,
+            index,
             PANIC_FREE_CRATES,
             PANIC_FREE_CRATES,
+        ));
+
+    report
+        .violations
+        .extend(passes::range_proof::check_workspace(
+            ws,
+            index,
+            PANIC_FREE_CRATES,
+            contracts,
         ));
 
     report

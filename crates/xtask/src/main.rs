@@ -1,6 +1,6 @@
 //! `cargo run -p xtask -- lint [--format text|json] [--root PATH]
 //! [--baseline PATH] [--no-baseline] [--write-baseline] [--pass NAME]
-//! [--explain FINDING-ID] [--sweep]`
+//! [--explain FINDING-ID] [--sweep] [--sarif PATH]`
 
 #![forbid(unsafe_code)]
 
@@ -20,6 +20,7 @@ fn main() -> ExitCode {
     let mut only_pass: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut sweep = false;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,6 +70,13 @@ fn main() -> ExitCode {
                 explain = Some(v.clone());
             }
             "--sweep" => sweep = true,
+            "--sarif" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--sarif needs an output path");
+                    return ExitCode::from(2);
+                };
+                sarif_path = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -150,6 +158,12 @@ fn main() -> ExitCode {
                 report.baselined.retain(|v| v.pass == pass.as_str());
                 report.passes_run.retain(|p| *p == pass.as_str());
             }
+            if let Some(path) = &sarif_path {
+                if let Err(e) = std::fs::write(path, report.to_sarif()) {
+                    eprintln!("write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             match format.as_str() {
                 "json" => println!("{}", report.to_json()),
                 _ => print!("{}", report.to_text()),
@@ -201,6 +215,7 @@ fn run_explain(root: &std::path::Path, id: &str) -> ExitCode {
         "cast-safety" => "cast",
         "determinism" => "determinism",
         "error-discipline" => "error",
+        "range-proof" => "range",
         _ => "",
     };
     if !allow.is_empty() {
@@ -264,9 +279,10 @@ fn print_help() {
          \x20 --write-baseline     regenerate the ratchet file from current findings\n\
          \x20 --pass NAME          run the gate but report one pass only\n\
          \x20 --explain ID         explain one finding (ID = pass@path:line)\n\
-         \x20 --sweep              report-only panic-reach sweep of model/bench\n\n\
+         \x20 --sweep              report-only panic-reach sweep of model/bench\n\
+         \x20 --sarif PATH         also write the gate report as SARIF 2.1.0\n\n\
          Passes: panic-freedom, symmetry, float-cmp, hygiene, cast-safety,\n\
-         determinism, error-discipline, wire-taint, panic-reach\n\
+         determinism, error-discipline, wire-taint, panic-reach, range-proof\n\
          (see crates/xtask/src/lib.rs)"
     );
 }

@@ -1,0 +1,323 @@
+//! Range-proof pass: interval-domain arithmetic checks over the
+//! bit-exact hot-path crates.
+//!
+//! Built on [`crate::dataflow::interval`], the pass evaluates every
+//! function body in the audited crates under the interval abstract
+//! domain (per-variable `[lo, hi]` over `i128`, widening at loop heads,
+//! narrowing on guard edges) and reports:
+//!
+//! * `+ - *` operations whose result interval escapes the operation's
+//!   integer type (a silent two's-complement wrap in release builds);
+//! * `<< >>` shifts whose amount interval is not provably below the
+//!   shifted type's bit width (overflow UB-adjacent, panics in debug);
+//! * fixed-array indexing whose index interval provably escapes the
+//!   array length;
+//! * call edges whose argument interval escapes a contract declared in
+//!   `crates/xtask/ranges.toml`.
+//!
+//! Entry ranges are seeded from parameter types and the checked
+//! `ranges.toml` contract table, and call results flow through
+//! param→return interval transfer functions, so the DCT/quant/CABAC hot
+//! paths are *proven* in range rather than flagged wholesale. Findings
+//! carry an interval-annotated witness chain (`--explain` renders the
+//! interval at each hop). Suppress a site with
+//! `// lint:allow(range): <reason>`.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::ast::index::Index;
+use crate::ast::int_width;
+use crate::dataflow::interval::{check_fn, Contract, RangeCtx};
+use crate::report::Violation;
+use crate::source::Workspace;
+
+/// Runs the pass over every function defined in `crates`.
+///
+/// One finding per function (the first flagged site by line): a single
+/// unproven value typically taints several downstream expressions, and
+/// the fix is at the first escape.
+pub fn check_workspace(
+    ws: &Workspace,
+    index: &Index,
+    crates: &[&str],
+    contracts: &[Contract],
+) -> Vec<Violation> {
+    let ctx = RangeCtx::new(index, contracts);
+    let files: std::collections::BTreeMap<&str, &crate::source::SourceFile> =
+        ws.files().map(|f| (f.path.as_str(), f)).collect();
+    let mut out = Vec::new();
+    for (id, entry) in index.fns.iter().enumerate() {
+        if !crates.contains(&entry.krate.as_str()) {
+            continue;
+        }
+        let mut sites = check_fn(&ctx, id);
+        sites.sort_by_key(|s| s.line);
+        let Some(site) = sites.into_iter().find(|s| {
+            !files
+                .get(entry.path.as_str())
+                .is_some_and(|sf| sf.is_allowed(s.line, "range"))
+        }) else {
+            continue;
+        };
+        let mut chain = vec![format!("fn {}", entry.item.name)];
+        chain.extend(site.chain);
+        out.push(
+            Violation::new(
+                "range-proof",
+                &entry.path,
+                site.line + 1,
+                format!(
+                    "{}; widen the intermediate type, guard the operand, or declare \
+                     the entry range in crates/xtask/ranges.toml",
+                    site.msg
+                ),
+            )
+            .with_chain(chain),
+        );
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Loads `crates/xtask/ranges.toml` from the workspace root. A missing
+/// file is an empty table; a malformed one is an error.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on parse failure.
+pub fn load_contracts(root: &Path) -> Result<Vec<Contract>, String> {
+    let path = root.join("crates").join("xtask").join("ranges.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_contracts(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
+/// Parses the strict `[[range]]` table format (see `ranges.toml`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line: unknown keys, missing
+/// fields, duplicate fields and non-literal values are all rejected so
+/// a typo cannot silently drop a contract.
+pub fn parse_contracts(text: &str) -> Result<Vec<Contract>, String> {
+    /// One `[[range]]` entry mid-parse: `fn`, `param`, `min`, `max`.
+    type Partial = (Option<String>, Option<String>, Option<i128>, Option<i128>);
+    let mut out: Vec<Contract> = Vec::new();
+    let mut cur: Option<Partial> = None;
+    let mut finish = |cur: &mut Option<Partial>| -> Result<(), String> {
+        if let Some((f, p, lo, hi)) = cur.take() {
+            let (Some(func), Some(param), Some(lo), Some(hi)) = (f, p, lo, hi) else {
+                return Err("incomplete [[range]] entry: needs fn, param, min, max".into());
+            };
+            if lo > hi {
+                return Err(format!("contract {func}.{param}: min {lo} > max {hi}"));
+            }
+            out.push(Contract {
+                func,
+                param,
+                lo,
+                hi,
+            });
+        }
+        Ok(())
+    };
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[range]]" {
+            finish(&mut cur).map_err(|e| format!("line {}: {e}", n + 1))?;
+            cur = Some((None, None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {}: expected `key = value`, got `{line}`",
+                n + 1
+            ));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!("line {}: `{key}` outside a [[range]] entry", n + 1));
+        };
+        let dup = |name: &str| format!("line {}: duplicate `{name}`", n + 1);
+        match key {
+            "fn" | "param" => {
+                let v = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: `{key}` must be a quoted string", n + 1))?;
+                let slot = if key == "fn" {
+                    &mut entry.0
+                } else {
+                    &mut entry.1
+                };
+                if slot.replace(v.to_string()).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "min" | "max" => {
+                let v: i128 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: `{key}` must be an integer", n + 1))?;
+                let slot = if key == "min" {
+                    &mut entry.2
+                } else {
+                    &mut entry.3
+                };
+                if slot.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", n + 1)),
+        }
+    }
+    finish(&mut cur).map_err(|e| format!("at end of file: {e}"))?;
+    Ok(out)
+}
+
+/// Checks every contract against the workspace index: the function must
+/// exist and expose an integer-typed parameter of that name.
+///
+/// # Errors
+///
+/// Returns a message naming the first stale contract.
+pub fn validate_contracts(index: &Index, contracts: &[Contract]) -> Result<(), String> {
+    let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for c in contracts {
+        if !seen.insert((c.func.as_str(), c.param.as_str())) {
+            return Err(format!(
+                "ranges.toml: duplicate contract for {}.{}",
+                c.func, c.param
+            ));
+        }
+        let ids = index.resolve_defined(&c.func);
+        if ids.is_empty() {
+            return Err(format!(
+                "ranges.toml: contract names unknown function `{}`",
+                c.func
+            ));
+        }
+        let ok = ids.iter().any(|&id| {
+            index.fns[id].item.params.iter().any(|(n, t)| {
+                n == &c.param && int_width(crate::dataflow::interval::strip_refs(t)).is_some()
+            })
+        });
+        if !ok {
+            return Err(format!(
+                "ranges.toml: `{}` has no integer parameter `{}`",
+                c.func, c.param
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSrc, SourceFile};
+
+    fn ws_of(src: &str) -> Workspace {
+        let manifest = "[package]\nname = \"llm265-bitstream\"\n\n[lints]\nworkspace = true\n";
+        let file = SourceFile::from_contents("crates/bitstream/src/lib.rs", src);
+        Workspace {
+            crates: vec![CrateSrc::from_parts(
+                "llm265-bitstream",
+                manifest,
+                vec![file],
+            )],
+        }
+    }
+
+    fn run(src: &str, contracts: &[Contract]) -> Vec<Violation> {
+        let ws = ws_of(src);
+        let index = ws.build_index();
+        check_workspace(&ws, &index, &["llm265-bitstream"], contracts)
+    }
+
+    #[test]
+    fn one_finding_per_function_first_site_wins() {
+        let v = run(
+            "pub fn two(a: u8, b: u8) -> u16 {\n    let x = u16::from(a) * 300;\n    let y = u16::from(b) * 400;\n    x + y\n}\n",
+            &[],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].pass, "range-proof");
+        assert!(v[0].chain[0].contains("fn two"), "{:?}", v[0].chain);
+    }
+
+    #[test]
+    fn under_guarded_shift_is_a_finding_and_allow_suppresses() {
+        let src = "pub fn f(v: u32, n: u32) -> u32 {\n    v << (n & 63)\n}\n";
+        let v = run(src, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("not provably < 32"),
+            "{}",
+            v[0].message
+        );
+        let allowed = src.replace(
+            "v << (n & 63)",
+            "// lint:allow(range): demo\n    v << (n & 63)",
+        );
+        assert!(run(&allowed, &[]).is_empty());
+    }
+
+    #[test]
+    fn widened_then_truncated_index_is_a_finding() {
+        let v = run(
+            "pub fn lut(i: u8) -> u8 {\n    let t: [u8; 16] = [0; 16];\n    let wide = u32::from(i) + 16;\n    t[(wide & 31) as usize]\n}\n",
+            &[],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("length 16"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn contract_table_round_trips_and_validates() {
+        let text = "# c\n[[range]]\nfn = \"f\"\nparam = \"k\"\nmin = 0\nmax = 8\n";
+        let cs = parse_contracts(text).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!((cs[0].lo, cs[0].hi), (0, 8));
+        let ws = ws_of("pub fn f(v: u32, k: u32) -> u32 { v >> k }\n");
+        let index = ws.build_index();
+        assert!(validate_contracts(&index, &cs).is_ok());
+        // Unknown param: stale contracts are hard errors.
+        let bad =
+            parse_contracts("[[range]]\nfn = \"f\"\nparam = \"zz\"\nmin = 0\nmax = 8\n").unwrap();
+        assert!(validate_contracts(&index, &bad).is_err());
+        let missing =
+            parse_contracts("[[range]]\nfn = \"g\"\nparam = \"k\"\nmin = 0\nmax = 8\n").unwrap();
+        assert!(validate_contracts(&index, &missing).is_err());
+    }
+
+    #[test]
+    fn malformed_tables_are_rejected() {
+        assert!(parse_contracts("[[range]]\nfn = \"f\"\n").is_err());
+        assert!(
+            parse_contracts("[[range]]\nfn = \"f\"\nparam = \"k\"\nmin = 9\nmax = 1\n").is_err()
+        );
+        assert!(parse_contracts("fn = \"f\"\n").is_err());
+        assert!(parse_contracts("[[range]]\nbogus = 1\n").is_err());
+        assert!(parse_contracts("[[range]]\nfn = unquoted\n").is_err());
+        assert!(parse_contracts("[[range]]\nfn = \"f\"\nfn = \"g\"\n").is_err());
+    }
+
+    #[test]
+    fn contract_seeds_prove_the_body() {
+        let src = "pub fn code_rem(r: u32, k: u32) -> u32 {\n    r >> k\n}\n";
+        assert_eq!(run(src, &[]).len(), 1);
+        let c = [Contract {
+            func: "code_rem".into(),
+            param: "k".into(),
+            lo: 0,
+            hi: 8,
+        }];
+        assert!(run(src, &c).is_empty());
+    }
+}

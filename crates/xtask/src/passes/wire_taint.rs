@@ -23,9 +23,14 @@ use crate::passes::panic_free::DECODE_PREFIXES;
 use crate::report::Violation;
 use crate::source::Workspace;
 
-/// Runs the pass over the audited crates using a prebuilt index.
-pub fn check_workspace(ws: &Workspace, index: &Index, crates: &[&str]) -> Vec<Violation> {
-    let sums = dataflow::summarize(index);
+/// Runs the pass over the audited crates using a prebuilt index and
+/// prebuilt dataflow summaries (shared across passes by the gate).
+pub fn check_workspace(
+    ws: &Workspace,
+    index: &Index,
+    sums: &Summaries,
+    crates: &[&str],
+) -> Vec<Violation> {
     let files: BTreeMap<&str, &crate::source::SourceFile> =
         ws.files().map(|f| (f.path.as_str(), f)).collect();
     let mut out = Vec::new();
@@ -44,7 +49,7 @@ pub fn check_workspace(ws: &Workspace, index: &Index, crates: &[&str]) -> Vec<Vi
         {
             continue;
         }
-        let analysis = dataflow::analyze(index, &sums, id, false);
+        let analysis = dataflow::analyze(index, sums, id, false);
         for f in analysis.findings {
             if f.origin.root_param().is_some() {
                 continue;
@@ -58,7 +63,7 @@ pub fn check_workspace(ws: &Workspace, index: &Index, crates: &[&str]) -> Vec<Vi
             if !seen.insert((entry.path.clone(), f.line, f.what)) {
                 continue;
             }
-            let chain = witness_chain(&sums, &entry.item.name, &f);
+            let chain = witness_chain(sums, &entry.item.name, &f);
             out.push(
                 Violation::new(
                     "wire-taint",
@@ -110,7 +115,12 @@ mod tests {
     fn check(src: &str) -> Vec<Violation> {
         let w = ws(src);
         let index = w.build_index();
-        check_workspace(&w, &index, &["llm265-bitstream"])
+        check_workspace(
+            &w,
+            &index,
+            &dataflow::summarize(&index),
+            &["llm265-bitstream"],
+        )
     }
 
     #[test]
@@ -152,7 +162,12 @@ mod tests {
             crates: vec![CrateSrc::from_parts("llm265-bench", manifest, vec![file])],
         };
         let index = w.build_index();
-        let v = check_workspace(&w, &index, &["llm265-bitstream"]);
+        let v = check_workspace(
+            &w,
+            &index,
+            &dataflow::summarize(&index),
+            &["llm265-bitstream"],
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 }

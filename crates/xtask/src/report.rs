@@ -97,6 +97,81 @@ impl Report {
         out
     }
 
+    /// SARIF 2.1.0 report (hand-rolled; the workspace has no serde).
+    ///
+    /// One run, one rule per pass, one result per finding. Gate-failing
+    /// findings are `error`-level; baseline-tolerated ones are emitted as
+    /// `note`-level results carrying an `external` suppression, so SARIF
+    /// viewers show the debt without flagging it. A non-empty witness
+    /// chain becomes a `codeFlow` with one location per hop.
+    #[must_use]
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\n      \
+             \"name\": \"xtask-lint\",\n      \"rules\": [",
+        );
+        for (i, pass) in self.passes_run.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n        {{\"id\": \"{p}\", \"shortDescription\": {{\"text\": \"{p} pass\"}}}}",
+                p = escape(pass)
+            );
+        }
+        if !self.passes_run.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }},\n    \"results\": [");
+        let mut first = true;
+        for (v, suppressed) in self
+            .violations
+            .iter()
+            .map(|v| (v, false))
+            .chain(self.baselined.iter().map(|v| (v, true)))
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = if suppressed { "note" } else { "error" };
+            let _ = write!(
+                out,
+                "\n      {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{}]",
+                escape(v.pass),
+                escape(&v.message),
+                sarif_location(v)
+            );
+            if suppressed {
+                out.push_str(", \"suppressions\": [{\"kind\": \"external\"}]");
+            }
+            if !v.chain.is_empty() {
+                out.push_str(", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+                for (j, hop) in v.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"location\": {{{}, \"message\": {{\"text\": \"{}\"}}}}}}",
+                        sarif_physical(v),
+                        escape(hop)
+                    );
+                }
+                out.push_str("]}]}]");
+            }
+            out.push('}');
+        }
+        if !first {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }]\n}");
+        out
+    }
+
     /// JSON report (hand-rolled; the workspace has no serde).
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -120,6 +195,25 @@ impl Report {
         );
         out
     }
+}
+
+/// A SARIF `location` object for a finding; crate-level findings
+/// (line 0) omit the region, as SARIF requires `startLine >= 1`.
+fn sarif_location(v: &Violation) -> String {
+    format!("{{{}}}", sarif_physical(v))
+}
+
+/// The `physicalLocation` member shared by locations and code-flow hops.
+fn sarif_physical(v: &Violation) -> String {
+    let mut out = format!(
+        "\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}",
+        escape(&v.path)
+    );
+    if v.line > 0 {
+        let _ = write!(out, ", \"region\": {{\"startLine\": {}}}", v.line);
+    }
+    out.push('}');
+    out
 }
 
 fn write_violations(out: &mut String, violations: &[Violation]) {
@@ -223,6 +317,38 @@ mod tests {
         );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_report_carries_rules_results_and_suppressions() {
+        let mut r = Report {
+            passes_run: vec!["range-proof", "wire-taint"],
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.violations.push(
+            Violation::new("range-proof", "a.rs", 7, "i32 escapes u16").with_chain(vec![
+                "fn decode_gain".to_string(),
+                "promote(a) ∈ [0, 255]".to_string(),
+            ]),
+        );
+        r.baselined
+            .push(Violation::new("wire-taint", "b.rs", 0, "tainted length"));
+        let sarif = r.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"id\": \"range-proof\""));
+        assert!(sarif.contains("\"ruleId\": \"range-proof\", \"level\": \"error\""));
+        // The baselined finding is a suppressed note, not an error.
+        assert!(sarif.contains("\"ruleId\": \"wire-taint\", \"level\": \"note\""));
+        assert!(sarif.contains("\"suppressions\": [{\"kind\": \"external\"}]"));
+        // Line 0 must not produce a SARIF region (startLine >= 1).
+        assert!(sarif.contains("\"uri\": \"b.rs\"}}"));
+        assert!(sarif.contains("\"startLine\": 7"));
+        // The witness chain rides along as a code flow.
+        assert!(sarif.contains("\"codeFlows\""));
+        assert!(sarif.contains("promote(a)"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn dirty_findings_land_on_the_expected_sites() {
     assert!(has("hygiene", "llm265-videocodec (Cargo.toml)", "[lints]"));
     assert!(has("wire-taint", "bitstream/src/lib.rs", "allocation size"));
     assert!(has("panic-reach", "bitstream/src/lib.rs", "decode_entry"));
+    assert!(has("range-proof", "bitstream/src/lib.rs", "escapes"));
     // The determinism finding must explain the codec-path chain.
     let det = report
         .violations
@@ -189,25 +190,51 @@ fn lint_cmd(root: &PathBuf, extra: &[&str]) -> std::process::Output {
 fn cli_exit_codes_track_cleanliness() {
     let clean = lint_cmd(&fixture("clean"), &[]);
     assert_eq!(clean.status.code(), Some(0), "{clean:?}");
-    // No baseline file exists under the fixture root, so all 9 findings
+    // No baseline file exists under the fixture root, so all 10 findings
     // are new and the gate must fail.
     let dirty = lint_cmd(&fixture("dirty"), &["--no-baseline"]);
     assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
     let stdout = String::from_utf8_lossy(&dirty.stdout);
-    assert!(stdout.contains("9 violation(s) (0 baselined)"), "{stdout}");
+    assert!(stdout.contains("10 violation(s) (0 baselined)"), "{stdout}");
 }
 
 #[test]
 fn cli_json_format_reports_counts_ids_and_chains() {
     let out = lint_cmd(&fixture("dirty"), &["--no-baseline", "--format", "json"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"count\": 9"), "{stdout}");
+    assert!(stdout.contains("\"count\": 10"), "{stdout}");
     assert!(stdout.contains("\"id\": \"wire-taint@"), "{stdout}");
     assert!(
         stdout.contains("\"chain\": [\"read of `data`\", \"header_len\", \"decode_table\"]"),
         "{stdout}"
     );
     assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+}
+
+#[test]
+fn cli_sarif_writes_a_valid_report_next_to_the_gate_output() {
+    let dir = std::env::temp_dir().join(format!("xtask-sarif-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("lint.sarif");
+    let out = lint_cmd(
+        &fixture("dirty"),
+        &["--no-baseline", "--sarif", path.to_str().expect("utf-8")],
+    );
+    // The SARIF write must not change the gate verdict.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let sarif = std::fs::read_to_string(&path).expect("sarif written");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"xtask-lint\""), "{sarif}");
+    assert!(sarif.contains("\"id\": \"range-proof\""), "{sarif}");
+    assert!(
+        sarif.contains("\"ruleId\": \"wire-taint\", \"level\": \"error\""),
+        "{sarif}"
+    );
+    // Witness chains ride along as code flows.
+    assert!(sarif.contains("\"codeFlows\""), "{sarif}");
+    assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+    assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -246,6 +273,32 @@ fn cli_explain_prints_the_witness_chain() {
 }
 
 #[test]
+fn cli_explain_renders_interval_chain_hops() {
+    let report = run_lint(&fixture("dirty"), None).expect("lint dirty fixture");
+    let range = report
+        .violations
+        .iter()
+        .find(|v| v.pass == "range-proof")
+        .expect("range-proof finding");
+    // The chain walks fn -> interprocedural hop, with the interval the
+    // transfer function produced annotated at the hop.
+    assert_eq!(range.chain[0], "fn decode_gain", "{:?}", range.chain);
+    assert!(
+        range
+            .chain
+            .iter()
+            .any(|h| h.contains("promote") && h.contains("[0, 255]")),
+        "{:?}",
+        range.chain
+    );
+    let out = lint_cmd(&fixture("dirty"), &["--explain", &range.id()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("witness chain"), "{stdout}");
+    assert!(stdout.contains("[0, 255]"), "{stdout}");
+}
+
+#[test]
 fn cli_write_baseline_then_gate_passes() {
     let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("engine-test-baseline.toml");
     let wrote = lint_cmd(
@@ -265,7 +318,7 @@ fn cli_write_baseline_then_gate_passes() {
     );
     assert_eq!(gated.status.code(), Some(0), "{gated:?}");
     let stdout = String::from_utf8_lossy(&gated.stdout);
-    assert!(stdout.contains("0 violation(s) (9 baselined)"), "{stdout}");
+    assert!(stdout.contains("0 violation(s) (10 baselined)"), "{stdout}");
 }
 
 #[test]

@@ -74,3 +74,28 @@ pub fn decode_entry_checked(data: &[u8]) -> u8 {
 fn entry_at_checked(data: &[u8], i: usize) -> u8 {
     data.get(i + 1).copied().unwrap_or(0)
 }
+
+/// Range-proof: the promoted product wraps u16. The under-guarded shift
+/// and the widened-then-truncated index below are collected too, but the
+/// pass reports one finding per function, so the first site wins.
+pub fn decode_gain(a: u8, n: u32) -> u16 {
+    let lut: [u16; 16] = [0; 16];
+    let wide = promote(a) * 300;
+    let scaled = wide << (n & 31);
+    scaled + lut[((u32::from(a) + 16) & 31) as usize]
+}
+
+/// The interprocedural hop: the summary carries the param -> return
+/// interval, so the witness chain shows `promote(…) ∈ [0, 255]`.
+fn promote(v: u8) -> u16 {
+    u16::from(v)
+}
+
+/// The proven twin stays quiet: the product is widened to u32, the shift
+/// amount is masked below the width, and the index below the length.
+pub fn decode_gain_checked(a: u8, n: u32) -> u16 {
+    let lut: [u16; 16] = [0; 16];
+    let wide = u32::from(promote(a)) * 300;
+    let scaled = wide >> (n & 15);
+    (scaled & 0x7FFF) as u16 + lut[usize::from(a) & 15]
+}

@@ -24,11 +24,13 @@ fn main() {
         if step == 170 {
             opt.set_lr(1e-3);
         }
-        let batch = lang.sample_batch(4, 48, &mut rng);
+        let batch = lang.sample_batch(4, 48, &mut rng).expect("training data");
         model.train_step(&batch, &mut opt);
     }
-    let eval = lang.sample_batch(16, 48, &mut Pcg32::seed_from(9));
-    let tasks = probe_suite(&lang, 25, 10);
+    let eval = lang
+        .sample_batch(16, 48, &mut Pcg32::seed_from(9))
+        .expect("training data");
+    let tasks = probe_suite(&lang, 25, 10).expect("probe tasks");
     println!(
         "trained model:      ppl {:.3}, probe accuracy {:.1}%",
         model.eval_perplexity(&eval),

@@ -18,7 +18,9 @@ use llm265::tensor::rng::Pcg32;
 
 fn main() {
     let lang = SyntheticLang::new(&LangConfig::tiny());
-    let val = lang.sample_batch(8, 40, &mut Pcg32::seed_from(1));
+    let val = lang
+        .sample_batch(8, 40, &mut Pcg32::seed_from(1))
+        .expect("training data");
 
     // --- Pipeline parallelism with compressed inter-stage traffic.
     println!("== pipeline parallelism (2 stages) ==");
@@ -30,7 +32,7 @@ fn main() {
             .with_act_compressor(Box::new(Llm265Channel::at_bits(3.5)))
             .with_grad_compressor(Box::new(ResidualCompensator::new()));
         for step in 0..100 {
-            let batch = lang.sample_batch(4, 40, &mut rng);
+            let batch = lang.sample_batch(4, 40, &mut rng).expect("training data");
             let loss = pp.train_step(&batch, &mut opt);
             if (step + 1) % 25 == 0 {
                 println!("  step {:>3}: loss {loss:.3}", step + 1);
@@ -58,7 +60,9 @@ fn main() {
                 .collect(),
         );
         for step in 0..60 {
-            let shards: Vec<Batch> = (0..4).map(|_| lang.sample_batch(1, 40, &mut rng)).collect();
+            let shards: Vec<Batch> = (0..4)
+                .map(|_| lang.sample_batch(1, 40, &mut rng).expect("training data"))
+                .collect();
             let loss = dp.train_step(&shards, &mut opt);
             if (step + 1) % 15 == 0 {
                 println!("  step {:>3}: loss {loss:.3}", step + 1);

@@ -13,8 +13,12 @@ use llm265::tensor::rng::Pcg32;
 fn pp_and_dp_uncompressed_match_plain_training_exactly() {
     let lang = SyntheticLang::new(&LangConfig::tiny());
     let mut rng = Pcg32::seed_from(1);
-    let batches: Vec<Batch> = (0..4).map(|_| lang.sample_batch(2, 24, &mut rng)).collect();
-    let eval = lang.sample_batch(4, 24, &mut Pcg32::seed_from(2));
+    let batches: Vec<Batch> = (0..4)
+        .map(|_| lang.sample_batch(2, 24, &mut rng).expect("training data"))
+        .collect();
+    let eval = lang
+        .sample_batch(4, 24, &mut Pcg32::seed_from(2))
+        .expect("training data");
 
     let mut plain = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(9));
     let mut opt = Adam::new(1e-3);
@@ -51,7 +55,9 @@ fn wire_accounting_matches_tensor_sizes_exactly() {
     let dim = model.config().dim;
     let mut opt = Adam::new(1e-3);
     let seq_len = 24usize;
-    let batch = lang.sample_batch(3, seq_len, &mut Pcg32::seed_from(4));
+    let batch = lang
+        .sample_batch(3, seq_len, &mut Pcg32::seed_from(4))
+        .expect("training data");
     let mut pp = PipelineTrainer::new(&mut model, 2);
     pp.train_step(&batch, &mut opt);
     // One boundary, 3 sequences, (seq_len - 1) tokens × dim values, both
@@ -81,9 +87,15 @@ fn dp_with_lossless_compressor_is_equivalent_to_uncompressed() {
     let lang = SyntheticLang::new(&LangConfig::tiny());
     let mut rng = Pcg32::seed_from(5);
     let shards: Vec<Vec<Batch>> = (0..3)
-        .map(|_| (0..2).map(|_| lang.sample_batch(1, 20, &mut rng)).collect())
+        .map(|_| {
+            (0..2)
+                .map(|_| lang.sample_batch(1, 20, &mut rng).expect("training data"))
+                .collect()
+        })
         .collect();
-    let eval = lang.sample_batch(4, 20, &mut Pcg32::seed_from(6));
+    let eval = lang
+        .sample_batch(4, 20, &mut Pcg32::seed_from(6))
+        .expect("training data");
 
     let run = |lossless: bool| -> f64 {
         let mut model = TransformerLm::new(&TransformerConfig::tiny(), &mut Pcg32::seed_from(8));

@@ -18,7 +18,7 @@ fn trained_model(seed: u64, steps: usize) -> (TransformerLm, SyntheticLang) {
     let mut opt = Adam::new(3e-3);
     let mut rng = Pcg32::seed_from(seed ^ 0xA);
     for _ in 0..steps {
-        let batch = lang.sample_batch(4, 40, &mut rng);
+        let batch = lang.sample_batch(4, 40, &mut rng).expect("training data");
         model.train_step(&batch, &mut opt);
     }
     (model, lang)
@@ -84,7 +84,7 @@ fn fractional_bitrates_are_monotone_in_quality() {
 #[test]
 fn weight_compression_preserves_model_quality_at_3_bits() {
     let (model, lang) = trained_model(3, 250);
-    let tasks = probe_suite(&lang, 20, 5);
+    let tasks = probe_suite(&lang, 20, 5).expect("probe tasks");
     let clean = suite_accuracy(&model, &tasks);
 
     let mut compressed = model.clone();
@@ -109,7 +109,9 @@ fn weight_compression_preserves_model_quality_at_3_bits() {
 #[test]
 fn kv_and_activation_hooks_account_bits() {
     let (model, lang) = trained_model(4, 120);
-    let eval = lang.sample_batch(4, 32, &mut Pcg32::seed_from(6));
+    let eval = lang
+        .sample_batch(4, 32, &mut Pcg32::seed_from(6))
+        .expect("training data");
     let boundaries = [0usize];
     let mut kv = Llm265Channel::at_bits(2.9);
     let mut act = Llm265Channel::at_bits(3.5);
